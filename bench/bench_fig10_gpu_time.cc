@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 10: execution time of the GPU designs, normalized to
+ * BaseCMOS (which includes the register-file cache for fairness).
+ *
+ * Paper shapes: BaseTFET ~2.0x, BaseHet ~1.28x, AdvHet ~1.20x,
+ * AdvHet-2X ~0.70x.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::GpuSuite suite =
+        bench::runGpuSuite(core::figure10Configs(), opts);
+    bench::printGpuFigure(
+        "Figure 10: GPU execution time (normalized to BaseCMOS)",
+        suite, bench::gpuNormTime, "fig10_gpu_time.csv");
+    return 0;
+}

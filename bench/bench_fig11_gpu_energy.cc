@@ -1,0 +1,44 @@
+/**
+ * @file
+ * Figure 11: energy of the GPU designs, normalized to BaseCMOS, with
+ * the dynamic/leakage split.
+ *
+ * Paper shapes: BaseTFET ~0.25, BaseHet ~0.65, AdvHet ~0.60,
+ * AdvHet-2X ~0.66.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::GpuSuite suite =
+        bench::runGpuSuite(core::figure10Configs(), opts);
+    bench::printGpuFigure(
+        "Figure 11: GPU energy (normalized to BaseCMOS)", suite,
+        bench::gpuNormEnergy, "fig11_gpu_energy.csv");
+
+    TablePrinter t("Figure 11 split: mean dynamic/leakage shares vs "
+                   "BaseCMOS total",
+                   {"config", "dynamic", "leakage", "total"});
+    for (size_t c = 0; c < suite.configs.size(); ++c) {
+        double dyn = 0.0, leak = 0.0;
+        for (size_t k = 0; k < suite.kernels.size(); ++k) {
+            const auto &e = suite.at(c, k).energy;
+            const double base = suite.baseline(k).energy.totalJ();
+            dyn += e.totalDynamicJ() / base;
+            leak += e.totalLeakageJ() / base;
+        }
+        const double n = static_cast<double>(suite.kernels.size());
+        t.addRow(core::gpuConfigName(suite.configs[c]),
+                 {dyn / n, leak / n, (dyn + leak) / n});
+    }
+    t.print();
+    t.writeCsv("fig11_gpu_energy_split.csv");
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 12: ED^2 of the GPU designs, normalized to BaseCMOS.
+ *
+ * Paper shapes: BaseHet worse than BaseCMOS; AdvHet ~0.91 (the RF
+ * cache pays off); AdvHet-2X ~0.40.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::GpuSuite suite =
+        bench::runGpuSuite(core::figure10Configs(), opts);
+    bench::printGpuFigure(
+        "Figure 12: GPU ED^2 (normalized to BaseCMOS)", suite,
+        bench::gpuNormEd2, "fig12_gpu_ed2.csv");
+    return 0;
+}

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Figure 13: sensitivity analysis of the HetCore CPU designs.
+ *
+ * Compares BaseCMOS, BaseL3, BaseHighVt, BaseHet-FastALU, BaseHet,
+ * BaseHet-Enh, BaseHet-Split, and AdvHet on execution time, energy,
+ * ED, and ED^2 (all normalized to BaseCMOS, averaged over the apps).
+ *
+ * Paper shapes: BaseL3 saves ~10% energy at BaseCMOS-like speed;
+ * BaseHighVt is slightly slower *and* consumes more energy; BaseHet
+ * is ~2% slower than BaseHet-FastALU but saves ~10% energy; Enh adds
+ * ~3% speed, Split ~2% more, and the asymmetric DL1 (AdvHet) a large
+ * further step at roughly equal energy.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::CpuSuite suite =
+        bench::runCpuSuite(core::figure13Configs(), opts);
+
+    // Mean-normalized summary (the paper's bar heights).
+    TablePrinter t("Figure 13: sensitivity analysis "
+                   "(mean, normalized to BaseCMOS)",
+                   {"config", "time", "energy", "ED", "ED^2"});
+    for (size_t c = 0; c < suite.configs.size(); ++c) {
+        double time = 0, energy = 0, ed = 0, ed2 = 0;
+        for (size_t a = 0; a < suite.apps.size(); ++a) {
+            const auto &r = suite.at(c, a);
+            const auto &b = suite.baseline(a);
+            time += bench::cpuNormTime(r, b);
+            energy += bench::cpuNormEnergy(r, b);
+            ed += bench::cpuNormEd(r, b);
+            ed2 += bench::cpuNormEd2(r, b);
+        }
+        const double n = static_cast<double>(suite.apps.size());
+        t.addRow(core::cpuConfigName(suite.configs[c]),
+                 {time / n, energy / n, ed / n, ed2 / n});
+    }
+    t.print();
+    t.writeCsv("fig13_sensitivity.csv");
+
+    // Per-app execution time detail.
+    bench::printCpuFigure(
+        "Figure 13 detail: per-app execution time "
+        "(normalized to BaseCMOS)",
+        suite, bench::cpuNormTime, "fig13_sensitivity_time.csv");
+    return 0;
+}

@@ -1,0 +1,89 @@
+/**
+ * @file
+ * Figure 14: impact of DVFS and process variation on the energy of
+ * BaseCMOS and AdvHet.
+ *
+ * Four operating points: 2 GHz (BaseFreq), 2.5 GHz (BoostFreq),
+ * 1.5 GHz (SlowFreq), and 2 GHz with the 15nm process-variation
+ * guardbands (+120 mV CMOS / +70 mV TFET). All bars are normalized
+ * to BaseCMOS at 2 GHz.
+ *
+ * Paper shapes: AdvHet saves ~39% at 2 GHz, slightly less (~36%) at
+ * 2.5 GHz (the flatter TFET V-f curve demands a larger dV), slightly
+ * more (~43%) at 1.5 GHz, and ~37% under variation guardbands.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+#include "core/dvfs.hh"
+
+using namespace hetsim;
+
+namespace
+{
+
+struct Point
+{
+    const char *label;
+    double freqGhz;
+    bool guardband;
+};
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    core::ExperimentOptions base_opts =
+        bench::parseOptions(argc, argv);
+
+    const Point points[] = {
+        {"BaseFreq-2GHz", 2.0, false},
+        {"BoostFreq-2.5GHz", 2.5, false},
+        {"SlowFreq-1.5GHz", 1.5, false},
+        {"Variation-2GHz", 2.0, true},
+    };
+
+    // Reference: BaseCMOS at 2 GHz.
+    double ref_energy = 0.0;
+    std::vector<double> base_e, adv_e, save;
+    TablePrinter t("Figure 14: DVFS and process variation "
+                   "(energy normalized to BaseCMOS at 2 GHz)",
+                   {"operating point", "V_CMOS", "V_TFET", "BaseCMOS",
+                    "AdvHet", "AdvHet saving"});
+
+    const auto &apps = workload::cpuApps();
+    for (const Point &p : points) {
+        core::ExperimentOptions opts = base_opts;
+        opts.freqGhz = p.freqGhz;
+        opts.variationGuardband = p.guardband;
+
+        double cmos = 0.0, adv = 0.0;
+        for (const auto &app : apps) {
+            std::fprintf(stderr, "  %s / %s...\n", p.label, app.name);
+            cmos += core::runCpuExperiment(core::CpuConfig::BaseCmos,
+                                           app, opts)
+                        .metrics.energyJ;
+            adv += core::runCpuExperiment(core::CpuConfig::AdvHet,
+                                          app, opts)
+                       .metrics.energyJ;
+        }
+        if (p.freqGhz == 2.0 && !p.guardband)
+            ref_energy = cmos;
+
+        core::OperatingPoint op = core::cpuOperatingPoint(p.freqGhz);
+        if (p.guardband)
+            op = core::withVariationGuardband(op);
+
+        t.addRow({p.label, formatDouble(op.vCmos, 3),
+                  formatDouble(op.vTfet, 3),
+                  formatDouble(cmos / ref_energy, 3),
+                  formatDouble(adv / ref_energy, 3),
+                  formatDouble(1.0 - adv / cmos, 3)});
+    }
+    t.print();
+    t.writeCsv("fig14_dvfs_variation.csv");
+    return 0;
+}

@@ -1,0 +1,40 @@
+/**
+ * @file
+ * Figure 3: V_dd-frequency curves for Si-CMOS and HetJTFET, and the
+ * DVFS voltage pairs of Section III-D.
+ *
+ * Paper anchor points: (0.73 V, 2 GHz) CMOS and (0.40 V, 2 GHz
+ * effective) TFET; boosting to 2.5 GHz needs +75 mV CMOS / +90 mV
+ * TFET; slowing to 1.5 GHz gives back -70 mV / -80 mV.
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "device/vf_curve.hh"
+
+using namespace hetsim;
+
+int
+main()
+{
+    TablePrinter t("Figure 3: V_dd vs effective core frequency",
+                   {"f (GHz)", "V_CMOS (V)", "V_TFET (V)",
+                    "dV_CMOS (mV)", "dV_TFET (mV)"});
+    const device::DvfsPoint nominal = device::dvfsPointFor(2.0);
+    for (double f = 1.0; f <= 2.75; f += 0.25) {
+        const device::DvfsPoint p = device::dvfsPointFor(f);
+        t.addRow({formatDouble(f, 2), formatDouble(p.vCmos, 3),
+                  formatDouble(p.vTfet, 3),
+                  formatDouble(1000 * (p.vCmos - nominal.vCmos), 0),
+                  formatDouble(1000 * (p.vTfet - nominal.vTfet), 0)});
+    }
+    t.print();
+    t.writeCsv("fig3_vf_curves.csv");
+
+    std::printf("\nTFET curve saturates at %.2f GHz "
+                "(CMOS keeps scaling to %.2f GHz)\n",
+                device::tfetVfCurve().maxFreq(),
+                device::cmosVfCurve().maxFreq());
+    return 0;
+}

@@ -1,0 +1,25 @@
+/**
+ * @file
+ * Figure 7: execution time of the CPU designs, normalized to BaseCMOS.
+ *
+ * Paper shapes to look for: BaseTFET ~1.96x, BaseHet ~1.40x, AdvHet
+ * ~1.10x, AdvHet-2X ~0.68x; BaseCMOS-Enh ~1.0x.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::CpuSuite suite =
+        bench::runCpuSuite(core::figure7Configs(), opts);
+    bench::printCpuFigure(
+        "Figure 7: CPU execution time (normalized to BaseCMOS)",
+        suite, bench::cpuNormTime, "fig7_cpu_time.csv");
+    return 0;
+}

@@ -1,0 +1,62 @@
+/**
+ * @file
+ * Figure 8: energy consumption of the CPU designs, normalized to
+ * BaseCMOS, with the core/L2/L3 x dynamic/leakage breakdown.
+ *
+ * Paper shapes: BaseTFET ~0.24, BaseHet ~0.65, AdvHet ~0.61,
+ * AdvHet-2X ~0.66; savings come from both dynamic and leakage energy.
+ */
+
+#include <cstdio>
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::CpuSuite suite =
+        bench::runCpuSuite(core::figure7Configs(), opts);
+
+    bench::printCpuFigure(
+        "Figure 8: CPU energy (normalized to BaseCMOS)", suite,
+        bench::cpuNormEnergy, "fig8_cpu_energy.csv");
+
+    // Average core/L2/L3 x dynamic/leakage breakdown per config,
+    // normalized to the BaseCMOS total (the stacked bars).
+    TablePrinter t("Figure 8 breakdown: mean energy shares vs "
+                   "BaseCMOS total",
+                   {"config", "core-dyn", "core-leak", "l2-dyn",
+                    "l2-leak", "l3-dyn", "l3-leak", "total"});
+    for (size_t c = 0; c < suite.configs.size(); ++c) {
+        double parts[6] = {};
+        double total = 0.0;
+        for (size_t a = 0; a < suite.apps.size(); ++a) {
+            const auto &e = suite.at(c, a).energy;
+            const double base = suite.baseline(a).energy.totalJ();
+            using power::EnergyGroup;
+            const int core = static_cast<int>(EnergyGroup::Core);
+            const int l2 = static_cast<int>(EnergyGroup::L2);
+            const int l3 = static_cast<int>(EnergyGroup::L3);
+            parts[0] += e.groupDynamicJ[core] / base;
+            parts[1] += e.groupLeakageJ[core] / base;
+            parts[2] += e.groupDynamicJ[l2] / base;
+            parts[3] += e.groupLeakageJ[l2] / base;
+            parts[4] += e.groupDynamicJ[l3] / base;
+            parts[5] += e.groupLeakageJ[l3] / base;
+            total += e.totalJ() / base;
+        }
+        std::vector<double> row;
+        for (double p : parts)
+            row.push_back(p / suite.apps.size());
+        row.push_back(total / suite.apps.size());
+        t.addRow(core::cpuConfigName(suite.configs[c]), row);
+    }
+    t.print();
+    t.writeCsv("fig8_cpu_energy_breakdown.csv");
+    return 0;
+}

@@ -1,0 +1,26 @@
+/**
+ * @file
+ * Figure 9: energy-delay-squared (ED^2) of the CPU designs,
+ * normalized to BaseCMOS.
+ *
+ * Paper shapes: BaseHet worse than BaseCMOS (slower), AdvHet lowest
+ * among single-chip designs (~0.74), AdvHet-2X ~0.32.
+ */
+
+#include "bench/bench_util.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const core::ExperimentOptions opts =
+        bench::parseOptions(argc, argv);
+    bench::CpuSuite suite =
+        bench::runCpuSuite(core::figure7Configs(), opts);
+    bench::printCpuFigure(
+        "Figure 9: CPU ED^2 (normalized to BaseCMOS)", suite,
+        bench::cpuNormEd2, "fig9_cpu_ed2.csv");
+    return 0;
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Google-benchmark microbenchmarks of the simulation substrate itself:
+ * cache access throughput, branch-predictor throughput, OoO core
+ * simulation speed, and GPU compute-unit simulation speed. These guard
+ * against performance regressions in the simulator (the figure benches
+ * above measure the *simulated* machine, not the simulator).
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hh"
+#include "core/configs.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/multicore.hh"
+#include "gpu/gpu.hh"
+#include "mem/cache.hh"
+#include "mem/hierarchy.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/gpu_kernel_gen.hh"
+#include "workload/gpu_profiles.hh"
+
+using namespace hetsim;
+
+namespace
+{
+
+void
+BM_CacheAccess(benchmark::State &state)
+{
+    mem::CacheParams params{"bench", 32 * 1024, 8, 64, false};
+    mem::Cache cache(params);
+    Rng rng(42);
+    for (auto _ : state) {
+        const uint64_t addr = rng.range(1 << 20) * 64;
+        auto r = cache.access(addr);
+        if (!r.hit)
+            cache.fill(addr, mem::CoherenceState::Shared);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CacheAccess);
+
+void
+BM_HierarchyLoad(benchmark::State &state)
+{
+    mem::HierarchyParams params;
+    params.numCores = 4;
+    mem::MemHierarchy hier(params);
+    Rng rng(42);
+    mem::Cycle now = 0;
+    for (auto _ : state) {
+        const uint64_t addr = rng.range(1 << 18) * 64;
+        auto r = hier.access(rng.range(4), addr,
+                             mem::AccessType::Load, ++now);
+        benchmark::DoNotOptimize(r);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HierarchyLoad);
+
+void
+BM_BranchPredictor(benchmark::State &state)
+{
+    cpu::BranchPredictor bp;
+    Rng rng(7);
+    cpu::MicroOp op;
+    op.cls = cpu::OpClass::Branch;
+    for (auto _ : state) {
+        op.pc = 0x1000 + rng.range(256) * 4;
+        op.taken = rng.chance(0.7);
+        op.target = op.taken ? op.pc - 64 : op.pc + 4;
+        benchmark::DoNotOptimize(bp.predictAndTrain(op));
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_BranchPredictor);
+
+void
+BM_OooCoreSimulation(benchmark::State &state)
+{
+    // Simulated instructions per second of the full 4-core model.
+    const auto &app = workload::cpuApp("water-sp");
+    for (auto _ : state) {
+        auto bundle = core::makeCpuConfig(core::CpuConfig::BaseCmos);
+        auto traces = workload::makeCpuWorkload(
+            app, bundle.numCores, 1, 0.05);
+        std::vector<cpu::TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        cpu::Multicore mc(bundle.sim, ptrs);
+        auto res = mc.run();
+        state.SetItemsProcessed(state.items_processed() +
+                                res.committedOps);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_OooCoreSimulation)->Unit(benchmark::kMillisecond);
+
+void
+BM_GpuSimulation(benchmark::State &state)
+{
+    const auto &prof = workload::gpuKernel("matrixmul");
+    for (auto _ : state) {
+        auto bundle = core::makeGpuConfig(core::GpuConfig::BaseCmos);
+        workload::SyntheticKernel kernel(prof, 1, 0.05);
+        gpu::Gpu gpu(bundle.sim);
+        auto res = gpu.run(kernel);
+        state.SetItemsProcessed(state.items_processed() +
+                                res.issuedOps);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+}
+BENCHMARK(BM_GpuSimulation)->Unit(benchmark::kMillisecond);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Table I: characteristics of CMOS and TFET technologies at 15nm.
+ *
+ * Prints the device database verbatim plus the derived ratios the
+ * architecture analysis uses (Section III).
+ */
+
+#include "common/table.hh"
+#include "device/technology.hh"
+
+using namespace hetsim;
+using device::Tech;
+
+int
+main()
+{
+    const Tech techs[] = {Tech::SiCmos, Tech::HetJTfet,
+                          Tech::InAsCmos, Tech::HomJTfet};
+
+    TablePrinter t("Table I: device characteristics at 15nm",
+                   {"parameter", "Si-CMOS", "HetJTFET", "InAs-CMOS",
+                    "HomJTFET"});
+
+    auto row = [&](const char *name, auto field, int prec) {
+        std::vector<std::string> cells = {name};
+        for (Tech tech : techs)
+            cells.push_back(
+                formatDouble(field(device::techParams(tech)), prec));
+        t.addRow(cells);
+    };
+
+    using P = device::TechParams;
+    row("Supply voltage (V)",
+        [](const P &p) { return p.supplyVoltage; }, 2);
+    row("Transistor switching delay (ps)",
+        [](const P &p) { return p.switchingDelayPs; }, 2);
+    row("Interconnect delay per transistor length (ps)",
+        [](const P &p) { return p.interconnectDelayPs; }, 2);
+    row("32bit ALU delay (ps)",
+        [](const P &p) { return p.aluDelayPs; }, 0);
+    row("Transistor switching energy (aJ)",
+        [](const P &p) { return p.switchingEnergyAj; }, 2);
+    row("Interconnect energy per transistor length (aJ)",
+        [](const P &p) { return p.interconnectEnergyAj; }, 2);
+    row("32bit ALU dynamic energy (fJ)",
+        [](const P &p) { return p.aluDynamicEnergyFj; }, 1);
+    row("32bit ALU leakage power (uW)",
+        [](const P &p) { return p.aluLeakagePowerUw; }, 2);
+    row("ALU power density (W/cm^2)",
+        [](const P &p) { return p.aluPowerDensity; }, 1);
+    t.print();
+    t.writeCsv("table1_devices.csv");
+
+    TablePrinter r("Derived ratios vs Si-CMOS (Section III)",
+                   {"ratio", "Si-CMOS", "HetJTFET", "InAs-CMOS",
+                    "HomJTFET"});
+    auto ratio_row = [&](const char *name, auto field) {
+        std::vector<std::string> cells = {name};
+        for (Tech tech : techs)
+            cells.push_back(
+                formatDouble(field(device::techRatios(tech)), 2));
+        r.addRow(cells);
+    };
+    using R = device::TechRatios;
+    ratio_row("switching delay",
+              [](const R &x) { return x.delayVsCmos; });
+    ratio_row("ALU dynamic energy",
+              [](const R &x) { return x.aluEnergyVsCmos; });
+    ratio_row("ALU leakage power",
+              [](const R &x) { return x.aluLeakageVsCmos; });
+    ratio_row("ALU power density",
+              [](const R &x) { return x.powerDensityVsCmos; });
+    r.print();
+    return 0;
+}

@@ -1,0 +1,125 @@
+/**
+ * @file
+ * Table III: parameters of the simulated architecture, printed from
+ * the live configuration structs (so the table can never drift from
+ * what the simulator actually runs).
+ */
+
+#include <string>
+
+#include "common/table.hh"
+#include "core/configs.hh"
+
+using namespace hetsim;
+
+int
+main()
+{
+    const core::CpuConfigBundle cmos =
+        core::makeCpuConfig(core::CpuConfig::BaseCmos);
+    const core::CpuConfigBundle het =
+        core::makeCpuConfig(core::CpuConfig::BaseHet);
+    const core::CpuConfigBundle adv =
+        core::makeCpuConfig(core::CpuConfig::AdvHet);
+    const core::GpuConfigBundle gpu =
+        core::makeGpuConfig(core::GpuConfig::AdvHet);
+
+    const auto &c = cmos.sim.core;
+    const auto &hfu = het.sim.core.fu.timings;
+    const auto &cfu = c.fu.timings;
+    const auto &cm = cmos.sim.mem;
+    const auto &hm = het.sim.mem;
+
+    auto cyc = [](uint32_t v) { return std::to_string(v); };
+
+    TablePrinter t("Table III: parameters of the simulated "
+                   "architecture",
+                   {"parameter", "value"});
+    t.addRow({"CPU hardware",
+              std::to_string(cmos.numCores) +
+                  " out-of-order cores, " +
+                  std::to_string(c.issueWidth) + "-issue each, " +
+                  formatDouble(cmos.freqGhz, 0) + "GHz"});
+    t.addRow({"INT/FP RF; ROB",
+              std::to_string(c.intRegs) + "/" +
+                  std::to_string(c.fpRegs) + " regs; " +
+                  std::to_string(c.robSize) + " entries"});
+    t.addRow({"Issue queue",
+              std::to_string(c.iqSize) + " entries"});
+    t.addRow({"Ld-St queue",
+              std::to_string(c.lsqSize) + " entries"});
+    t.addRow({"Branch prediction",
+              "Tournament: 2-level, " +
+                  std::to_string(c.bp.rasEntries) + "-entry RAS, " +
+                  std::to_string(c.bp.btbWays) + "way " +
+                  std::to_string(c.bp.btbEntries / 1024) +
+                  "K-entry BTB"});
+    t.addRow({std::to_string(c.fu.numAlus) + " ALU",
+              "CMOS: " + cyc(cfu.aluLat) + " cycle, TFET: " +
+                  cyc(hfu.aluLat) + " cycles"});
+    t.addRow({std::to_string(c.fu.numMulDiv) + " Int Mult/Div",
+              "CMOS: " + cyc(cfu.mulLat) + "/" + cyc(cfu.divLat) +
+                  " cycles, TFET: " + cyc(hfu.mulLat) + "/" +
+                  cyc(hfu.divLat) + " cycles"});
+    t.addRow({std::to_string(c.fu.numLsu) + " LSU",
+              cyc(cfu.lsuLat) + " cycle"});
+    t.addRow({std::to_string(c.fu.numFpu) + " FPU",
+              "CMOS: Add/Mult/Div " + cyc(cfu.fpAddLat) + "/" +
+                  cyc(cfu.fpMulLat) + "/" + cyc(cfu.fpDivLat) +
+                  " cycles; TFET: " + cyc(hfu.fpAddLat) + "/" +
+                  cyc(hfu.fpMulLat) + "/" + cyc(hfu.fpDivLat) +
+                  " cycles; Div issues every " +
+                  cyc(cfu.fpDivIssueInterval) + "/" +
+                  cyc(hfu.fpDivIssueInterval) + " cycles"});
+    t.addRow({"Private I-Cache",
+              std::to_string(cm.il1SizeBytes / 1024) + "KB, " +
+                  std::to_string(cm.il1Ways) +
+                  "way, 64B line, RT: " + cyc(cm.lat.il1Rt) +
+                  " cycles"});
+    t.addRow({"Asym. FastCache",
+              "4KB, 1way, WB, 64B line, RT: " +
+                  cyc(adv.sim.mem.lat.dl1FastRt) + " cycle"});
+    t.addRow({"Private D-Cache",
+              std::to_string(cm.dl1SizeBytes / 1024) + "KB, " +
+                  std::to_string(cm.dl1Ways) +
+                  "way, WB, 64B line, RT: " + cyc(cm.lat.dl1Rt) +
+                  " cycles (CMOS) or " + cyc(hm.lat.dl1Rt) +
+                  " cycles (TFET)"});
+    t.addRow({"Private L2",
+              std::to_string(cm.l2SizeBytes / 1024) + "KB, " +
+                  std::to_string(cm.l2Ways) +
+                  "way, WB, 64B line, RT: " + cyc(cm.lat.l2Rt) +
+                  " cycles (CMOS) or " + cyc(hm.lat.l2Rt) +
+                  " cycles (TFET)"});
+    t.addRow({"Shared L3",
+              "Per core: " +
+                  std::to_string(cm.l3SizePerCoreBytes /
+                                 (1024 * 1024)) +
+                  "MB, " + std::to_string(cm.l3Ways) +
+                  "way, WB, 64B line, RT: " + cyc(cm.lat.l3Rt) +
+                  " cycles (CMOS) or " + cyc(hm.lat.l3Rt) +
+                  " cycles (TFET)"});
+    t.addRow({"DRAM latency",
+              "RT: 50ns (" + cyc(cm.lat.dramRt) +
+                  " cycles at the design point)"});
+    t.addRow({"GPU hardware",
+              std::to_string(gpu.numCus) + " CUs with " +
+                  std::to_string(gpu.sim.cu.lanes) + " EUs each, " +
+                  formatDouble(gpu.freqGhz, 0) + "GHz"});
+    t.addRow({"FMA unit",
+              "CMOS: 3 cycles, TFET: " +
+                  cyc(gpu.sim.cu.timings.fmaLat) +
+                  " cycles, pipelined issue every cycle"});
+    t.addRow({"Vector registers",
+              "256 per thread, access: 1 cycle (CMOS) or " +
+                  cyc(gpu.sim.cu.timings.rfLat) +
+                  " cycles (TFET)"});
+    t.addRow({"Register file cache",
+              std::to_string(gpu.sim.cu.rfCacheEntries) +
+                  " entries per thread, access: " +
+                  cyc(gpu.sim.cu.timings.rfCacheLat) + " cycle"});
+    t.addRow({"Network", "Ring with MESI directory-based protocol"});
+    t.print();
+    t.writeCsv("table3_architecture.csv");
+    return 0;
+}

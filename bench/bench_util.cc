@@ -1,0 +1,187 @@
+#include "bench/bench_util.hh"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.hh"
+#include "workload/gpu_profiles.hh"
+
+namespace hetsim::bench
+{
+
+core::ExperimentOptions
+parseOptions(int argc, char **argv, double default_scale)
+{
+    core::ExperimentOptions opts;
+    opts.scale = default_scale;
+    if (argc > 1)
+        opts.scale = std::atof(argv[1]);
+    if (opts.scale <= 0.0)
+        fatal("scale must be positive, got '%s'", argv[1]);
+    const char *env = std::getenv("HETSIM_BENCH_SCALE");
+    if (env && argc <= 1)
+        opts.scale = std::atof(env);
+    return opts;
+}
+
+const core::CpuOutcome &
+CpuSuite::at(size_t cfg, size_t app) const
+{
+    return outcomes[cfg * apps.size() + app];
+}
+
+const core::CpuOutcome &
+CpuSuite::baseline(size_t app) const
+{
+    return at(0, app);
+}
+
+CpuSuite
+runCpuSuite(const std::vector<core::CpuConfig> &configs,
+            const core::ExperimentOptions &opts)
+{
+    CpuSuite suite;
+    suite.configs = configs;
+    suite.apps = workload::cpuApps();
+    suite.outcomes.reserve(configs.size() * suite.apps.size());
+    for (core::CpuConfig cfg : configs) {
+        std::fprintf(stderr, "  running %s...\n",
+                     core::cpuConfigName(cfg));
+        for (const workload::AppProfile &app : suite.apps)
+            suite.outcomes.push_back(
+                core::runCpuExperiment(cfg, app, opts));
+    }
+    return suite;
+}
+
+const core::GpuOutcome &
+GpuSuite::at(size_t cfg, size_t kernel) const
+{
+    return outcomes[cfg * kernels.size() + kernel];
+}
+
+const core::GpuOutcome &
+GpuSuite::baseline(size_t kernel) const
+{
+    return at(0, kernel);
+}
+
+GpuSuite
+runGpuSuite(const std::vector<core::GpuConfig> &configs,
+            const core::ExperimentOptions &opts)
+{
+    GpuSuite suite;
+    suite.configs = configs;
+    suite.kernels = workload::gpuKernels();
+    suite.outcomes.reserve(configs.size() * suite.kernels.size());
+    for (core::GpuConfig cfg : configs) {
+        std::fprintf(stderr, "  running %s...\n",
+                     core::gpuConfigName(cfg));
+        for (const workload::KernelProfile &k : suite.kernels)
+            suite.outcomes.push_back(
+                core::runGpuExperiment(cfg, k, opts));
+    }
+    return suite;
+}
+
+void
+printCpuFigure(const std::string &title, const CpuSuite &suite,
+               const CpuMetricFn &metric, const std::string &csv_path)
+{
+    std::vector<std::string> columns = {"app"};
+    for (core::CpuConfig cfg : suite.configs)
+        columns.push_back(core::cpuConfigName(cfg));
+    TablePrinter t(title, columns);
+
+    std::vector<double> sums(suite.configs.size(), 0.0);
+    for (size_t a = 0; a < suite.apps.size(); ++a) {
+        std::vector<double> row;
+        for (size_t c = 0; c < suite.configs.size(); ++c) {
+            const double v = metric(suite.at(c, a),
+                                    suite.baseline(a));
+            row.push_back(v);
+            sums[c] += v;
+        }
+        t.addRow(suite.apps[a].name, row);
+    }
+    std::vector<double> means;
+    for (double s : sums)
+        means.push_back(s / suite.apps.size());
+    t.addRow("Average", means);
+    t.print();
+    if (!csv_path.empty() && !t.writeCsv(csv_path))
+        warn("could not write %s", csv_path.c_str());
+}
+
+void
+printGpuFigure(const std::string &title, const GpuSuite &suite,
+               const GpuMetricFn &metric, const std::string &csv_path)
+{
+    std::vector<std::string> columns = {"kernel"};
+    for (core::GpuConfig cfg : suite.configs)
+        columns.push_back(core::gpuConfigName(cfg));
+    TablePrinter t(title, columns);
+
+    std::vector<double> sums(suite.configs.size(), 0.0);
+    for (size_t k = 0; k < suite.kernels.size(); ++k) {
+        std::vector<double> row;
+        for (size_t c = 0; c < suite.configs.size(); ++c) {
+            const double v = metric(suite.at(c, k),
+                                    suite.baseline(k));
+            row.push_back(v);
+            sums[c] += v;
+        }
+        t.addRow(suite.kernels[k].name, row);
+    }
+    std::vector<double> means;
+    for (double s : sums)
+        means.push_back(s / suite.kernels.size());
+    t.addRow("Average", means);
+    t.print();
+    if (!csv_path.empty() && !t.writeCsv(csv_path))
+        warn("could not write %s", csv_path.c_str());
+}
+
+double
+cpuNormTime(const core::CpuOutcome &r, const core::CpuOutcome &b)
+{
+    return r.metrics.seconds / b.metrics.seconds;
+}
+
+double
+cpuNormEnergy(const core::CpuOutcome &r, const core::CpuOutcome &b)
+{
+    return r.metrics.energyJ / b.metrics.energyJ;
+}
+
+double
+cpuNormEd(const core::CpuOutcome &r, const core::CpuOutcome &b)
+{
+    return r.metrics.edJs() / b.metrics.edJs();
+}
+
+double
+cpuNormEd2(const core::CpuOutcome &r, const core::CpuOutcome &b)
+{
+    return r.metrics.ed2Js2() / b.metrics.ed2Js2();
+}
+
+double
+gpuNormTime(const core::GpuOutcome &r, const core::GpuOutcome &b)
+{
+    return r.metrics.seconds / b.metrics.seconds;
+}
+
+double
+gpuNormEnergy(const core::GpuOutcome &r, const core::GpuOutcome &b)
+{
+    return r.metrics.energyJ / b.metrics.energyJ;
+}
+
+double
+gpuNormEd2(const core::GpuOutcome &r, const core::GpuOutcome &b)
+{
+    return r.metrics.ed2Js2() / b.metrics.ed2Js2();
+}
+
+} // namespace hetsim::bench

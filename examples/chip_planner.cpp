@@ -1,0 +1,78 @@
+/**
+ * @file
+ * Chip planner: automate the paper's headline construction.
+ *
+ * Given a workload and the power budget of a 4-core BaseCMOS chip,
+ * size every HetCore design to that budget (the generalization of
+ * AdvHet-2X) and rank the chips; then pick the ED^2-optimal DVFS
+ * point for the winner.
+ *
+ * Usage: chip_planner [app] [scale]
+ */
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/table.hh"
+#include "core/planner.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *app_name = argc > 1 ? argv[1] : "streamcluster";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    const workload::AppProfile &app = workload::cpuApp(app_name);
+
+    core::ExperimentOptions opts;
+    opts.scale = scale;
+
+    std::printf("Planning iso-power chips for '%s' against the "
+                "4-core BaseCMOS budget...\n",
+                app.name);
+
+    const std::vector<core::CpuConfig> candidates = {
+        core::CpuConfig::BaseCmos, core::CpuConfig::BaseTfet,
+        core::CpuConfig::BaseHet,  core::CpuConfig::AdvHet,
+    };
+    const auto plans = core::planIsoPower(core::CpuConfig::BaseCmos,
+                                          candidates, app, opts);
+
+    TablePrinter t("Iso-power chips on " + std::string(app.name) +
+                       " (best ED^2 first)",
+                   {"config", "cores", "time (ms)", "energy (mJ)",
+                    "power (W)", "ED^2 (J s^2)"});
+    for (const auto &p : plans) {
+        char ed2[32];
+        std::snprintf(ed2, sizeof(ed2), "%.3e",
+                      p.metrics.ed2Js2());
+        t.addRow({p.config, std::to_string(p.cores),
+                  formatDouble(p.metrics.seconds * 1e3, 3),
+                  formatDouble(p.metrics.energyJ * 1e3, 3),
+                  formatDouble(p.powerW, 2), ed2});
+    }
+    t.print();
+
+    std::printf("\nBest chip: %s with %u cores. Now picking its "
+                "ED^2-optimal frequency...\n",
+                plans.front().config.c_str(), plans.front().cores);
+
+    // Frequency selection for the winning single-chip design.
+    const core::FreqPlan fp = core::chooseFrequency(
+        core::CpuConfig::AdvHet, app, core::FreqObjective::MinEd2,
+        0.0, opts);
+    TablePrinter f("AdvHet DVFS sweep (MinED^2 objective)",
+                   {"f (GHz)", "time (ms)", "energy (mJ)",
+                    "ED^2 vs best"});
+    for (const auto &p : fp.sweep)
+        f.addRow({formatDouble(p.freqGhz, 2),
+                  formatDouble(p.metrics.seconds * 1e3, 3),
+                  formatDouble(p.metrics.energyJ * 1e3, 3),
+                  formatDouble(p.metrics.ed2Js2() /
+                                   fp.best.metrics.ed2Js2(), 3)});
+    f.print();
+    std::printf("\nED^2-optimal frequency: %.2f GHz\n",
+                fp.best.freqGhz);
+    return 0;
+}

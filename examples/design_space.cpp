@@ -1,0 +1,72 @@
+/**
+ * @file
+ * Design-space sweep: runs every Table IV CPU configuration on one
+ * application and ranks them by ED^2 — the "which design should I
+ * build?" view a downstream user wants from the library.
+ *
+ * Usage: design_space [app] [scale]
+ */
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *app_name = argc > 1 ? argv[1] : "fmm";
+    const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
+    const workload::AppProfile &app = workload::cpuApp(app_name);
+
+    core::ExperimentOptions opts;
+    opts.scale = scale;
+
+    std::printf("Sweeping all CPU configurations on '%s'...\n",
+                app.name);
+
+    const core::CpuOutcome base = core::runCpuExperiment(
+        core::CpuConfig::BaseCmos, app, opts);
+
+    struct Row
+    {
+        std::string name;
+        power::NormalizedMetrics norm;
+        uint32_t cores;
+    };
+    std::vector<Row> rows;
+    for (int i = 0; i < core::kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<core::CpuConfig>(i);
+        const core::CpuOutcome out =
+            cfg == core::CpuConfig::BaseCmos
+                ? base
+                : core::runCpuExperiment(cfg, app, opts);
+        rows.push_back({out.config,
+                        power::normalize(out.metrics, base.metrics),
+                        core::makeCpuConfig(cfg).numCores});
+    }
+    std::sort(rows.begin(), rows.end(),
+              [](const Row &a, const Row &b) {
+                  return a.norm.ed2 < b.norm.ed2;
+              });
+
+    TablePrinter t("Design space on " + std::string(app.name) +
+                       " (normalized to BaseCMOS, best ED^2 first)",
+                   {"config", "cores", "time", "energy", "ED",
+                    "ED^2"});
+    for (const Row &r : rows)
+        t.addRow({r.name, std::to_string(r.cores),
+                  formatDouble(r.norm.time),
+                  formatDouble(r.norm.energy),
+                  formatDouble(r.norm.ed),
+                  formatDouble(r.norm.ed2)});
+    t.print();
+
+    std::printf("\nBest ED^2: %s.\n", rows.front().name.c_str());
+    return 0;
+}

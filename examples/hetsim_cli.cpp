@@ -1,0 +1,251 @@
+/**
+ * @file
+ * hetsim_cli — the command-line front end to the library.
+ *
+ *   hetsim_cli list
+ *       Print every configuration, application, and GPU kernel.
+ *   hetsim_cli run --config AdvHet --app fft [--scale S] [--freq F]
+ *                  [--cores N] [--seed K] [--csv out.csv]
+ *       Simulate one CPU experiment and print its metrics.
+ *   hetsim_cli gpu --config AdvHet --kernel matrixmul [--scale S]
+ *       Simulate one GPU experiment.
+ *   hetsim_cli record --app fft [--thread T] [--threads N]
+ *                     [--scale S] [--max M] --out trace.bin
+ *       Record a synthetic trace to a binary file.
+ *   hetsim_cli replay --trace trace.bin [--config BaseCMOS]
+ *       Replay a recorded trace through a single core.
+ */
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "cpu/multicore.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/trace_file.hh"
+
+using namespace hetsim;
+
+namespace
+{
+
+/** Minimal --key value argument parser. */
+class Args
+{
+  public:
+    Args(int argc, char **argv, int first)
+    {
+        for (int i = first; i + 1 < argc; i += 2) {
+            if (std::strncmp(argv[i], "--", 2) != 0)
+                fatal("expected --option, got '%s'", argv[i]);
+            kv_[argv[i] + 2] = argv[i + 1];
+        }
+    }
+
+    std::string
+    get(const std::string &key, const std::string &dflt = "") const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? dflt : it->second;
+    }
+
+    double
+    getD(const std::string &key, double dflt) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end() ? dflt : std::atof(it->second.c_str());
+    }
+
+    uint64_t
+    getU(const std::string &key, uint64_t dflt) const
+    {
+        auto it = kv_.find(key);
+        return it == kv_.end()
+            ? dflt
+            : std::strtoull(it->second.c_str(), nullptr, 10);
+    }
+
+  private:
+    std::map<std::string, std::string> kv_;
+};
+
+core::CpuConfig
+cpuConfigByName(const std::string &name)
+{
+    for (int i = 0; i < core::kNumCpuConfigs; ++i) {
+        const auto c = static_cast<core::CpuConfig>(i);
+        if (name == core::cpuConfigName(c))
+            return c;
+    }
+    fatal("unknown CPU config '%s' (try 'hetsim_cli list')",
+          name.c_str());
+}
+
+core::GpuConfig
+gpuConfigByName(const std::string &name)
+{
+    for (int i = 0; i < core::kNumGpuConfigs; ++i) {
+        const auto c = static_cast<core::GpuConfig>(i);
+        if (name == core::gpuConfigName(c))
+            return c;
+    }
+    fatal("unknown GPU config '%s' (try 'hetsim_cli list')",
+          name.c_str());
+}
+
+int
+cmdList()
+{
+    std::printf("CPU configurations:\n ");
+    for (int i = 0; i < core::kNumCpuConfigs; ++i)
+        std::printf(" %s", core::cpuConfigName(
+                               static_cast<core::CpuConfig>(i)));
+    std::printf("\nGPU configurations:\n ");
+    for (int i = 0; i < core::kNumGpuConfigs; ++i)
+        std::printf(" %s", core::gpuConfigName(
+                               static_cast<core::GpuConfig>(i)));
+    std::printf("\nCPU applications:\n ");
+    for (const auto &app : workload::cpuApps())
+        std::printf(" %s", app.name);
+    std::printf("\nGPU kernels:\n ");
+    for (const auto &k : workload::gpuKernels())
+        std::printf(" %s", k.name);
+    std::printf("\n");
+    return 0;
+}
+
+int
+cmdRun(const Args &args)
+{
+    const auto cfg = cpuConfigByName(args.get("config", "BaseCMOS"));
+    const auto &app = workload::cpuApp(args.get("app", "fft"));
+    core::ExperimentOptions opts;
+    opts.scale = args.getD("scale", 1.0);
+    opts.freqGhz = args.getD("freq", 2.0);
+    opts.seed = args.getU("seed", 1);
+    opts.coresOverride =
+        static_cast<uint32_t>(args.getU("cores", 0));
+
+    const core::CpuOutcome out =
+        core::runCpuExperiment(cfg, app, opts);
+    TablePrinter t("hetsim run: " + out.config + " / " + out.app,
+                   {"metric", "value"});
+    t.addRow({"cycles", std::to_string(out.cycles)});
+    t.addRow({"committed ops", std::to_string(out.committedOps)});
+    t.addRow({"time (ms)",
+              formatDouble(out.metrics.seconds * 1e3, 4)});
+    t.addRow({"energy (mJ)",
+              formatDouble(out.metrics.energyJ * 1e3, 4)});
+    t.addRow({"power (W)", formatDouble(out.metrics.powerW(), 3)});
+    char ed2[32];
+    std::snprintf(ed2, sizeof(ed2), "%.3e", out.metrics.ed2Js2());
+    t.addRow({"ED^2 (J s^2)", ed2});
+    t.print();
+    const std::string csv = args.get("csv");
+    if (!csv.empty() && !t.writeCsv(csv))
+        fatal("cannot write '%s'", csv.c_str());
+    return 0;
+}
+
+int
+cmdGpu(const Args &args)
+{
+    const auto cfg = gpuConfigByName(args.get("config", "BaseCMOS"));
+    const auto &kernel =
+        workload::gpuKernel(args.get("kernel", "matrixmul"));
+    core::ExperimentOptions opts;
+    opts.scale = args.getD("scale", 1.0);
+    opts.seed = args.getU("seed", 1);
+
+    const core::GpuOutcome out =
+        core::runGpuExperiment(cfg, kernel, opts);
+    TablePrinter t("hetsim gpu: " + out.config + " / " + out.kernel,
+                   {"metric", "value"});
+    t.addRow({"cycles", std::to_string(out.cycles)});
+    t.addRow({"issued ops", std::to_string(out.issuedOps)});
+    t.addRow({"time (ms)",
+              formatDouble(out.metrics.seconds * 1e3, 4)});
+    t.addRow({"energy (mJ)",
+              formatDouble(out.metrics.energyJ * 1e3, 4)});
+    t.addRow({"power (W)", formatDouble(out.metrics.powerW(), 3)});
+    t.print();
+    return 0;
+}
+
+int
+cmdRecord(const Args &args)
+{
+    const auto &app = workload::cpuApp(args.get("app", "fft"));
+    const std::string out_path = args.get("out");
+    if (out_path.empty())
+        fatal("record needs --out <file>");
+    const uint32_t threads =
+        static_cast<uint32_t>(args.getU("threads", 4));
+    const uint32_t thread =
+        static_cast<uint32_t>(args.getU("thread", 0));
+    workload::SyntheticCpuTrace src(app, thread, threads,
+                                    args.getU("seed", 1),
+                                    args.getD("scale", 1.0));
+    const uint64_t n = workload::recordTrace(
+        src, out_path, args.getU("max", ~0ull));
+    std::printf("recorded %llu ops of %s (thread %u/%u) to %s\n",
+                static_cast<unsigned long long>(n), app.name, thread,
+                threads, out_path.c_str());
+    return 0;
+}
+
+int
+cmdReplay(const Args &args)
+{
+    const std::string path = args.get("trace");
+    if (path.empty())
+        fatal("replay needs --trace <file>");
+    const auto cfg = cpuConfigByName(args.get("config", "BaseCMOS"));
+    const core::CpuConfigBundle bundle = core::makeCpuConfig(cfg);
+
+    workload::FileTrace trace(path);
+    cpu::MulticoreParams sim = bundle.sim;
+    sim.mem.numCores = 1;
+    cpu::Multicore mc(sim, {&trace});
+    const cpu::MulticoreResult run = mc.run();
+    std::printf("replayed %llu ops from %s on one %s core: "
+                "%llu cycles (%.4f ms, IPC %.2f)\n",
+                static_cast<unsigned long long>(run.committedOps),
+                path.c_str(), core::cpuConfigName(cfg),
+                static_cast<unsigned long long>(run.cycles),
+                run.seconds * 1e3,
+                static_cast<double>(run.committedOps) / run.cycles);
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char **argv)
+{
+    if (argc < 2) {
+        std::fprintf(stderr,
+                     "usage: hetsim_cli "
+                     "{list|run|gpu|record|replay} [--opt value]...\n"
+                     "see the file header for details\n");
+        return 1;
+    }
+    const std::string cmd = argv[1];
+    const Args args(argc, argv, 2);
+    if (cmd == "list")
+        return cmdList();
+    if (cmd == "run")
+        return cmdRun(args);
+    if (cmd == "gpu")
+        return cmdGpu(args);
+    if (cmd == "record")
+        return cmdRecord(args);
+    if (cmd == "replay")
+        return cmdReplay(args);
+    fatal("unknown command '%s'", cmd.c_str());
+}

@@ -1,0 +1,158 @@
+/**
+ * @file
+ * Model inspection: per-unit energy breakdown and microarchitecture
+ * rates for one (configuration, application) pair.
+ *
+ * Useful to understand where time and energy go before/after moving
+ * units to TFET — the same analysis the paper's Figure 8 aggregates.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "core/configs.hh"
+#include "core/dvfs.hh"
+#include "cpu/multicore.hh"
+#include "power/accountant.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/cpu_trace_gen.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *app_name = argc > 1 ? argv[1] : "fft";
+    const std::string cfg_name = argc > 2 ? argv[2] : "BaseCMOS";
+    const double scale = argc > 3 ? std::atof(argv[3]) : 0.5;
+    const bool dump_stats =
+        argc > 4 && std::string(argv[4]) == "stats";
+
+    core::CpuConfig cfg = core::CpuConfig::BaseCmos;
+    for (int i = 0; i < core::kNumCpuConfigs; ++i) {
+        const auto c = static_cast<core::CpuConfig>(i);
+        if (cfg_name == core::cpuConfigName(c))
+            cfg = c;
+    }
+
+    const workload::AppProfile &app = workload::cpuApp(app_name);
+    core::CpuConfigBundle bundle = makeCpuConfig(cfg);
+
+    auto traces = workload::makeCpuWorkload(app, bundle.numCores, 1,
+                                            scale);
+    std::vector<cpu::TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+
+    cpu::Multicore mc(bundle.sim, ptrs);
+    cpu::MulticoreResult run = mc.run();
+
+    power::CpuActivity activity = run.activity;
+    if (bundle.sim.core.fu.dualSpeedAlu) {
+        uint64_t fast = 0;
+        for (uint32_t c = 0; c < mc.numCores(); ++c)
+            fast += mc.core(c).fuPool().stats().value("fast_alu_ops");
+        activity[static_cast<int>(power::CpuUnit::Alu)] -= fast;
+        activity[static_cast<int>(power::CpuUnit::AluFast)] += fast;
+    }
+
+    const power::EnergyBreakdown e = power::computeCpuEnergy(
+        activity, bundle.units, run.seconds, bundle.numCores);
+
+    // --- Microarchitecture rates ---------------------------------
+    std::printf("config=%s app=%s cores=%u freq=%.2fGHz\n",
+                core::cpuConfigName(cfg), app.name, bundle.numCores,
+                bundle.freqGhz);
+    std::printf("cycles=%llu ops=%llu IPC/core=%.2f time=%.3fms\n",
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<unsigned long long>(run.committedOps),
+                static_cast<double>(run.committedOps) / run.cycles /
+                    bundle.numCores,
+                run.seconds * 1e3);
+
+    uint64_t br_lookups = 0, br_misp = 0;
+    for (uint32_t c = 0; c < mc.numCores(); ++c) {
+        const auto &bs = mc.core(c).branchPredictor().stats();
+        br_lookups += bs.value("lookups");
+        br_misp += bs.value("mispredictions");
+    }
+    std::printf("branch mispredict rate=%.2f%% (MPKI=%.1f)\n",
+                100.0 * br_misp / std::max<uint64_t>(br_lookups, 1),
+                1000.0 * br_misp /
+                    std::max<uint64_t>(run.committedOps, 1));
+
+    auto &h = mc.hierarchy();
+    uint64_t d_acc = 0, d_hit = 0, d_fast = 0, l2_acc = 0, l2_hit = 0;
+    for (uint32_t c = 0; c < mc.numCores(); ++c) {
+        d_acc += h.dl1(c).stats().value("accesses");
+        d_hit += h.dl1(c).stats().value("hits");
+        d_fast += h.dl1(c).stats().value("fast_hits");
+        l2_acc += h.l2(c).stats().value("accesses");
+        l2_hit += h.l2(c).stats().value("hits");
+    }
+    const auto &l3s = h.l3().stats();
+    std::printf("DL1 hit=%.1f%% (fast=%.1f%%)  L2 hit=%.1f%%  "
+                "L3 hit=%.1f%%  DRAM reads=%llu\n",
+                100.0 * d_hit / std::max<uint64_t>(d_acc, 1),
+                100.0 * d_fast / std::max<uint64_t>(d_acc, 1),
+                100.0 * l2_hit / std::max<uint64_t>(l2_acc, 1),
+                100.0 * l3s.value("hits") /
+                    std::max<uint64_t>(l3s.value("accesses"), 1),
+                static_cast<unsigned long long>(
+                    h.dram().stats().value("reads")));
+
+    // --- Energy breakdown ----------------------------------------
+    const double total = e.totalJ();
+    TablePrinter t("Per-unit energy breakdown (" + cfg_name + ", " +
+                       app_name + ")",
+                   {"unit", "dynamic(uJ)", "leakage(uJ)", "%total"});
+    for (int i = 0; i < power::kNumCpuUnits; ++i) {
+        const auto &up =
+            power::cpuUnitPower(static_cast<power::CpuUnit>(i));
+        t.addRow({up.name, formatDouble(e.dynamicJ[i] * 1e6, 2),
+                  formatDouble(e.leakageJ[i] * 1e6, 2),
+                  formatDouble(100.0 *
+                                   (e.dynamicJ[i] + e.leakageJ[i]) /
+                                   total, 1)});
+    }
+    t.addRow({"TOTAL", formatDouble(e.totalDynamicJ() * 1e6, 2),
+              formatDouble(e.totalLeakageJ() * 1e6, 2), "100.0"});
+    t.print();
+
+    auto dyn = [&](power::CpuUnit u) {
+        return e.dynamicJ[static_cast<int>(u)];
+    };
+    auto leak = [&](power::CpuUnit u) {
+        return e.leakageJ[static_cast<int>(u)];
+    };
+    using power::CpuUnit;
+    const double conv_dyn = dyn(CpuUnit::Alu) + dyn(CpuUnit::MulDiv) +
+        dyn(CpuUnit::Fpu) + dyn(CpuUnit::Dl1) + dyn(CpuUnit::L2) +
+        dyn(CpuUnit::L3);
+    const double conv_leak = leak(CpuUnit::Alu) +
+        leak(CpuUnit::MulDiv) + leak(CpuUnit::Fpu) +
+        leak(CpuUnit::Dl1) + leak(CpuUnit::L2) + leak(CpuUnit::L3);
+    std::printf("\nleakage share=%.1f%%  converted-unit dynamic "
+                "fraction=%.1f%%  converted-unit leakage "
+                "fraction=%.1f%%\n",
+                100.0 * e.totalLeakageJ() / total,
+                100.0 * conv_dyn / e.totalDynamicJ(),
+                100.0 * conv_leak / e.totalLeakageJ());
+
+    if (dump_stats) {
+        std::printf("\n-- raw simulator statistics --\n");
+        for (uint32_t c = 0; c < mc.numCores(); ++c) {
+            mc.core(c).stats().dump();
+            mc.core(c).branchPredictor().stats().dump();
+            mc.core(c).fuPool().stats().dump();
+            h.dl1(c).stats().dump();
+            h.l2(c).stats().dump();
+        }
+        h.l3().stats().dump();
+        h.dram().stats().dump();
+        h.ring().stats().dump();
+        h.stats().dump();
+    }
+    return 0;
+}

@@ -1,0 +1,81 @@
+/**
+ * @file
+ * GPU model inspection: per-unit energy breakdown and utilization for
+ * one (configuration, kernel) pair.
+ */
+
+#include <cstdio>
+#include <string>
+
+#include "common/table.hh"
+#include "core/configs.hh"
+#include "gpu/gpu.hh"
+#include "power/accountant.hh"
+#include "workload/gpu_kernel_gen.hh"
+#include "workload/gpu_profiles.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *kernel_name = argc > 1 ? argv[1] : "matrixmul";
+    const std::string cfg_name = argc > 2 ? argv[2] : "BaseCMOS";
+    const double scale = argc > 3 ? std::atof(argv[3]) : 1.0;
+
+    core::GpuConfig cfg = core::GpuConfig::BaseCmos;
+    for (int i = 0; i < core::kNumGpuConfigs; ++i) {
+        const auto c = static_cast<core::GpuConfig>(i);
+        if (cfg_name == core::gpuConfigName(c))
+            cfg = c;
+    }
+
+    const workload::KernelProfile &prof =
+        workload::gpuKernel(kernel_name);
+    core::GpuConfigBundle bundle = makeGpuConfig(cfg);
+
+    workload::SyntheticKernel kernel(prof, 1, scale);
+    gpu::Gpu gpu(bundle.sim);
+    gpu::GpuResult run = gpu.run(kernel);
+
+    const power::EnergyBreakdown e = power::computeGpuEnergy(
+        run.activity, bundle.units, run.seconds, bundle.numCus);
+
+    std::printf("config=%s kernel=%s cus=%u freq=%.2fGHz\n",
+                core::gpuConfigName(cfg), prof.name, bundle.numCus,
+                bundle.freqGhz);
+    std::printf("cycles=%llu ops=%llu ops/CU/cycle=%.3f "
+                "time=%.3fms\n",
+                static_cast<unsigned long long>(run.cycles),
+                static_cast<unsigned long long>(run.issuedOps),
+                static_cast<double>(run.issuedOps) / run.cycles /
+                    bundle.numCus,
+                run.seconds * 1e3);
+
+    uint64_t rf_hits = 0, rf_misses = 0;
+    for (uint32_t c = 0; c < gpu.numCus(); ++c) {
+        rf_hits += gpu.cu(c).stats().value("rf_cache_read_hits");
+        rf_misses += gpu.cu(c).stats().value("rf_cache_read_misses");
+    }
+    if (rf_hits + rf_misses > 0)
+        std::printf("RF cache read hit rate=%.1f%%\n",
+                    100.0 * rf_hits / (rf_hits + rf_misses));
+
+    const double total = e.totalJ();
+    TablePrinter t("Per-unit GPU energy (" + cfg_name + ", " +
+                       kernel_name + ")",
+                   {"unit", "dynamic(uJ)", "leakage(uJ)", "%total"});
+    for (int i = 0; i < power::kNumGpuUnits; ++i) {
+        const auto &up =
+            power::gpuUnitPower(static_cast<power::GpuUnit>(i));
+        t.addRow({up.name, formatDouble(e.dynamicJ[i] * 1e6, 2),
+                  formatDouble(e.leakageJ[i] * 1e6, 2),
+                  formatDouble(100.0 *
+                                   (e.dynamicJ[i] + e.leakageJ[i]) /
+                                   total, 1)});
+    }
+    t.addRow({"TOTAL", formatDouble(e.totalDynamicJ() * 1e6, 2),
+              formatDouble(e.totalLeakageJ() * 1e6, 2), "100.0"});
+    t.print();
+    return 0;
+}

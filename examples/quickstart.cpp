@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Quickstart: compare the AdvHet hetero-device CPU against the
+ * all-CMOS baseline on one application.
+ *
+ * Demonstrates the three-step public API:
+ *   1. pick an application profile (workload::cpuApp),
+ *   2. run a configuration on it (core::runCpuExperiment),
+ *   3. normalize and inspect metrics (power::normalize).
+ */
+
+#include <cstdio>
+
+#include "common/table.hh"
+#include "core/experiment.hh"
+#include "power/metrics.hh"
+#include "workload/cpu_profiles.hh"
+
+using namespace hetsim;
+
+int
+main(int argc, char **argv)
+{
+    const char *app_name = argc > 1 ? argv[1] : "fft";
+    const workload::AppProfile &app = workload::cpuApp(app_name);
+
+    core::ExperimentOptions opts; // full-size run (a few seconds)
+
+    std::printf("Simulating '%s' (%s suite) on 4 cores...\n",
+                app.name, app.suite);
+
+    const core::CpuOutcome base =
+        runCpuExperiment(core::CpuConfig::BaseCmos, app, opts);
+    const core::CpuOutcome adv =
+        runCpuExperiment(core::CpuConfig::AdvHet, app, opts);
+
+    const power::NormalizedMetrics n =
+        power::normalize(adv.metrics, base.metrics);
+
+    TablePrinter t("AdvHet vs BaseCMOS on " + std::string(app.name),
+                   {"metric", "BaseCMOS", "AdvHet", "AdvHet/Base"});
+    t.addRow({"cycles", std::to_string(base.cycles),
+              std::to_string(adv.cycles), formatDouble(
+                  static_cast<double>(adv.cycles) / base.cycles)});
+    t.addRow({"time (ms)", formatDouble(base.metrics.seconds * 1e3),
+              formatDouble(adv.metrics.seconds * 1e3),
+              formatDouble(n.time)});
+    t.addRow({"energy (mJ)", formatDouble(base.metrics.energyJ * 1e3),
+              formatDouble(adv.metrics.energyJ * 1e3),
+              formatDouble(n.energy)});
+    t.addRow({"ED^2 (norm)", "1.000", formatDouble(n.ed2),
+              formatDouble(n.ed2)});
+    t.print();
+
+    std::printf("\nAdvHet: %.1f%% %s, %.1f%% less energy than "
+                "BaseCMOS.\n",
+                100.0 * std::abs(n.time - 1.0),
+                n.time >= 1.0 ? "slower" : "faster",
+                100.0 * (1.0 - n.energy));
+    return 0;
+}

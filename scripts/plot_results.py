@@ -1,0 +1,99 @@
+#!/usr/bin/env python3
+"""Plot the CSV mirrors the bench binaries produce.
+
+Usage:
+    scripts/plot_results.py [csv ...]
+
+With no arguments, plots every fig*.csv in the current directory.
+Each CSV's first column is the category axis (app/kernel/parameter);
+the remaining columns become grouped bars (or lines for the device
+sweeps). Requires matplotlib; prints a table fallback without it.
+"""
+
+import csv
+import glob
+import os
+import sys
+
+
+def load(path):
+    with open(path, newline="") as f:
+        rows = list(csv.reader(f))
+    header, body = rows[0], rows[1:]
+    return header, body
+
+
+def is_numeric(value):
+    try:
+        float(value)
+        return True
+    except ValueError:
+        return False
+
+
+def plot_one(path, plt):
+    header, body = load(path)
+    labels = [r[0] for r in body]
+    series = header[1:]
+    numeric_rows = [r for r in body if all(is_numeric(v)
+                                           for v in r[1:])]
+    if not numeric_rows:
+        print(f"{path}: no numeric data, skipping")
+        return
+    labels = [r[0] for r in numeric_rows]
+    values = [[float(v) for v in r[1:]] for r in numeric_rows]
+
+    fig, ax = plt.subplots(figsize=(max(6, len(labels) * 0.9), 4))
+    sweep = "iv_curves" in path or "vf_curves" in path or \
+        "activity" in path
+    if sweep:
+        xs = [float(r[0].split("/")[-1]) if "/" in r[0]
+              else float(r[0]) for r in numeric_rows]
+        for i, name in enumerate(series):
+            ax.plot(xs, [v[i] for v in values], marker="o",
+                    label=name)
+        if "iv" in path or "activity" in path:
+            ax.set_yscale("log")
+    else:
+        width = 0.8 / len(series)
+        for i, name in enumerate(series):
+            xs = [j + i * width for j in range(len(labels))]
+            ax.bar(xs, [v[i] for v in values], width, label=name)
+        ax.set_xticks([j + 0.4 - width / 2
+                       for j in range(len(labels))])
+        ax.set_xticklabels(labels, rotation=45, ha="right",
+                           fontsize=8)
+    ax.set_title(os.path.basename(path))
+    ax.legend(fontsize=7)
+    fig.tight_layout()
+    out = os.path.splitext(path)[0] + ".png"
+    fig.savefig(out, dpi=150)
+    print(f"wrote {out}")
+
+
+def main():
+    paths = sys.argv[1:] or sorted(glob.glob("fig*.csv") +
+                                   glob.glob("ext_*.csv"))
+    if not paths:
+        print("no CSVs found; run the bench binaries first")
+        return 1
+    try:
+        import matplotlib
+        matplotlib.use("Agg")
+        import matplotlib.pyplot as plt
+    except ImportError:
+        print("matplotlib unavailable; printing tables instead\n")
+        for p in paths:
+            header, body = load(p)
+            print(f"== {p}")
+            print("  " + ", ".join(header))
+            for r in body:
+                print("  " + ", ".join(r))
+        return 0
+    for p in paths:
+        plot_one(p, plt)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

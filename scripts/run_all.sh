@@ -1,0 +1,13 @@
+#!/bin/sh
+# Build, test, and regenerate every paper artifact.
+# Usage: scripts/run_all.sh [scale]
+set -e
+SCALE=${1:-1.0}
+cmake -B build -G Ninja
+cmake --build build
+ctest --test-dir build --output-on-failure
+for b in build/bench/bench_table* build/bench/bench_fig* \
+         build/bench/bench_ext*; do
+    echo "##### $(basename "$b")"
+    "$b" "$SCALE"
+done

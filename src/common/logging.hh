@@ -1,0 +1,50 @@
+/**
+ * @file
+ * Error and status reporting, modeled on gem5's logging conventions.
+ *
+ * fatal()  — the run cannot continue because of a user/config error.
+ * panic()  — an internal invariant was violated (a hetsim bug); aborts.
+ * warn()   — something questionable happened but the run continues.
+ * inform() — plain status output.
+ */
+
+#ifndef HETSIM_COMMON_LOGGING_HH
+#define HETSIM_COMMON_LOGGING_HH
+
+#include <cstdarg>
+#include <string>
+
+namespace hetsim
+{
+
+/** Print an error message and exit(1). For configuration/user errors. */
+[[noreturn]] void fatal(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print an error message and abort(). For internal invariant failures. */
+[[noreturn]] void panic(const char *fmt, ...)
+    __attribute__((format(printf, 1, 2)));
+
+/** Print a warning to stderr; the run continues. */
+void warn(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Print an informational message to stderr. */
+void inform(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+/** Implementation hook for hetsim_assert; prefer the macro. */
+[[noreturn]] void panicAssert(const char *cond, const char *file, int line,
+                              const char *fmt, ...)
+    __attribute__((format(printf, 4, 5)));
+
+/** panic() unless the condition holds. */
+#define hetsim_assert(cond, ...)                                            \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::hetsim::panicAssert(#cond, __FILE__, __LINE__,                \
+                                  __VA_ARGS__);                             \
+        }                                                                   \
+    } while (0)
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_LOGGING_HH

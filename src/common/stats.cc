@@ -1,0 +1,99 @@
+#include "common/stats.hh"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace hetsim
+{
+
+void
+Distribution::sample(double x)
+{
+    if (count_ == 0) {
+        min_ = max_ = x;
+    } else {
+        min_ = std::min(min_, x);
+        max_ = std::max(max_, x);
+    }
+    ++count_;
+    const double delta = x - mean_;
+    mean_ += delta / count_;
+    m2_ += delta * (x - mean_);
+}
+
+double
+Distribution::stddev() const
+{
+    return std::sqrt(variance());
+}
+
+void
+Distribution::reset()
+{
+    count_ = 0;
+    min_ = max_ = mean_ = m2_ = 0.0;
+}
+
+Counter &
+StatGroup::counter(const std::string &name)
+{
+    return counters_[name];
+}
+
+uint64_t
+StatGroup::value(const std::string &name) const
+{
+    auto it = counters_.find(name);
+    return it == counters_.end() ? 0 : it->second.value();
+}
+
+std::vector<std::pair<std::string, uint64_t>>
+StatGroup::snapshot() const
+{
+    std::vector<std::pair<std::string, uint64_t>> out;
+    out.reserve(counters_.size());
+    for (const auto &[name, ctr] : counters_)
+        out.emplace_back(name, ctr.value());
+    return out;
+}
+
+void
+StatGroup::dump() const
+{
+    std::printf("%s:\n", name_.c_str());
+    for (const auto &[name, ctr] : counters_)
+        std::printf("  %-28s %llu\n", name.c_str(),
+                    static_cast<unsigned long long>(ctr.value()));
+}
+
+void
+StatGroup::reset()
+{
+    for (auto &[name, ctr] : counters_)
+        ctr.reset();
+}
+
+double
+arithmeticMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double sum = 0.0;
+    for (double x : xs)
+        sum += x;
+    return sum / xs.size();
+}
+
+double
+geometricMean(const std::vector<double> &xs)
+{
+    if (xs.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double x : xs)
+        log_sum += std::log(x);
+    return std::exp(log_sum / xs.size());
+}
+
+} // namespace hetsim

@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Lightweight statistics primitives used throughout hetsim.
+ *
+ * Counters are plain named uint64 event counts; Distribution tracks
+ * min/max/mean/stddev of a stream; StatGroup is a registry that can dump
+ * all of its children in a stable order. Means across benchmarks follow
+ * the paper's convention (arithmetic mean of normalized values).
+ */
+
+#ifndef HETSIM_COMMON_STATS_HH
+#define HETSIM_COMMON_STATS_HH
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+/** A named monotonically increasing event counter. */
+class Counter
+{
+  public:
+    Counter() = default;
+
+    Counter &
+    operator++()
+    {
+        ++value_;
+        return *this;
+    }
+
+    Counter &
+    operator+=(uint64_t n)
+    {
+        value_ += n;
+        return *this;
+    }
+
+    uint64_t value() const { return value_; }
+    void reset() { value_ = 0; }
+
+  private:
+    uint64_t value_ = 0;
+};
+
+/** Streaming min/max/mean/variance tracker (Welford's algorithm). */
+class Distribution
+{
+  public:
+    /** Record one sample. */
+    void sample(double x);
+
+    uint64_t count() const { return count_; }
+    double min() const { return count_ ? min_ : 0.0; }
+    double max() const { return count_ ? max_ : 0.0; }
+    double mean() const { return count_ ? mean_ : 0.0; }
+
+    /** Population variance. */
+    double variance() const { return count_ ? m2_ / count_ : 0.0; }
+    double stddev() const;
+
+    void reset();
+
+  private:
+    uint64_t count_ = 0;
+    double min_ = 0.0;
+    double max_ = 0.0;
+    double mean_ = 0.0;
+    double m2_ = 0.0;
+};
+
+/**
+ * A registry of named counters for one simulated component.
+ *
+ * Components hold a StatGroup by value and create counters through it;
+ * the experiment runner dumps groups after a run.
+ */
+class StatGroup
+{
+  public:
+    explicit StatGroup(std::string name) : name_(std::move(name)) {}
+
+    /** Get or create the counter with the given name. */
+    Counter &counter(const std::string &name);
+
+    /** Value of a counter, 0 if it was never created. */
+    uint64_t value(const std::string &name) const;
+
+    const std::string &name() const { return name_; }
+
+    /** Stable (sorted by name) snapshot of all counters. */
+    std::vector<std::pair<std::string, uint64_t>> snapshot() const;
+
+    /** Print every counter to stdout (debug observability). */
+    void dump() const;
+
+    /** Reset every counter to zero. */
+    void reset();
+
+  private:
+    std::string name_;
+    std::map<std::string, Counter> counters_;
+};
+
+/** Arithmetic mean of a vector; 0 for an empty vector. */
+double arithmeticMean(const std::vector<double> &xs);
+
+/** Geometric mean of a vector of positive values; 0 for empty. */
+double geometricMean(const std::vector<double> &xs);
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_STATS_HH

@@ -1,0 +1,99 @@
+#include "common/table.hh"
+
+#include <cstdio>
+#include <fstream>
+
+#include "common/logging.hh"
+
+namespace hetsim
+{
+
+std::string
+formatDouble(double v, int precision)
+{
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, v);
+    return buf;
+}
+
+TablePrinter::TablePrinter(std::string title,
+                           std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns))
+{
+    hetsim_assert(!columns_.empty(), "table needs at least one column");
+}
+
+void
+TablePrinter::addRow(std::vector<std::string> cells)
+{
+    hetsim_assert(cells.size() == columns_.size(),
+                  "row has %zu cells, table has %zu columns",
+                  cells.size(), columns_.size());
+    rows_.push_back(std::move(cells));
+}
+
+void
+TablePrinter::addRow(const std::string &label,
+                     const std::vector<double> &cells, int precision)
+{
+    std::vector<std::string> row;
+    row.reserve(cells.size() + 1);
+    row.push_back(label);
+    for (double v : cells)
+        row.push_back(formatDouble(v, precision));
+    addRow(std::move(row));
+}
+
+void
+TablePrinter::print() const
+{
+    std::vector<size_t> widths(columns_.size());
+    for (size_t c = 0; c < columns_.size(); ++c)
+        widths[c] = columns_[c].size();
+    for (const auto &row : rows_)
+        for (size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+
+    std::printf("\n== %s ==\n", title_.c_str());
+    auto print_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c == 0)
+                std::printf("%-*s", static_cast<int>(widths[c] + 2),
+                            row[c].c_str());
+            else
+                std::printf("%*s", static_cast<int>(widths[c] + 2),
+                            row[c].c_str());
+        }
+        std::printf("\n");
+    };
+    print_row(columns_);
+    size_t total = 0;
+    for (size_t w : widths)
+        total += w + 2;
+    std::printf("%s\n", std::string(total, '-').c_str());
+    for (const auto &row : rows_)
+        print_row(row);
+    std::fflush(stdout);
+}
+
+bool
+TablePrinter::writeCsv(const std::string &path) const
+{
+    std::ofstream out(path);
+    if (!out)
+        return false;
+    auto write_row = [&](const std::vector<std::string> &row) {
+        for (size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                out << ',';
+            out << row[c];
+        }
+        out << '\n';
+    };
+    write_row(columns_);
+    for (const auto &row : rows_)
+        write_row(row);
+    return static_cast<bool>(out);
+}
+
+} // namespace hetsim

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Console table and CSV formatting for benchmark harness output.
+ *
+ * Every bench binary prints its figure/table through TablePrinter so the
+ * output format is uniform: a title, a header row, aligned columns, and
+ * an optional trailing mean row, plus an optional CSV mirror on disk.
+ */
+
+#ifndef HETSIM_COMMON_TABLE_HH
+#define HETSIM_COMMON_TABLE_HH
+
+#include <string>
+#include <vector>
+
+namespace hetsim
+{
+
+/** An aligned console table with optional CSV export. */
+class TablePrinter
+{
+  public:
+    /**
+     * @param title   Caption printed above the table.
+     * @param columns Header labels; the first column is left-aligned,
+     *                the rest right-aligned.
+     */
+    TablePrinter(std::string title, std::vector<std::string> columns);
+
+    /** Append a fully formatted row (must match the column count). */
+    void addRow(std::vector<std::string> cells);
+
+    /** Convenience: label plus numeric cells formatted at a precision. */
+    void addRow(const std::string &label, const std::vector<double> &cells,
+                int precision = 3);
+
+    /** Render to stdout. */
+    void print() const;
+
+    /** Write a CSV mirror of the table. Returns false on I/O failure. */
+    bool writeCsv(const std::string &path) const;
+
+    size_t rowCount() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> columns_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/** Format a double with fixed precision (helper for bench output). */
+std::string formatDouble(double v, int precision = 3);
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_TABLE_HH

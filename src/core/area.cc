@@ -1,0 +1,115 @@
+#include "core/area.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hetsim::core
+{
+
+using power::CpuUnit;
+
+double
+cpuUnitAreaMm2(CpuUnit u)
+{
+    // Representative 15nm areas per instance (per core for private
+    // units, per slice for the L3).
+    switch (u) {
+      case CpuUnit::Frontend:
+        return 0.30;
+      case CpuUnit::Rename:
+        return 0.06;
+      case CpuUnit::Rob:
+        return 0.10;
+      case CpuUnit::IssueQueue:
+        return 0.10;
+      case CpuUnit::Lsq:
+        return 0.06;
+      case CpuUnit::IntRf:
+        return 0.05;
+      case CpuUnit::FpRf:
+        return 0.05;
+      case CpuUnit::Alu:
+        return 0.12; // all four ALUs
+      case CpuUnit::AluFast:
+        return 0.0;  // one of the four, already counted
+      case CpuUnit::MulDiv:
+        return 0.08;
+      case CpuUnit::Fpu:
+        return 0.35; // both FPUs
+      case CpuUnit::Il1:
+        return 0.07;
+      case CpuUnit::Dl1:
+        return 0.08;
+      case CpuUnit::Dl1Fast:
+        return 0.01; // the extra 4 KB fast array
+      case CpuUnit::L2:
+        return 0.35; // 256 KB
+      case CpuUnit::L3:
+        return 1.80; // 2 MB slice
+      case CpuUnit::Noc:
+        return 0.10;
+      default:
+        panic("unknown unit %d", static_cast<int>(u));
+    }
+}
+
+double
+coreTileAreaMm2(const CpuConfigBundle &bundle)
+{
+    double core = 0.0;
+    bool any_tfet = false;
+    bool all_tfet = true;
+    for (int i = 0; i < power::kNumCpuUnits; ++i) {
+        const auto u = static_cast<CpuUnit>(i);
+        if (u == CpuUnit::L3 || u == CpuUnit::Noc)
+            continue;
+        double a = cpuUnitAreaMm2(u);
+        // SRAM/array area scales with capacity.
+        a *= bundle.units[i].sizeScale;
+        // The asymmetric fast array only exists when configured.
+        if (u == CpuUnit::Dl1Fast && !bundle.sim.mem.asymDl1)
+            a = 0.0;
+        core += a;
+        const bool tfet =
+            bundle.units[i].dev == power::DeviceClass::Tfet;
+        any_tfet = any_tfet || tfet;
+        all_tfet = all_tfet && tfet;
+    }
+    // A mixed-device core pays for the second supply rail; a pure
+    // CMOS or pure TFET core does not.
+    if (any_tfet && !all_tfet)
+        core *= kDualRailAreaFactor;
+    return core;
+}
+
+double
+chipAreaMm2(const CpuConfigBundle &bundle)
+{
+    const double tiles = bundle.numCores * coreTileAreaMm2(bundle);
+    const double l3 = bundle.numCores *
+        cpuUnitAreaMm2(CpuUnit::L3) *
+        bundle.units[static_cast<int>(CpuUnit::L3)].sizeScale;
+    const double noc =
+        bundle.numCores * cpuUnitAreaMm2(CpuUnit::Noc);
+    return tiles + l3 + noc;
+}
+
+double
+chipAreaMm2(CpuConfig cfg)
+{
+    return chipAreaMm2(makeCpuConfig(cfg));
+}
+
+uint32_t
+coresWithinArea(double budget_mm2, double reserved_mm2,
+                double tile_mm2)
+{
+    hetsim_assert(tile_mm2 > 0.0, "tile area must be positive");
+    const double avail = budget_mm2 - reserved_mm2;
+    if (avail < tile_mm2)
+        return 1;
+    return static_cast<uint32_t>(std::floor(avail / tile_mm2));
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Area model (Section III-F of the paper).
+ *
+ * At the 15nm node, vertical HetJTFET standard cells occupy roughly
+ * the same area as FinFET cells (Kim et al., cited by the paper), so
+ * moving a unit to TFET is area-neutral. What does cost area:
+ *
+ *  - the dual V_dd rails of a hetero-device core: ~5% of core area;
+ *  - the asymmetric DL1's extra 4 KB fast array;
+ *  - the AdvHet ROB (160->192) and FP RF (80->128) resizing;
+ *  - SRAM growing linearly with capacity.
+ *
+ * The model supports the iso-area comparisons of Section VIII: how
+ * many pure-TFET cores fit in the area of an AdvHet chip.
+ */
+
+#ifndef HETSIM_CORE_AREA_HH
+#define HETSIM_CORE_AREA_HH
+
+#include "core/configs.hh"
+#include "power/unit_catalog.hh"
+
+namespace hetsim::core
+{
+
+/** Baseline area of one CPU unit instance (mm^2 at 15nm). */
+double cpuUnitAreaMm2(power::CpuUnit u);
+
+/** Dual-rail routing overhead on hetero-device cores (Section V-B). */
+constexpr double kDualRailAreaFactor = 1.05;
+
+/** Area of one core tile (core logic + L1s + private L2) under a
+ *  configuration, including resizing and dual-rail overheads. */
+double coreTileAreaMm2(const CpuConfigBundle &bundle);
+
+/** Area of the whole chip: core tiles + shared L3 slices + ring. */
+double chipAreaMm2(const CpuConfigBundle &bundle);
+
+/** Area of the whole chip for a named configuration. */
+double chipAreaMm2(CpuConfig cfg);
+
+/**
+ * Iso-area core budget: how many cores of per-tile area `tile_mm2`
+ * fit in `budget_mm2` after reserving `reserved_mm2` (e.g. the L3).
+ */
+uint32_t coresWithinArea(double budget_mm2, double reserved_mm2,
+                         double tile_mm2);
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_AREA_HH

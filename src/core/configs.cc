@@ -1,0 +1,374 @@
+#include "core/configs.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::core
+{
+
+using power::CpuUnit;
+using power::DeviceClass;
+using power::GpuUnit;
+
+namespace
+{
+
+constexpr double kDramNs = 50.0; ///< Table III DRAM round trip.
+
+/** Larger ROB (160 -> 192) and FP RF (80 -> 128) of the Enh designs. */
+constexpr uint32_t kEnhRob = 192;
+constexpr uint32_t kEnhFpRf = 128;
+constexpr double kRobSizeScale = 192.0 / 160.0;
+constexpr double kFpRfSizeScale = 128.0 / 80.0;
+
+void
+setUnit(power::CpuUnitConfigs &u, CpuUnit unit, DeviceClass dev)
+{
+    u[static_cast<int>(unit)].dev = dev;
+}
+
+/** Apply the TFET latencies of Table III to the FU timings. */
+void
+tfetFuTimings(cpu::FuTimings &t)
+{
+    t.aluLat = 2;
+    t.mulLat = 4;
+    t.divLat = 8;
+    t.divIssueInterval = 8;
+    t.fpAddLat = 4;
+    t.fpMulLat = 8;
+    t.fpDivLat = 16;
+    t.fpDivIssueInterval = 16;
+}
+
+/** Apply the TFET cache latencies of Table III. */
+void
+tfetCacheLatencies(mem::LevelLatencies &l)
+{
+    l.dl1Rt = 4;
+    l.l2Rt = 12;
+    l.l3Rt = 40;
+}
+
+/** Mark FPUs, ALUs (incl. mult/div), DL1, L2, and L3 as TFET in the
+ *  energy model (the BaseHet assignment). */
+void
+baseHetUnits(power::CpuUnitConfigs &u)
+{
+    setUnit(u, CpuUnit::Alu, DeviceClass::Tfet);
+    setUnit(u, CpuUnit::MulDiv, DeviceClass::Tfet);
+    setUnit(u, CpuUnit::Fpu, DeviceClass::Tfet);
+    setUnit(u, CpuUnit::Dl1, DeviceClass::Tfet);
+    setUnit(u, CpuUnit::L2, DeviceClass::Tfet);
+    setUnit(u, CpuUnit::L3, DeviceClass::Tfet);
+}
+
+/** Enlarge ROB and FP RF (simulation + energy model). */
+void
+applyEnh(CpuConfigBundle &b)
+{
+    b.sim.core.robSize = kEnhRob;
+    b.sim.core.fpRegs = kEnhFpRf;
+    b.units[static_cast<int>(CpuUnit::Rob)].sizeScale = kRobSizeScale;
+    b.units[static_cast<int>(CpuUnit::FpRf)].sizeScale =
+        kFpRfSizeScale;
+}
+
+/** Dual-speed ALU cluster: 1 CMOS + 3 TFET ALUs with dispatch-stage
+ *  steering (simulation + energy split). */
+void
+applyDualSpeedAlu(CpuConfigBundle &b)
+{
+    b.sim.core.fu.dualSpeedAlu = true;
+    b.sim.core.fu.numFastAlus = 1;
+    b.sim.core.fu.fastAluLat = 1;
+    b.sim.core.steerDependents = true;
+    auto &alu = b.units[static_cast<int>(CpuUnit::Alu)];
+    auto &fast = b.units[static_cast<int>(CpuUnit::AluFast)];
+    alu.leakOnlyScale = 0.75;  // 3 of 4 ALUs
+    fast.dev = DeviceClass::Cmos;
+    fast.leakOnlyScale = 0.25; // the CMOS ALU
+}
+
+/** Asymmetric DL1: way 0 in CMOS with the given fast/slow round
+ *  trips; the fast way is a 4 KB direct-mapped array. */
+void
+applyAsymDl1(CpuConfigBundle &b, uint32_t fast_rt, uint32_t slow_rt,
+             DeviceClass slow_dev)
+{
+    b.sim.mem.asymDl1 = true;
+    b.sim.mem.lat.dl1FastRt = fast_rt;
+    b.sim.mem.lat.dl1Rt = slow_rt;
+    auto &fast = b.units[static_cast<int>(CpuUnit::Dl1Fast)];
+    auto &slow = b.units[static_cast<int>(CpuUnit::Dl1)];
+    fast.dev = DeviceClass::Cmos;
+    slow.dev = slow_dev;
+    slow.leakOnlyScale = 7.0 / 8.0; // 7 of 8 ways stay in the array
+    // The Dl1Fast catalog entry already models the 4 KB fast array.
+    fast.leakOnlyScale = 1.0;
+}
+
+} // namespace
+
+const char *
+cpuConfigName(CpuConfig c)
+{
+    switch (c) {
+      case CpuConfig::BaseCmos:
+        return "BaseCMOS";
+      case CpuConfig::BaseCmosEnh:
+        return "BaseCMOS-Enh";
+      case CpuConfig::BaseTfet:
+        return "BaseTFET";
+      case CpuConfig::BaseHet:
+        return "BaseHet";
+      case CpuConfig::AdvHet:
+        return "AdvHet";
+      case CpuConfig::BaseL3:
+        return "BaseL3";
+      case CpuConfig::BaseHighVt:
+        return "BaseHighVt";
+      case CpuConfig::BaseHetFastAlu:
+        return "BaseHet-FastALU";
+      case CpuConfig::BaseHetEnh:
+        return "BaseHet-Enh";
+      case CpuConfig::BaseHetSplit:
+        return "BaseHet-Split";
+      case CpuConfig::AdvHet2X:
+        return "AdvHet-2X";
+      default:
+        return "?";
+    }
+}
+
+const char *
+gpuConfigName(GpuConfig c)
+{
+    switch (c) {
+      case GpuConfig::BaseCmos:
+        return "BaseCMOS";
+      case GpuConfig::BaseTfet:
+        return "BaseTFET";
+      case GpuConfig::BaseHet:
+        return "BaseHet";
+      case GpuConfig::AdvHet:
+        return "AdvHet";
+      case GpuConfig::AdvHet2X:
+        return "AdvHet-2X";
+      default:
+        return "?";
+    }
+}
+
+CpuConfigBundle
+makeCpuConfig(CpuConfig cfg, double freq_ghz)
+{
+    CpuConfigBundle b;
+    b.freqGhz = freq_ghz;
+    b.numCores = 4;
+
+    // Zero out the fast-way and fast-ALU units by default; configs
+    // that use them restore their leakage share.
+    b.units[static_cast<int>(CpuUnit::Dl1Fast)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(CpuUnit::AluFast)].leakOnlyScale = 0.0;
+
+    switch (cfg) {
+      case CpuConfig::BaseCmos:
+        break;
+
+      case CpuConfig::BaseCmosEnh:
+        applyEnh(b);
+        // CMOS asymmetric DL1: 1 cycle fast way, 3 cycles the rest.
+        applyAsymDl1(b, 1, 3, DeviceClass::Cmos);
+        break;
+
+      case CpuConfig::BaseTfet:
+        // A pure TFET core needs no deeper pipelining: it halves the
+        // clock instead, so per-cycle latencies match BaseCMOS.
+        b.freqGhz = freq_ghz / 2.0;
+        for (auto &u : b.units)
+            u.dev = DeviceClass::Tfet;
+        break;
+
+      case CpuConfig::BaseHet:
+        tfetFuTimings(b.sim.core.fu.timings);
+        tfetCacheLatencies(b.sim.mem.lat);
+        baseHetUnits(b.units);
+        break;
+
+      case CpuConfig::AdvHet:
+      case CpuConfig::AdvHet2X:
+        tfetFuTimings(b.sim.core.fu.timings);
+        tfetCacheLatencies(b.sim.mem.lat);
+        baseHetUnits(b.units);
+        applyEnh(b);
+        applyDualSpeedAlu(b);
+        // TFET asymmetric DL1: 1-cycle CMOS way, 5-cycle TFET ways.
+        applyAsymDl1(b, 1, 5, DeviceClass::Tfet);
+        if (cfg == CpuConfig::AdvHet2X)
+            b.numCores = 8;
+        break;
+
+      case CpuConfig::BaseL3:
+        applyEnh(b);
+        b.sim.mem.lat.l3Rt = 40;
+        setUnit(b.units, CpuUnit::L3, DeviceClass::Tfet);
+        break;
+
+      case CpuConfig::BaseHighVt:
+      {
+        // All-high-V_t FPUs and ALUs: 1.4-1.6x slower, 10x less leaky.
+        cpu::FuTimings &t = b.sim.core.fu.timings;
+        t.aluLat = 2;
+        t.mulLat = 3;
+        t.divLat = 6;
+        t.divIssueInterval = 6;
+        t.fpAddLat = 3;
+        t.fpMulLat = 6;
+        t.fpDivLat = 12;
+        t.fpDivIssueInterval = 12;
+        setUnit(b.units, CpuUnit::Alu, DeviceClass::HighVt);
+        setUnit(b.units, CpuUnit::MulDiv, DeviceClass::HighVt);
+        setUnit(b.units, CpuUnit::Fpu, DeviceClass::HighVt);
+        break;
+      }
+
+      case CpuConfig::BaseHetFastAlu:
+        tfetFuTimings(b.sim.core.fu.timings);
+        tfetCacheLatencies(b.sim.mem.lat);
+        baseHetUnits(b.units);
+        // Put all ALUs (and int mult/div) back in CMOS.
+        b.sim.core.fu.timings.aluLat = 1;
+        b.sim.core.fu.timings.mulLat = 2;
+        b.sim.core.fu.timings.divLat = 4;
+        b.sim.core.fu.timings.divIssueInterval = 4;
+        setUnit(b.units, CpuUnit::Alu, DeviceClass::Cmos);
+        setUnit(b.units, CpuUnit::MulDiv, DeviceClass::Cmos);
+        break;
+
+      case CpuConfig::BaseHetEnh:
+        tfetFuTimings(b.sim.core.fu.timings);
+        tfetCacheLatencies(b.sim.mem.lat);
+        baseHetUnits(b.units);
+        applyEnh(b);
+        break;
+
+      case CpuConfig::BaseHetSplit:
+        tfetFuTimings(b.sim.core.fu.timings);
+        tfetCacheLatencies(b.sim.mem.lat);
+        baseHetUnits(b.units);
+        applyEnh(b);
+        applyDualSpeedAlu(b);
+        break;
+
+      default:
+        fatal("unknown CPU config %d", static_cast<int>(cfg));
+    }
+
+    b.sim.mem.numCores = b.numCores;
+    b.sim.freqGhz = b.freqGhz;
+    // Memory latency is configured in cycles at the *design-point*
+    // frequency (Multi2Sim style): the all-TFET core at half clock
+    // keeps the same cycle latency, reproducing the paper's "~2x
+    // slower" BaseTFET result.
+    b.sim.mem.lat.dramRt =
+        static_cast<uint32_t>(kDramNs * freq_ghz + 0.5);
+    return b;
+}
+
+GpuConfigBundle
+makeGpuConfig(GpuConfig cfg, double freq_ghz)
+{
+    GpuConfigBundle b;
+    b.freqGhz = freq_ghz;
+    b.numCus = 8;
+    b.units[static_cast<int>(GpuUnit::RfCache)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(GpuUnit::VectorRfFast)].leakOnlyScale =
+        0.0;
+
+    auto enable_rf_cache = [&]() {
+        b.sim.cu.timings.useRfCache = true;
+        b.units[static_cast<int>(GpuUnit::RfCache)].leakOnlyScale =
+            1.0;
+    };
+    auto het_units = [&]() {
+        b.units[static_cast<int>(GpuUnit::SimdFma)].dev =
+            DeviceClass::Tfet;
+        b.units[static_cast<int>(GpuUnit::VectorRf)].dev =
+            DeviceClass::Tfet;
+        b.sim.cu.timings.fmaLat = 6;
+        b.sim.cu.timings.rfLat = 2;
+    };
+
+    switch (cfg) {
+      case GpuConfig::BaseCmos:
+        // For fairness the baseline includes the RF cache too.
+        enable_rf_cache();
+        break;
+
+      case GpuConfig::BaseTfet:
+        b.freqGhz = freq_ghz / 2.0;
+        for (auto &u : b.units)
+            u.dev = DeviceClass::Tfet;
+        break;
+
+      case GpuConfig::BaseHet:
+        het_units();
+        break;
+
+      case GpuConfig::AdvHet:
+        het_units();
+        enable_rf_cache();
+        break;
+
+      case GpuConfig::AdvHet2X:
+        het_units();
+        enable_rf_cache();
+        b.numCus = 16;
+        break;
+
+      default:
+        fatal("unknown GPU config %d", static_cast<int>(cfg));
+    }
+
+    b.sim.numCus = b.numCus;
+    b.sim.freqGhz = b.freqGhz;
+    // Memory latency in design-point cycles (same methodology as the
+    // CPU configurations).
+    b.sim.dramRt = static_cast<uint32_t>(100.0 * freq_ghz + 0.5);
+    return b;
+}
+
+const std::vector<CpuConfig> &
+figure7Configs()
+{
+    static const std::vector<CpuConfig> v = {
+        CpuConfig::BaseCmos, CpuConfig::BaseCmosEnh,
+        CpuConfig::BaseTfet, CpuConfig::BaseHet, CpuConfig::AdvHet,
+        CpuConfig::AdvHet2X,
+    };
+    return v;
+}
+
+const std::vector<CpuConfig> &
+figure13Configs()
+{
+    static const std::vector<CpuConfig> v = {
+        CpuConfig::BaseCmos, CpuConfig::BaseL3,
+        CpuConfig::BaseHighVt, CpuConfig::BaseHetFastAlu,
+        CpuConfig::BaseHet, CpuConfig::BaseHetEnh,
+        CpuConfig::BaseHetSplit, CpuConfig::AdvHet,
+    };
+    return v;
+}
+
+const std::vector<GpuConfig> &
+figure10Configs()
+{
+    static const std::vector<GpuConfig> v = {
+        GpuConfig::BaseCmos, GpuConfig::BaseTfet, GpuConfig::BaseHet,
+        GpuConfig::AdvHet, GpuConfig::AdvHet2X,
+    };
+    return v;
+}
+
+} // namespace hetsim::core

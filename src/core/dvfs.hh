@@ -1,0 +1,48 @@
+/**
+ * @file
+ * DVFS operating points for the hetero-device core (Section III-D).
+ *
+ * HetCore keeps one clock; scaling it requires a *pair* of voltages,
+ * one per device domain, read off each technology's V-f curve. The
+ * TFET domain additionally carries the fixed 40 mV guardband that buys
+ * back the multi-V_dd stage-delay overheads (Section V-B). Process
+ * variation adds further guardbands (+120 mV CMOS / +70 mV TFET at
+ * 15nm, Section VII-D). Energy scales with V^2 per domain and leakage
+ * approximately 2x per 100 mV.
+ */
+
+#ifndef HETSIM_CORE_DVFS_HH
+#define HETSIM_CORE_DVFS_HH
+
+#include "power/accountant.hh"
+
+namespace hetsim::core
+{
+
+/** One chip-wide operating point. */
+struct OperatingPoint
+{
+    double freqGhz = 2.0;
+    double vCmos = 0.73;  ///< CMOS domain supply (V).
+    double vTfet = 0.44;  ///< TFET domain supply incl. guardband (V).
+    /** Energy-model scaling vs the 2 GHz nominal point. */
+    power::VoltageScales scales;
+};
+
+/** Nominal operating voltages at the 2 GHz design point. */
+constexpr double kNominalVCmos = 0.73;
+constexpr double kNominalVTfet = 0.44; ///< 0.40 V + 40 mV guardband.
+
+/**
+ * Solve the voltage pair for a target core frequency using the
+ * Figure 3 curves, and derive the energy scales.
+ * Fatal if the TFET curve saturates below the target.
+ */
+OperatingPoint cpuOperatingPoint(double freq_ghz);
+
+/** Add the 15nm process-variation guardbands on top of a point. */
+OperatingPoint withVariationGuardband(const OperatingPoint &base);
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_DVFS_HH

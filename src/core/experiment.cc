@@ -1,0 +1,120 @@
+#include "core/experiment.hh"
+
+#include <memory>
+
+#include "common/logging.hh"
+#include "cpu/multicore.hh"
+#include "gpu/gpu.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/gpu_kernel_gen.hh"
+
+namespace hetsim::core
+{
+
+using power::CpuUnit;
+
+CpuOutcome
+runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
+                 const ExperimentOptions &opts)
+{
+    CpuConfigBundle bundle = makeCpuConfig(cfg, opts.freqGhz);
+    if (opts.coresOverride > 0) {
+        bundle.numCores = opts.coresOverride;
+        bundle.sim.mem.numCores = opts.coresOverride;
+    }
+
+    auto traces = workload::makeCpuWorkload(app, bundle.numCores,
+                                            opts.seed, opts.scale);
+    std::vector<cpu::TraceSource *> ptrs;
+    ptrs.reserve(traces.size());
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+
+    cpu::Multicore mc(bundle.sim, ptrs);
+    cpu::MulticoreResult run = mc.run();
+
+    // Split ALU activity between the clusters of a dual-speed design.
+    power::CpuActivity activity = run.activity;
+    if (bundle.sim.core.fu.dualSpeedAlu) {
+        uint64_t fast_ops = 0;
+        for (uint32_t c = 0; c < mc.numCores(); ++c)
+            fast_ops +=
+                mc.core(c).fuPool().stats().value("fast_alu_ops");
+        const int alu = static_cast<int>(CpuUnit::Alu);
+        const int fast = static_cast<int>(CpuUnit::AluFast);
+        hetsim_assert(activity[alu] >= fast_ops,
+                      "fast ALU ops exceed total ALU ops");
+        activity[alu] -= fast_ops;
+        activity[fast] += fast_ops;
+    }
+
+    // Operating point: the voltage pair for this frequency, plus
+    // optional process-variation guardbands.
+    OperatingPoint op = cpuOperatingPoint(opts.freqGhz);
+    if (opts.variationGuardband)
+        op = withVariationGuardband(op);
+
+    CpuOutcome out;
+    out.config = cpuConfigName(cfg);
+    out.app = app.name;
+    out.cycles = run.cycles;
+    out.committedOps = run.committedOps;
+    out.energy = power::computeCpuEnergy(activity, bundle.units,
+                                         run.seconds, bundle.numCores,
+                                         op.scales);
+    out.metrics.seconds = run.seconds;
+    out.metrics.energyJ = out.energy.totalJ();
+    return out;
+}
+
+GpuOutcome
+runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
+                 const ExperimentOptions &opts)
+{
+    // The GPU design point is half the CPU frequency (1 GHz at the
+    // paper's 2 GHz CPU point).
+    GpuConfigBundle bundle = makeGpuConfig(cfg, opts.freqGhz / 2.0);
+
+    workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
+    gpu::Gpu gpu(bundle.sim);
+    gpu::GpuResult run = gpu.run(k);
+
+    GpuOutcome out;
+    out.config = gpuConfigName(cfg);
+    out.kernel = kernel.name;
+    out.cycles = run.cycles;
+    out.issuedOps = run.issuedOps;
+    out.energy = power::computeGpuEnergy(run.activity, bundle.units,
+                                         run.seconds, bundle.numCus);
+    out.metrics.seconds = run.seconds;
+    out.metrics.energyJ = out.energy.totalJ();
+    return out;
+}
+
+std::vector<CpuOutcome>
+runCpuSuite(const std::vector<CpuConfig> &cfgs,
+            const std::vector<workload::AppProfile> &apps,
+            const ExperimentOptions &opts)
+{
+    std::vector<CpuOutcome> out;
+    out.reserve(cfgs.size() * apps.size());
+    for (CpuConfig cfg : cfgs)
+        for (const workload::AppProfile &app : apps)
+            out.push_back(runCpuExperiment(cfg, app, opts));
+    return out;
+}
+
+std::vector<GpuOutcome>
+runGpuSuite(const std::vector<GpuConfig> &cfgs,
+            const std::vector<workload::KernelProfile> &kernels,
+            const ExperimentOptions &opts)
+{
+    std::vector<GpuOutcome> out;
+    out.reserve(cfgs.size() * kernels.size());
+    for (GpuConfig cfg : cfgs)
+        for (const workload::KernelProfile &k : kernels)
+            out.push_back(runGpuExperiment(cfg, k, opts));
+    return out;
+}
+
+} // namespace hetsim::core

@@ -1,0 +1,82 @@
+/**
+ * @file
+ * Experiment runner: one (configuration, application) simulation plus
+ * energy accounting, and suite helpers used by the bench harnesses.
+ */
+
+#ifndef HETSIM_CORE_EXPERIMENT_HH
+#define HETSIM_CORE_EXPERIMENT_HH
+
+#include <string>
+#include <vector>
+
+#include "core/configs.hh"
+#include "core/dvfs.hh"
+#include "power/metrics.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/gpu_profiles.hh"
+
+namespace hetsim::core
+{
+
+/** Options shared by all experiments. */
+struct ExperimentOptions
+{
+    uint64_t seed = 1;
+    double scale = 1.0;      ///< Workload size multiplier.
+    double freqGhz = 2.0;    ///< CPU design point (GPU uses half).
+    bool variationGuardband = false; ///< Figure 14 guardbands.
+    /** Override the configuration's core count (0 = default); used
+     *  by the iso-power planner. */
+    uint32_t coresOverride = 0;
+};
+
+/** Outcome of one (config, app) run. */
+struct CpuOutcome
+{
+    std::string config;
+    std::string app;
+    uint64_t cycles = 0;
+    uint64_t committedOps = 0;
+    power::RunMetrics metrics;
+    power::EnergyBreakdown energy;
+};
+
+/** Outcome of one (config, kernel) run. */
+struct GpuOutcome
+{
+    std::string config;
+    std::string kernel;
+    uint64_t cycles = 0;
+    uint64_t issuedOps = 0;
+    power::RunMetrics metrics;
+    power::EnergyBreakdown energy;
+};
+
+/** Simulate one CPU configuration on one application. */
+CpuOutcome runCpuExperiment(CpuConfig cfg,
+                            const workload::AppProfile &app,
+                            const ExperimentOptions &opts = {});
+
+/** Simulate one GPU configuration on one kernel. */
+GpuOutcome runGpuExperiment(GpuConfig cfg,
+                            const workload::KernelProfile &kernel,
+                            const ExperimentOptions &opts = {});
+
+/**
+ * Run a config x app matrix. Results are indexed
+ * [config_index * num_apps + app_index].
+ */
+std::vector<CpuOutcome>
+runCpuSuite(const std::vector<CpuConfig> &cfgs,
+            const std::vector<workload::AppProfile> &apps,
+            const ExperimentOptions &opts = {});
+
+std::vector<GpuOutcome>
+runGpuSuite(const std::vector<GpuConfig> &cfgs,
+            const std::vector<workload::KernelProfile> &kernels,
+            const ExperimentOptions &opts = {});
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_EXPERIMENT_HH

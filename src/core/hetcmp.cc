@@ -1,0 +1,177 @@
+#include "core/hetcmp.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "core/area.hh"
+#include "cpu/multicore.hh"
+#include "workload/cpu_trace_gen.hh"
+
+namespace hetsim::core
+{
+
+using power::CpuUnit;
+
+namespace
+{
+
+/** Double every latency of a pure-TFET core so that, expressed in
+ *  2 GHz chip cycles, it behaves like a 1 GHz core whose per-core
+ *  latencies match BaseCMOS. */
+cpu::CoreParams
+tfetCoreChipCycles(const cpu::CoreParams &base)
+{
+    cpu::CoreParams p = base;
+    cpu::FuTimings &t = p.fu.timings;
+    t.aluLat *= 2;
+    t.mulLat *= 2;
+    t.divLat *= 2;
+    t.divIssueInterval *= 2;
+    t.fpAddLat *= 2;
+    t.fpMulLat *= 2;
+    t.fpDivLat *= 2;
+    t.fpDivIssueInterval *= 2;
+    t.lsuLat *= 2;
+    p.frontendDepth *= 2;
+    return p;
+}
+
+mem::LevelLatencies
+tfetMemChipCycles(const mem::LevelLatencies &base)
+{
+    mem::LevelLatencies l = base;
+    l.il1Rt *= 2;
+    l.dl1FastRt *= 2;
+    l.dl1Rt *= 2;
+    l.l2Rt *= 2;
+    l.l3Rt *= 2;
+    l.remoteProbeRt *= 2;
+    // DRAM is wall-clock: 50 ns is 100 chip cycles either way.
+    return l;
+}
+
+} // namespace
+
+HetCmpShape
+hetCmpIsoAreaShape(uint32_t cmos_cores)
+{
+    HetCmpShape shape;
+    shape.cmosCores = cmos_cores;
+
+    const CpuConfigBundle adv = makeCpuConfig(CpuConfig::AdvHet);
+    const CpuConfigBundle cmos = makeCpuConfig(CpuConfig::BaseCmos);
+    const CpuConfigBundle tfet = makeCpuConfig(CpuConfig::BaseTfet);
+
+    shape.budgetAreaMm2 = chipAreaMm2(adv);
+    // Keep the AdvHet chip's shared L3 + ring area reserved.
+    const double l3_noc = shape.budgetAreaMm2 -
+        adv.numCores * coreTileAreaMm2(adv);
+    const double cmos_tile = coreTileAreaMm2(cmos);
+    const double tfet_tile = coreTileAreaMm2(tfet);
+    const double reserved = l3_noc + cmos_cores * cmos_tile;
+    shape.tfetCores = coresWithinArea(shape.budgetAreaMm2, reserved,
+                                      tfet_tile);
+    // The hierarchy supports up to 32 cores.
+    shape.tfetCores =
+        std::min(shape.tfetCores, 32u - shape.cmosCores);
+    shape.chipAreaMm2 = l3_noc + cmos_cores * cmos_tile +
+        shape.tfetCores * tfet_tile;
+    return shape;
+}
+
+HetCmpOutcome
+runHetCmpExperiment(const workload::AppProfile &app,
+                    const ExperimentOptions &opts)
+{
+    const HetCmpShape shape = hetCmpIsoAreaShape();
+    const uint32_t n = shape.cmosCores + shape.tfetCores;
+
+    // Build the chip: CMOS cores first (thread 0 and the serial
+    // sections land there), then half-frequency TFET cores.
+    const CpuConfigBundle cmos_bundle =
+        makeCpuConfig(CpuConfig::BaseCmos, opts.freqGhz);
+    cpu::MulticoreParams sim = cmos_bundle.sim;
+    sim.mem.numCores = n;
+    // Keep the AdvHet chip's total L3 capacity (iso-area), rounded
+    // down to a 64 KB multiple per slice so any core count divides
+    // cleanly into sets.
+    sim.mem.l3SizePerCoreBytes =
+        (cmos_bundle.sim.mem.l3SizePerCoreBytes *
+         cmos_bundle.numCores / n) & ~(64u * 1024u - 1u);
+    sim.mem.l3SizePerCoreBytes =
+        std::max(sim.mem.l3SizePerCoreBytes, 256u * 1024u);
+
+    const cpu::CoreParams tfet_core =
+        tfetCoreChipCycles(cmos_bundle.sim.core);
+    const mem::LevelLatencies tfet_lat =
+        tfetMemChipCycles(cmos_bundle.sim.mem.lat);
+    for (uint32_t c = 0; c < n; ++c) {
+        const bool is_cmos = c < shape.cmosCores;
+        sim.coreSpecs.push_back(
+            {is_cmos ? cmos_bundle.sim.core : tfet_core,
+             is_cmos ? 1u : 2u});
+        sim.mem.perCoreLat.push_back(
+            is_cmos ? cmos_bundle.sim.mem.lat : tfet_lat);
+    }
+
+    // Ideal barrier-aware migration: split parallel work by core
+    // speed so all threads arrive at barriers together.
+    std::vector<double> weights(n, 1.0);
+    for (uint32_t c = 0; c < shape.cmosCores; ++c)
+        weights[c] = 2.0;
+    auto traces = workload::makeWeightedCpuWorkload(
+        app, weights, opts.seed, opts.scale);
+    std::vector<cpu::TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+
+    cpu::Multicore mc(sim, ptrs);
+    const cpu::MulticoreResult run = mc.run();
+
+    // Energy: the CMOS cores use the BaseCMOS unit assignment, the
+    // TFET cores the all-TFET one; the shared L3/ring stays CMOS
+    // with the AdvHet chip's four slices.
+    const CpuConfigBundle tfet_bundle =
+        makeCpuConfig(CpuConfig::BaseTfet, opts.freqGhz);
+    power::CpuActivity cmos_act{}, tfet_act{};
+    for (uint32_t c = 0; c < n; ++c) {
+        const power::CpuActivity a = mc.coreActivity(c);
+        auto &dst = c < shape.cmosCores ? cmos_act : tfet_act;
+        for (int i = 0; i < power::kNumCpuUnits; ++i)
+            dst[i] += a[i];
+    }
+
+    const power::EnergyBreakdown cmos_e = power::computeCpuEnergy(
+        cmos_act, cmos_bundle.units, run.seconds, shape.cmosCores);
+    const power::EnergyBreakdown tfet_e = power::computeCpuEnergy(
+        tfet_act, tfet_bundle.units, run.seconds, shape.tfetCores);
+    const power::EnergyBreakdown shared_e = power::computeCpuEnergy(
+        mc.sharedActivity(), cmos_bundle.units, run.seconds,
+        cmos_bundle.numCores);
+
+    HetCmpOutcome out;
+    out.shape = shape;
+    out.cycles = run.cycles;
+    out.committedOps = run.committedOps;
+    out.metrics.seconds = run.seconds;
+    // Subtract the idle-chip L3 leakage double-count: shared_e was
+    // computed with zero core activity but carries core leakage for
+    // 4 cores; keep only its L3/Noc share.
+    const int l3 = static_cast<int>(CpuUnit::L3);
+    const int noc = static_cast<int>(CpuUnit::Noc);
+    const double shared_j = shared_e.dynamicJ[l3] +
+        shared_e.leakageJ[l3] + shared_e.dynamicJ[noc] +
+        shared_e.leakageJ[noc];
+    // Core groups likewise only contribute their non-shared units.
+    auto group_j = [&](const power::EnergyBreakdown &e) {
+        double sum = e.totalJ();
+        sum -= e.dynamicJ[l3] + e.leakageJ[l3];
+        sum -= e.dynamicJ[noc] + e.leakageJ[noc];
+        return sum;
+    };
+    out.metrics.energyJ =
+        group_j(cmos_e) + group_j(tfet_e) + shared_j;
+    return out;
+}
+
+} // namespace hetsim::core

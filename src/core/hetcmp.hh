@@ -1,0 +1,57 @@
+/**
+ * @file
+ * The heterogeneous CMOS+TFET multicore of the paper's related work
+ * (Section VIII; Saripalli/Swaminathan-style designs with barrier-
+ * aware thread migration).
+ *
+ * Instead of mixing devices *inside* a core (HetCore), this design
+ * mixes *cores*: a few full-speed CMOS cores plus several pure-TFET
+ * cores at half frequency, sized iso-area with the AdvHet chip
+ * (TFET cells match FinFET cells in area at 15nm, and pure-device
+ * cores avoid the dual-rail overhead).
+ *
+ * The barrier-aware migration scheme is modeled at its upper bound:
+ * parallel work is split proportionally to core speed, so every
+ * thread arrives at each barrier simultaneously — the best any
+ * migration policy can do. Serial sections run on a CMOS core. The
+ * paper reports that AdvHet still beats this design on both
+ * performance and energy; bench_ext_hetcmp_isoarea reproduces that
+ * comparison.
+ */
+
+#ifndef HETSIM_CORE_HETCMP_HH
+#define HETSIM_CORE_HETCMP_HH
+
+#include "core/experiment.hh"
+
+namespace hetsim::core
+{
+
+/** Shape of an iso-area heterogeneous multicore. */
+struct HetCmpShape
+{
+    uint32_t cmosCores = 2;
+    uint32_t tfetCores = 6;
+    double chipAreaMm2 = 0.0;   ///< Resulting chip area.
+    double budgetAreaMm2 = 0.0; ///< AdvHet chip area it was fit to.
+};
+
+/** Solve the iso-area core mix against the AdvHet chip. */
+HetCmpShape hetCmpIsoAreaShape(uint32_t cmos_cores = 2);
+
+/** Outcome of one HetCMP run. */
+struct HetCmpOutcome
+{
+    HetCmpShape shape;
+    uint64_t cycles = 0;
+    uint64_t committedOps = 0;
+    power::RunMetrics metrics;
+};
+
+/** Simulate the HetCMP design on one application. */
+HetCmpOutcome runHetCmpExperiment(const workload::AppProfile &app,
+                                  const ExperimentOptions &opts = {});
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_HETCMP_HH

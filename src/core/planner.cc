@@ -1,0 +1,105 @@
+#include "core/planner.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "power/metrics.hh"
+
+namespace hetsim::core
+{
+
+FreqPlan
+chooseFrequency(CpuConfig cfg, const workload::AppProfile &app,
+                FreqObjective objective, double limit,
+                const ExperimentOptions &opts, double min_ghz,
+                double max_ghz, double step_ghz)
+{
+    hetsim_assert(step_ghz > 0 && max_ghz >= min_ghz,
+                  "bad frequency sweep bounds");
+    FreqPlan plan;
+    for (double f = min_ghz; f <= max_ghz + 1e-9; f += step_ghz) {
+        ExperimentOptions o = opts;
+        o.freqGhz = f;
+        const CpuOutcome out = runCpuExperiment(cfg, app, o);
+        FreqPoint p;
+        p.freqGhz = f;
+        p.metrics = out.metrics;
+        switch (objective) {
+          case FreqObjective::MinEd2:
+            p.feasible = true;
+            break;
+          case FreqObjective::MinEnergyDeadline:
+            p.feasible = p.metrics.seconds <= limit;
+            break;
+          case FreqObjective::MaxPerfPowerCap:
+            p.feasible = p.metrics.powerW() <= limit;
+            break;
+        }
+        plan.sweep.push_back(p);
+    }
+
+    auto better = [&](const FreqPoint &a, const FreqPoint &b) {
+        if (a.feasible != b.feasible)
+            return a.feasible;
+        switch (objective) {
+          case FreqObjective::MinEd2:
+            return a.metrics.ed2Js2() < b.metrics.ed2Js2();
+          case FreqObjective::MinEnergyDeadline:
+            return a.metrics.energyJ < b.metrics.energyJ;
+          case FreqObjective::MaxPerfPowerCap:
+          default:
+            return a.metrics.seconds < b.metrics.seconds;
+        }
+    };
+    plan.best = plan.sweep.front();
+    for (const FreqPoint &p : plan.sweep)
+        if (better(p, plan.best))
+            plan.best = p;
+    return plan;
+}
+
+std::vector<ChipPlan>
+planIsoPower(CpuConfig budget_cfg,
+             const std::vector<CpuConfig> &candidates,
+             const workload::AppProfile &app,
+             const ExperimentOptions &opts)
+{
+    // The budget is the reference chip's average power on this app.
+    const CpuOutcome ref = runCpuExperiment(budget_cfg, app, opts);
+    const double budget_w = ref.metrics.powerW();
+
+    std::vector<ChipPlan> plans;
+    for (CpuConfig cfg : candidates) {
+        // Probe at the default core count to get per-core power.
+        const CpuOutcome probe = runCpuExperiment(cfg, app, opts);
+        const uint32_t probe_cores = makeCpuConfig(cfg).numCores;
+        const double per_core =
+            probe.metrics.powerW() / probe_cores;
+
+        uint32_t cores = power::coresWithinBudget(
+            budget_w, 1, per_core);
+        cores = std::min(cores, 32u);
+
+        ChipPlan plan;
+        plan.config = cpuConfigName(cfg);
+        if (cores == probe_cores) {
+            plan.cores = cores;
+            plan.metrics = probe.metrics;
+        } else {
+            ExperimentOptions o = opts;
+            o.coresOverride = cores;
+            const CpuOutcome out = runCpuExperiment(cfg, app, o);
+            plan.cores = cores;
+            plan.metrics = out.metrics;
+        }
+        plan.powerW = plan.metrics.powerW();
+        plans.push_back(plan);
+    }
+    std::sort(plans.begin(), plans.end(),
+              [](const ChipPlan &a, const ChipPlan &b) {
+                  return a.metrics.ed2Js2() < b.metrics.ed2Js2();
+              });
+    return plans;
+}
+
+} // namespace hetsim::core

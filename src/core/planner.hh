@@ -1,0 +1,88 @@
+/**
+ * @file
+ * Chip planning: the generalization of the paper's headline
+ * constructions into a reusable API.
+ *
+ * The paper builds AdvHet-2X by hand: measure per-core power, note it
+ * is half a BaseCMOS core, double the core count at iso-power. The
+ * planner automates that reasoning for any (configuration, workload):
+ *
+ *  - chooseFrequency: sweep the hetero-device DVFS range and return
+ *    the operating point optimizing an objective (min ED^2, min
+ *    energy under a deadline, max performance under a power cap);
+ *  - planIsoPower: given a power budget defined by a reference chip,
+ *    size each candidate configuration's core count to the budget,
+ *    simulate it, and rank the candidates.
+ */
+
+#ifndef HETSIM_CORE_PLANNER_HH
+#define HETSIM_CORE_PLANNER_HH
+
+#include <string>
+#include <vector>
+
+#include "core/experiment.hh"
+
+namespace hetsim::core
+{
+
+/** Objective for frequency selection. */
+enum class FreqObjective
+{
+    MinEd2,             ///< Minimize energy x delay^2.
+    MinEnergyDeadline,  ///< Minimize energy subject to a deadline.
+    MaxPerfPowerCap,    ///< Minimize time subject to a power cap.
+};
+
+/** One evaluated frequency point. */
+struct FreqPoint
+{
+    double freqGhz = 0.0;
+    power::RunMetrics metrics;
+    bool feasible = true; ///< Meets the deadline / power cap.
+};
+
+/** Result of a frequency sweep. */
+struct FreqPlan
+{
+    FreqPoint best;
+    std::vector<FreqPoint> sweep;
+};
+
+/**
+ * Sweep [min_ghz, max_ghz] in `step_ghz` increments on one app and
+ * pick the best point for the objective.
+ *
+ * @param limit Deadline in seconds (MinEnergyDeadline) or power cap
+ *              in watts (MaxPerfPowerCap); ignored for MinEd2.
+ */
+FreqPlan chooseFrequency(CpuConfig cfg,
+                         const workload::AppProfile &app,
+                         FreqObjective objective, double limit = 0.0,
+                         const ExperimentOptions &opts = {},
+                         double min_ghz = 1.25, double max_ghz = 2.5,
+                         double step_ghz = 0.25);
+
+/** One candidate chip of an iso-power plan. */
+struct ChipPlan
+{
+    std::string config;
+    uint32_t cores = 0;
+    power::RunMetrics metrics;
+    double powerW = 0.0;
+};
+
+/**
+ * Iso-power planning: measure the power of `budget_cfg` on the app,
+ * then for each candidate size its core count to that budget (cap
+ * 32), simulate, and return the candidates sorted by ED^2.
+ */
+std::vector<ChipPlan>
+planIsoPower(CpuConfig budget_cfg,
+             const std::vector<CpuConfig> &candidates,
+             const workload::AppProfile &app,
+             const ExperimentOptions &opts = {});
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_PLANNER_HH

@@ -1,0 +1,208 @@
+#include "cpu/branch_pred.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::cpu
+{
+
+BranchPredictor::BranchPredictor(const BranchPredParams &params)
+    : params_(params),
+      localHistory_(params.localHistoryEntries, 0),
+      localPht_(1u << params.localHistoryBits, 1),
+      globalPht_(1u << params.globalHistoryBits, 1),
+      chooser_(1u << params.chooserBits, 2),
+      btb_(params.btbEntries),
+      btbSets_(params.btbEntries / params.btbWays),
+      ras_(params.rasEntries, 0),
+      stats_("branch_pred")
+{
+    hetsim_assert(params.btbEntries % params.btbWays == 0,
+                  "BTB entries not divisible by ways");
+}
+
+uint32_t
+BranchPredictor::localIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>(pc >> 2)
+        % params_.localHistoryEntries;
+}
+
+uint32_t
+BranchPredictor::chooserIndex(uint64_t pc) const
+{
+    return static_cast<uint32_t>(pc >> 2)
+        & ((1u << params_.chooserBits) - 1);
+}
+
+uint32_t
+BranchPredictor::localPhtIndex(uint64_t pc, uint16_t history) const
+{
+    // Mix the PC into the pattern index: plain history indexing lets
+    // branches with random histories trample loop patterns.
+    const uint32_t mask = (1u << params_.localHistoryBits) - 1;
+    return (history ^ (static_cast<uint32_t>(pc >> 2) * 0x9e37u))
+        & mask;
+}
+
+uint32_t
+BranchPredictor::gshareIndex(uint64_t pc) const
+{
+    const uint32_t mask = (1u << params_.globalHistoryBits) - 1;
+    return (static_cast<uint32_t>(pc >> 2)
+            ^ static_cast<uint32_t>(globalHistory_)) & mask;
+}
+
+uint8_t
+BranchPredictor::bump(uint8_t c, bool taken)
+{
+    if (taken)
+        return c < 3 ? c + 1 : 3;
+    return c > 0 ? c - 1 : 0;
+}
+
+BranchPrediction
+BranchPredictor::predict(const MicroOp &op)
+{
+    ++stats_.counter("lookups");
+    BranchPrediction pred;
+
+    if (op.cls == OpClass::Return) {
+        // Returns are always taken; the target comes from the RAS.
+        pred.taken = true;
+        if (rasCount_ > 0) {
+            const uint32_t top =
+                (rasTop_ + params_.rasEntries - 1) % params_.rasEntries;
+            pred.target = ras_[top];
+            pred.targetValid = true;
+        }
+        return pred;
+    }
+
+    if (op.cls == OpClass::Call) {
+        pred.taken = true;
+    } else {
+        // Tournament direction prediction for conditional branches.
+        const uint16_t lh = localHistory_[localIndex(op.pc)];
+        const bool local_taken =
+            counterTaken(localPht_[localPhtIndex(op.pc, lh)]);
+        const bool global_taken =
+            counterTaken(globalPht_[gshareIndex(op.pc)]);
+        const bool use_global =
+            counterTaken(chooser_[chooserIndex(op.pc)]);
+        pred.taken = use_global ? global_taken : local_taken;
+    }
+
+    if (pred.taken) {
+        // Look up the target in the BTB.
+        const uint32_t set =
+            static_cast<uint32_t>(op.pc >> 2) % btbSets_;
+        const BtbEntry *base = &btb_[set * params_.btbWays];
+        for (uint32_t w = 0; w < params_.btbWays; ++w) {
+            if (base[w].valid && base[w].pc == op.pc) {
+                pred.target = base[w].target;
+                pred.targetValid = true;
+                break;
+            }
+        }
+    }
+    return pred;
+}
+
+void
+BranchPredictor::update(const MicroOp &op, const BranchPrediction &pred)
+{
+    if (op.cls == OpClass::Return) {
+        if (rasCount_ > 0) {
+            rasTop_ = (rasTop_ + params_.rasEntries - 1)
+                % params_.rasEntries;
+            --rasCount_;
+        }
+        return;
+    }
+
+    if (op.cls == OpClass::Call) {
+        // Push the fall-through address.
+        ras_[rasTop_] = op.pc + 4;
+        rasTop_ = (rasTop_ + 1) % params_.rasEntries;
+        if (rasCount_ < params_.rasEntries)
+            ++rasCount_;
+    } else {
+        // Train direction tables for conditional branches.
+        const uint32_t li = localIndex(op.pc);
+        const uint16_t lh = localHistory_[li];
+        const uint32_t lp = localPhtIndex(op.pc, lh);
+        const uint32_t gp = gshareIndex(op.pc);
+        const bool local_taken = counterTaken(localPht_[lp]);
+        const bool global_taken = counterTaken(globalPht_[gp]);
+
+        // The chooser trains toward whichever component was right.
+        if (local_taken != global_taken) {
+            chooser_[chooserIndex(op.pc)] =
+                bump(chooser_[chooserIndex(op.pc)],
+                     global_taken == op.taken);
+        }
+        localPht_[lp] = bump(localPht_[lp], op.taken);
+        globalPht_[gp] = bump(globalPht_[gp], op.taken);
+        localHistory_[li] = static_cast<uint16_t>(
+            ((lh << 1) | (op.taken ? 1 : 0))
+            & ((1u << params_.localHistoryBits) - 1));
+        globalHistory_ = (globalHistory_ << 1) | (op.taken ? 1 : 0);
+    }
+
+    // Allocate/refresh the BTB for taken control flow.
+    const bool actually_taken =
+        op.cls == OpClass::Branch ? op.taken : true;
+    if (actually_taken) {
+        const uint32_t set =
+            static_cast<uint32_t>(op.pc >> 2) % btbSets_;
+        BtbEntry *base = &btb_[set * params_.btbWays];
+        BtbEntry *victim = &base[0];
+        for (uint32_t w = 0; w < params_.btbWays; ++w) {
+            if (base[w].valid && base[w].pc == op.pc) {
+                victim = &base[w];
+                break;
+            }
+            if (!base[w].valid) {
+                victim = &base[w];
+            } else if (victim->valid && base[w].lru < victim->lru) {
+                victim = &base[w];
+            }
+        }
+        victim->valid = true;
+        victim->pc = op.pc;
+        victim->target = op.target;
+        victim->lru = ++btbLru_;
+    }
+    (void)pred;
+}
+
+bool
+BranchPredictor::predictAndTrain(const MicroOp &op)
+{
+    const BranchPrediction pred = predict(op);
+    const bool actually_taken =
+        op.cls == OpClass::Branch ? op.taken : true;
+
+    bool mispredicted = pred.taken != actually_taken;
+    if (!mispredicted && actually_taken) {
+        // Direction right: the target must also be right.
+        mispredicted = !pred.targetValid || pred.target != op.target;
+    }
+    update(op, pred);
+    if (mispredicted)
+        ++stats_.counter("mispredictions");
+    else
+        ++stats_.counter("correct");
+    return mispredicted;
+}
+
+double
+BranchPredictor::mispredictRate() const
+{
+    const uint64_t total = stats_.value("lookups");
+    if (total == 0)
+        return 0.0;
+    return static_cast<double>(stats_.value("mispredictions")) / total;
+}
+
+} // namespace hetsim::cpu

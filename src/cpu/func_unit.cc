@@ -1,0 +1,167 @@
+#include "cpu/func_unit.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::cpu
+{
+
+FuncUnitPool::FuncUnitPool(const FuPoolParams &params)
+    : params_(params),
+      aluFree_(params.numAlus, 0),
+      mulDivFree_(params.numMulDiv, 0),
+      lsuFree_(params.numLsu, 0),
+      fpuFree_(params.numFpu, 0),
+      stats_("fu_pool")
+{
+    if (params_.dualSpeedAlu) {
+        hetsim_assert(params_.numFastAlus >= 1 &&
+                      params_.numFastAlus <= params_.numAlus,
+                      "bad dual-speed ALU split");
+    }
+}
+
+void
+FuncUnitPool::reset()
+{
+    std::fill(aluFree_.begin(), aluFree_.end(), 0);
+    std::fill(mulDivFree_.begin(), mulDivFree_.end(), 0);
+    std::fill(lsuFree_.begin(), lsuFree_.end(), 0);
+    std::fill(fpuFree_.begin(), fpuFree_.end(), 0);
+}
+
+int
+FuncUnitPool::claim(std::vector<Cycle> &units, uint32_t first,
+                    uint32_t last, Cycle now, Cycle busy_until)
+{
+    for (uint32_t i = first; i < last; ++i) {
+        if (units[i] <= now) {
+            units[i] = busy_until;
+            return static_cast<int>(i);
+        }
+    }
+    return -1;
+}
+
+FuIssue
+FuncUnitPool::tryIssue(OpClass cls, Cycle now, bool prefer_fast)
+{
+    const FuTimings &t = params_.timings;
+    FuIssue res;
+
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+      {
+        const uint32_t n_fast =
+            params_.dualSpeedAlu ? params_.numFastAlus : 0;
+        // Pipelined: the unit is claimed for this issue cycle only.
+        if (params_.dualSpeedAlu) {
+            // Try the preferred cluster first, then fall back.
+            int unit = -1;
+            if (prefer_fast) {
+                unit = claim(aluFree_, 0, n_fast, now, now + 1);
+                if (unit < 0) {
+                    unit = claim(aluFree_, n_fast, params_.numAlus,
+                                 now, now + 1);
+                    if (unit >= 0)
+                        ++stats_.counter("steer_fallback_slow");
+                }
+            } else {
+                unit = claim(aluFree_, n_fast, params_.numAlus, now,
+                             now + 1);
+                if (unit < 0) {
+                    unit = claim(aluFree_, 0, n_fast, now, now + 1);
+                    if (unit >= 0)
+                        ++stats_.counter("steer_fallback_fast");
+                }
+            }
+            if (unit < 0)
+                return res;
+            res.ok = true;
+            res.usedFastAlu = static_cast<uint32_t>(unit) < n_fast;
+            res.latency = res.usedFastAlu ? params_.fastAluLat
+                                          : t.aluLat;
+            ++stats_.counter(res.usedFastAlu ? "fast_alu_ops"
+                                             : "slow_alu_ops");
+            return res;
+        }
+        const int unit =
+            claim(aluFree_, 0, params_.numAlus, now, now + 1);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency = t.aluLat;
+        return res;
+      }
+
+      case OpClass::IntMult:
+      {
+        const int unit = claim(mulDivFree_, 0, params_.numMulDiv, now,
+                               now + 1);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency = t.mulLat;
+        return res;
+      }
+
+      case OpClass::IntDiv:
+      {
+        // Unpipelined: the unit is busy for the issue interval.
+        const int unit = claim(mulDivFree_, 0, params_.numMulDiv, now,
+                               now + t.divIssueInterval);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency = t.divLat;
+        return res;
+      }
+
+      case OpClass::Load:
+      case OpClass::Store:
+      {
+        const int unit =
+            claim(lsuFree_, 0, params_.numLsu, now, now + 1);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency = t.lsuLat;
+        return res;
+      }
+
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      {
+        const int unit =
+            claim(fpuFree_, 0, params_.numFpu, now, now + 1);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency =
+            cls == OpClass::FpAdd ? t.fpAddLat : t.fpMulLat;
+        return res;
+      }
+
+      case OpClass::FpDiv:
+      {
+        const int unit = claim(fpuFree_, 0, params_.numFpu, now,
+                               now + t.fpDivIssueInterval);
+        if (unit < 0)
+            return res;
+        res.ok = true;
+        res.latency = t.fpDivLat;
+        return res;
+      }
+
+      case OpClass::Barrier:
+      case OpClass::Nop:
+        res.ok = true;
+        res.latency = 1;
+        return res;
+    }
+    return res;
+}
+
+} // namespace hetsim::cpu

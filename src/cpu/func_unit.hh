@@ -1,0 +1,101 @@
+/**
+ * @file
+ * Functional-unit pool with Table III timings.
+ *
+ * The pool owns the core's execution resources: 4 ALUs (optionally a
+ * dual-speed cluster of 1 CMOS + 3 TFET ALUs, Section IV-C2), 2 integer
+ * multiply/divide units, 2 load-store units, and 2 FPUs. Add/multiply
+ * pipelines accept one operation per cycle; divides are unpipelined and
+ * occupy their unit for an issue interval.
+ */
+
+#ifndef HETSIM_CPU_FUNC_UNIT_HH
+#define HETSIM_CPU_FUNC_UNIT_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/microop.hh"
+#include "mem/types.hh"
+
+namespace hetsim::cpu
+{
+
+using mem::Cycle;
+
+/** Latencies and issue intervals of the execution units. */
+struct FuTimings
+{
+    uint32_t aluLat = 1;          ///< Simple ALU op (slow cluster).
+    uint32_t mulLat = 2;
+    uint32_t divLat = 4;
+    uint32_t divIssueInterval = 4;
+    uint32_t fpAddLat = 2;
+    uint32_t fpMulLat = 4;
+    uint32_t fpDivLat = 8;
+    uint32_t fpDivIssueInterval = 8;
+    uint32_t lsuLat = 1;          ///< Address generation.
+};
+
+/** Execution resource configuration. */
+struct FuPoolParams
+{
+    FuTimings timings;
+    uint32_t numAlus = 4;
+    uint32_t numMulDiv = 2;
+    uint32_t numLsu = 2;
+    uint32_t numFpu = 2;
+    /** Dual-speed ALU cluster: the first `numFastAlus` ALUs are CMOS
+     *  with `fastAluLat` latency; the rest use timings.aluLat. */
+    bool dualSpeedAlu = false;
+    uint32_t numFastAlus = 0;
+    uint32_t fastAluLat = 1;
+};
+
+/** Result of acquiring a functional unit. */
+struct FuIssue
+{
+    bool ok = false;
+    uint32_t latency = 0;
+    bool usedFastAlu = false;
+};
+
+/** The core's pool of execution units. */
+class FuncUnitPool
+{
+  public:
+    explicit FuncUnitPool(const FuPoolParams &params);
+
+    /**
+     * Try to claim a unit for an op at cycle `now`.
+     *
+     * @param prefer_fast Steering hint for ALU ops in a dual-speed
+     *        cluster: true requests the CMOS ALU. If the preferred
+     *        cluster is fully busy, the other cluster is used.
+     */
+    FuIssue tryIssue(OpClass cls, Cycle now, bool prefer_fast = false);
+
+    /** Reset per-run occupancy state. */
+    void reset();
+
+    const FuPoolParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    /** Claim one unit from [first, last) whose freeAt <= now. */
+    int claim(std::vector<Cycle> &units, uint32_t first, uint32_t last,
+              Cycle now, Cycle busy_until);
+
+    FuPoolParams params_;
+    std::vector<Cycle> aluFree_;    ///< Fast ALUs first, then slow.
+    std::vector<Cycle> mulDivFree_;
+    std::vector<Cycle> lsuFree_;
+    std::vector<Cycle> fpuFree_;
+    StatGroup stats_;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_FUNC_UNIT_HH

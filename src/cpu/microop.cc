@@ -1,0 +1,40 @@
+#include "cpu/microop.hh"
+
+namespace hetsim::cpu
+{
+
+const char *
+opClassName(OpClass c)
+{
+    switch (c) {
+      case OpClass::IntAlu:
+        return "IntAlu";
+      case OpClass::IntMult:
+        return "IntMult";
+      case OpClass::IntDiv:
+        return "IntDiv";
+      case OpClass::FpAdd:
+        return "FpAdd";
+      case OpClass::FpMult:
+        return "FpMult";
+      case OpClass::FpDiv:
+        return "FpDiv";
+      case OpClass::Load:
+        return "Load";
+      case OpClass::Store:
+        return "Store";
+      case OpClass::Branch:
+        return "Branch";
+      case OpClass::Call:
+        return "Call";
+      case OpClass::Return:
+        return "Return";
+      case OpClass::Barrier:
+        return "Barrier";
+      case OpClass::Nop:
+        return "Nop";
+    }
+    return "?";
+}
+
+} // namespace hetsim::cpu

@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The micro-op "ISA" consumed by the trace-driven out-of-order core.
+ *
+ * Workload generators produce streams of MicroOps; the core imposes
+ * Table III timing on them. Registers are logical identifiers: integer
+ * registers occupy [0, kNumIntRegs) and floating-point registers
+ * [kNumIntRegs, kNumIntRegs + kNumFpRegs). Branches carry their actual
+ * direction/target so the predictor can be scored against the truth.
+ */
+
+#ifndef HETSIM_CPU_MICROOP_HH
+#define HETSIM_CPU_MICROOP_HH
+
+#include <cstdint>
+
+namespace hetsim::cpu
+{
+
+/** Operation classes with distinct timing behaviour. */
+enum class OpClass : uint8_t
+{
+    IntAlu,  ///< Simple integer op (add/sub/logic/shift/compare).
+    IntMult,
+    IntDiv,
+    FpAdd,
+    FpMult,
+    FpDiv,
+    Load,
+    Store,
+    Branch,  ///< Conditional branch.
+    Call,    ///< Direct call (pushes the RAS).
+    Return,  ///< Return (pops the RAS).
+    Barrier, ///< Thread barrier marker (multicore synchronization).
+    Nop,
+};
+
+const char *opClassName(OpClass c);
+
+/** Logical register file shape seen by the generators. */
+constexpr int kNumIntRegs = 32;
+constexpr int kNumFpRegs = 32;
+
+/** True for FP-producing/consuming classes. */
+constexpr bool
+isFpClass(OpClass c)
+{
+    return c == OpClass::FpAdd || c == OpClass::FpMult ||
+        c == OpClass::FpDiv;
+}
+
+/** True for classes that reference memory. */
+constexpr bool
+isMemClass(OpClass c)
+{
+    return c == OpClass::Load || c == OpClass::Store;
+}
+
+/** True for control-flow classes. */
+constexpr bool
+isBranchClass(OpClass c)
+{
+    return c == OpClass::Branch || c == OpClass::Call ||
+        c == OpClass::Return;
+}
+
+/** One dynamic micro-operation from a trace. */
+struct MicroOp
+{
+    OpClass cls = OpClass::Nop;
+    int16_t src1 = -1; ///< Logical source register or -1.
+    int16_t src2 = -1;
+    int16_t dst = -1;  ///< Logical destination register or -1.
+    uint64_t pc = 0;
+    uint64_t addr = 0;   ///< Effective address for loads/stores.
+    uint64_t target = 0; ///< Actual next PC for branches.
+    bool taken = false;  ///< Actual direction for conditional branches.
+};
+
+/** Pull interface implemented by the workload generators. */
+class TraceSource
+{
+  public:
+    virtual ~TraceSource() = default;
+
+    /**
+     * Produce the next micro-op.
+     * @return false when the trace is exhausted.
+     */
+    virtual bool next(MicroOp &op) = 0;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_MICROOP_HH

@@ -1,0 +1,151 @@
+#include "cpu/multicore.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::cpu
+{
+
+using power::CpuUnit;
+
+namespace
+{
+
+constexpr int
+unitIdx(CpuUnit u)
+{
+    return static_cast<int>(u);
+}
+
+} // namespace
+
+Multicore::Multicore(const MulticoreParams &params,
+                     std::vector<TraceSource *> traces)
+    : params_(params)
+{
+    hetsim_assert(traces.size() == params.mem.numCores,
+                  "need one trace per core (%zu vs %u)", traces.size(),
+                  params.mem.numCores);
+    hetsim_assert(params.coreSpecs.empty() ||
+                  params.coreSpecs.size() == params.mem.numCores,
+                  "coreSpecs must be empty or one per core");
+    hier_ = std::make_unique<mem::MemHierarchy>(params.mem);
+    for (uint32_t c = 0; c < params.mem.numCores; ++c) {
+        const CoreParams &cp = params.coreSpecs.empty()
+            ? params.core : params.coreSpecs[c].core;
+        cores_.push_back(std::make_unique<OooCore>(
+            cp, c, hier_.get(), traces[c]));
+    }
+}
+
+MulticoreResult
+Multicore::run()
+{
+    MulticoreResult res;
+    mem::Cycle now = 0;
+    uint64_t running = cores_.size();
+
+    while (running > 0) {
+        hetsim_assert(now < params_.maxCycles,
+                      "exceeded cycle budget; deadlock?");
+        for (uint32_t c = 0; c < cores_.size(); ++c) {
+            // Slower (e.g. TFET) cores tick every Nth chip cycle.
+            const uint32_t div = params_.coreSpecs.empty()
+                ? 1 : params_.coreSpecs[c].tickDivisor;
+            if (div > 1 && now % div != 0)
+                continue;
+            if (!cores_[c]->finished())
+                cores_[c]->tick(now);
+        }
+
+        // Barrier protocol: once every unfinished core is parked at a
+        // barrier, release them all together.
+        running = 0;
+        uint64_t at_barrier = 0;
+        for (auto &core : cores_) {
+            if (core->finished())
+                continue;
+            ++running;
+            if (core->waitingAtBarrier())
+                ++at_barrier;
+        }
+        if (running > 0 && at_barrier == running) {
+            for (auto &core : cores_)
+                if (!core->finished() && core->waitingAtBarrier())
+                    core->releaseBarrier();
+            ++res.barrierReleases;
+        }
+        ++now;
+    }
+
+    res.cycles = now;
+    res.seconds = static_cast<double>(now)
+        / (params_.freqGhz * 1e9);
+    for (auto &core : cores_) {
+        res.committedOps += core->committedOps();
+        const power::CpuActivity &a = core->activity();
+        for (int i = 0; i < power::kNumCpuUnits; ++i)
+            res.activity[i] += a[i];
+    }
+    collectMemActivity(res.activity);
+    return res;
+}
+
+power::CpuActivity
+Multicore::coreActivity(uint32_t c) const
+{
+    power::CpuActivity activity = cores_[c]->activity();
+    const auto &il1s = hier_->il1(c).stats();
+    const auto &dl1s = hier_->dl1(c).stats();
+    const auto &l2s = hier_->l2(c).stats();
+    activity[unitIdx(CpuUnit::Il1)] +=
+        il1s.value("accesses") + il1s.value("fills");
+    if (params_.mem.asymDl1) {
+        // Every access probes the fast way; the slow array is
+        // touched on fast-way misses and on the swap traffic of
+        // promotions/demotions (each swap costs one slow-array
+        // transfer plus the fast-way write counted with the fill).
+        const uint64_t acc = dl1s.value("accesses");
+        const uint64_t fast_hits = dl1s.value("fast_hits");
+        const uint64_t fills = dl1s.value("fills");
+        activity[unitIdx(CpuUnit::Dl1Fast)] += acc + fills;
+        activity[unitIdx(CpuUnit::Dl1)] +=
+            (acc - fast_hits) + dl1s.value("demotions");
+    } else {
+        activity[unitIdx(CpuUnit::Dl1)] +=
+            dl1s.value("accesses") + dl1s.value("fills");
+    }
+    activity[unitIdx(CpuUnit::L2)] +=
+        l2s.value("accesses") + l2s.value("fills");
+    return activity;
+}
+
+power::CpuActivity
+Multicore::sharedActivity() const
+{
+    power::CpuActivity activity{};
+    const auto &l3s = hier_->l3().stats();
+    activity[unitIdx(CpuUnit::L3)] =
+        l3s.value("accesses") + l3s.value("fills");
+    activity[unitIdx(CpuUnit::Noc)] =
+        hier_->ring().stats().value("messages") +
+        l3s.value("accesses");
+    return activity;
+}
+
+void
+Multicore::collectMemActivity(power::CpuActivity &activity) const
+{
+    for (uint32_t c = 0; c < cores_.size(); ++c) {
+        const power::CpuActivity per_core = coreActivity(c);
+        const power::CpuActivity &raw = cores_[c]->activity();
+        // coreActivity includes the core-unit counts already summed
+        // by the caller; add only the cache deltas here.
+        for (int i = 0; i < power::kNumCpuUnits; ++i)
+            activity[i] += per_core[i] - raw[i];
+    }
+    const power::CpuActivity shared = sharedActivity();
+    for (int i = 0; i < power::kNumCpuUnits; ++i)
+        activity[i] += shared[i];
+}
+
+} // namespace hetsim::cpu

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Lockstep multicore runner.
+ *
+ * Owns N OooCores sharing one MemHierarchy, ticks them cycle by cycle,
+ * implements the barrier protocol the threaded workloads use, and
+ * aggregates activity counts (core units + cache/NoC events) into the
+ * chip-wide power::CpuActivity the energy model consumes.
+ */
+
+#ifndef HETSIM_CPU_MULTICORE_HH
+#define HETSIM_CPU_MULTICORE_HH
+
+#include <memory>
+#include <vector>
+
+#include "cpu/ooo_core.hh"
+#include "mem/hierarchy.hh"
+#include "power/accountant.hh"
+
+namespace hetsim::cpu
+{
+
+/** Per-core override for heterogeneous chips (e.g. the related-work
+ *  CMOS+TFET multicore the paper compares against in Section VIII). */
+struct CoreSpec
+{
+    CoreParams core;
+    /** The core ticks once every `tickDivisor` chip cycles: a TFET
+     *  core at half frequency on a 2 GHz chip uses divisor 2. */
+    uint32_t tickDivisor = 1;
+};
+
+/** Configuration of the simulated chip. */
+struct MulticoreParams
+{
+    CoreParams core;
+    mem::HierarchyParams mem;
+    double freqGhz = 2.0;
+    uint64_t maxCycles = 1ull << 33; ///< Deadlock safety net.
+    /** Optional per-core heterogeneity; when non-empty it must have
+     *  one entry per core and overrides `core`. */
+    std::vector<CoreSpec> coreSpecs;
+};
+
+/** Aggregate outcome of one multicore run. */
+struct MulticoreResult
+{
+    uint64_t cycles = 0;
+    uint64_t committedOps = 0;
+    double seconds = 0.0;
+    /** Chip-wide activity (all cores + caches + NoC). */
+    power::CpuActivity activity{};
+    /** Barrier releases performed (for test introspection). */
+    uint64_t barrierReleases = 0;
+};
+
+/** N cores + shared hierarchy, run to completion. */
+class Multicore
+{
+  public:
+    /**
+     * @param traces One TraceSource per core; all threads must execute
+     *               the same number of Barrier micro-ops.
+     */
+    Multicore(const MulticoreParams &params,
+              std::vector<TraceSource *> traces);
+
+    /** Run every trace to completion. Fatal on exceeding maxCycles. */
+    MulticoreResult run();
+
+    mem::MemHierarchy &hierarchy() { return *hier_; }
+    OooCore &core(uint32_t i) { return *cores_[i]; }
+    uint32_t numCores() const
+    {
+        return static_cast<uint32_t>(cores_.size());
+    }
+
+    /** Activity of one core's units plus its private caches
+     *  (heterogeneous chips account core groups separately). */
+    power::CpuActivity coreActivity(uint32_t c) const;
+
+    /** Chip-shared activity: L3 and ring events. */
+    power::CpuActivity sharedActivity() const;
+
+  private:
+    /** Translate cache/ring stats into activity counts. */
+    void collectMemActivity(power::CpuActivity &activity) const;
+
+    MulticoreParams params_;
+    std::unique_ptr<mem::MemHierarchy> hier_;
+    std::vector<std::unique_ptr<OooCore>> cores_;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_MULTICORE_HH

@@ -1,0 +1,454 @@
+#include "cpu/ooo_core.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::cpu
+{
+
+using mem::AccessType;
+using mem::Cycle;
+using power::CpuUnit;
+
+namespace
+{
+
+constexpr size_t kFetchQueueCap = 16;
+
+constexpr int
+unitIdx(CpuUnit u)
+{
+    return static_cast<int>(u);
+}
+
+} // namespace
+
+OooCore::OooCore(const CoreParams &params, uint32_t core_id,
+                 mem::MemHierarchy *hierarchy, TraceSource *trace)
+    : params_(params), coreId_(core_id), hier_(hierarchy),
+      trace_(trace), bpred_(params.bp), fuPool_(params.fu),
+      scoreboard_(kNumIntRegs + kNumFpRegs, 0),
+      stats_("core." + std::to_string(core_id))
+{
+    hetsim_assert(hier_ != nullptr && trace_ != nullptr,
+                  "core needs a hierarchy and a trace");
+    hetsim_assert(params_.intRegs > kNumIntRegs,
+                  "need more physical than logical INT registers");
+    hetsim_assert(params_.fpRegs > kNumFpRegs,
+                  "need more physical than logical FP registers");
+    freeIntRegs_ = params_.intRegs - kNumIntRegs;
+    freeFpRegs_ = params_.fpRegs - kNumFpRegs;
+    iq_.reserve(params_.iqSize);
+}
+
+OooCore::RobEntry *
+OooCore::entryBySeq(uint64_t seq)
+{
+    if (rob_.empty() || seq < rob_.front().seq || seq > rob_.back().seq)
+        return nullptr;
+    return &rob_[seq - rob_.front().seq];
+}
+
+const OooCore::RobEntry *
+OooCore::entryBySeq(uint64_t seq) const
+{
+    return const_cast<OooCore *>(this)->entryBySeq(seq);
+}
+
+bool
+OooCore::depReady(uint64_t seq, Cycle now) const
+{
+    if (seq == 0)
+        return true;
+    const RobEntry *e = entryBySeq(seq);
+    if (!e)
+        return true; // producer already committed
+    return e->issued && e->doneCycle <= now;
+}
+
+void
+OooCore::countRegAccess(const MicroOp &op)
+{
+    auto count_read = [&](int16_t reg) {
+        if (reg < 0)
+            return;
+        if (reg < kNumIntRegs)
+            ++activity_[unitIdx(CpuUnit::IntRf)];
+        else
+            ++activity_[unitIdx(CpuUnit::FpRf)];
+    };
+    count_read(op.src1);
+    count_read(op.src2);
+    if (op.dst >= 0) {
+        if (op.dst < kNumIntRegs)
+            ++activity_[unitIdx(CpuUnit::IntRf)];
+        else
+            ++activity_[unitIdx(CpuUnit::FpRf)];
+    }
+}
+
+void
+OooCore::tick(Cycle now)
+{
+    commit(now);
+    issue(now);
+    dispatch(now);
+    fetch(now);
+}
+
+void
+OooCore::fetch(Cycle now)
+{
+    if (atBarrier_ || now < fetchStallUntil_)
+        return;
+    if (fetchBlocked_) {
+        if (fetchResumeAt_ == 0 || now < fetchResumeAt_)
+            return;
+        fetchBlocked_ = false;
+        fetchResumeAt_ = 0;
+    }
+
+    uint32_t fetched = 0;
+    while (fetched < params_.fetchWidth &&
+           fetchQueue_.size() < kFetchQueueCap) {
+        if (!haveStaged_) {
+            if (traceDone_ || !trace_->next(staged_)) {
+                traceDone_ = true;
+                break;
+            }
+            haveStaged_ = true;
+        }
+
+        // Instruction cache access on a line crossing.
+        if (staged_.cls != OpClass::Barrier) {
+            const uint64_t line = staged_.pc >> mem::kLineShift;
+            if (line != lastFetchLine_) {
+                lastFetchLine_ = line;
+                const auto r = hier_->access(coreId_, staged_.pc,
+                                             AccessType::Ifetch, now);
+                if (r.latency > hier_->params().lat.il1Rt) {
+                    // IL1 miss: stall fetch until the line arrives.
+                    fetchStallUntil_ = now + r.latency;
+                    ++stats_.counter("il1_miss_stalls");
+                    break;
+                }
+            }
+        }
+
+        FetchedOp f;
+        f.op = staged_;
+        haveStaged_ = false;
+        ++activity_[unitIdx(CpuUnit::Frontend)];
+
+        bool end_group = false;
+        if (isBranchClass(f.op.cls)) {
+            f.mispredicted = bpred_.predictAndTrain(f.op);
+            const bool actually_taken =
+                f.op.cls == OpClass::Branch ? f.op.taken : true;
+            if (f.mispredicted) {
+                // Stop fetching down the wrong path; resume when the
+                // branch executes (set at issue) plus refill.
+                fetchBlocked_ = true;
+                fetchResumeAt_ = 0;
+                ++stats_.counter("mispredict_blocks");
+                end_group = true;
+            } else if (actually_taken) {
+                // A taken branch ends the fetch group.
+                end_group = true;
+            }
+        }
+
+        fetchQueue_.push_back(f);
+        ++fetched;
+        if (end_group)
+            break;
+    }
+}
+
+void
+OooCore::dispatch(Cycle now)
+{
+    if (atBarrier_)
+        return;
+    uint32_t dispatched = 0;
+    while (dispatched < params_.issueWidth && !fetchQueue_.empty()) {
+        FetchedOp &f = fetchQueue_.front();
+        MicroOp &op = f.op;
+
+        if (op.cls == OpClass::Barrier) {
+            // Drain the pipeline, then park at the barrier.
+            if (!rob_.empty()) {
+                ++stats_.counter("barrier_drain_stalls");
+                break;
+            }
+            fetchQueue_.pop_front();
+            atBarrier_ = true;
+            ++stats_.counter("barriers");
+            break;
+        }
+
+        if (rob_.size() >= params_.robSize) {
+            ++stats_.counter("rob_full_stalls");
+            break;
+        }
+        if (iq_.size() >= params_.iqSize) {
+            ++stats_.counter("iq_full_stalls");
+            break;
+        }
+        const bool is_mem = isMemClass(op.cls);
+        if (is_mem && lsqCount_ >= params_.lsqSize) {
+            ++stats_.counter("lsq_full_stalls");
+            break;
+        }
+        if (op.dst >= 0) {
+            if (op.dst < kNumIntRegs) {
+                if (freeIntRegs_ == 0) {
+                    ++stats_.counter("int_rf_stalls");
+                    break;
+                }
+            } else if (freeFpRegs_ == 0) {
+                ++stats_.counter("fp_rf_stalls");
+                break;
+            }
+        }
+
+        RobEntry e;
+        e.op = op;
+        e.seq = nextSeq_++;
+        e.mispredicted = f.mispredicted;
+
+        // AdvHet dual-speed steering: an ALU producer whose consumer
+        // appears within the next issue-width ops goes to the CMOS
+        // ALU (Section IV-C2).
+        if (params_.steerDependents && op.cls == OpClass::IntAlu &&
+            op.dst >= 0) {
+            const size_t window =
+                std::min<size_t>(params_.issueWidth + 1,
+                                 fetchQueue_.size());
+            for (size_t i = 1; i < window; ++i) {
+                const MicroOp &later = fetchQueue_[i].op;
+                if (later.src1 == op.dst || later.src2 == op.dst) {
+                    e.preferFast = true;
+                    ++stats_.counter("steered_fast");
+                    break;
+                }
+            }
+        }
+
+        if (op.src1 >= 0)
+            e.dep1 = scoreboard_[op.src1];
+        if (op.src2 >= 0)
+            e.dep2 = scoreboard_[op.src2];
+
+        if (op.cls == OpClass::Load) {
+            // Perfect memory disambiguation against in-flight stores.
+            const uint64_t addr8 = op.addr >> 3;
+            for (auto it = storeQueue_.rbegin();
+                 it != storeQueue_.rend(); ++it) {
+                if (it->addr8 == addr8) {
+                    e.storeDep = it->seq;
+                    break;
+                }
+            }
+        } else if (op.cls == OpClass::Store) {
+            storeQueue_.push_back({e.seq, op.addr >> 3});
+        }
+
+        if (op.dst >= 0) {
+            scoreboard_[op.dst] = e.seq;
+            if (op.dst < kNumIntRegs)
+                --freeIntRegs_;
+            else
+                --freeFpRegs_;
+        }
+        if (is_mem) {
+            ++lsqCount_;
+            ++activity_[unitIdx(CpuUnit::Lsq)];
+        }
+
+        ++activity_[unitIdx(CpuUnit::Rename)];
+        ++activity_[unitIdx(CpuUnit::Rob)];
+        ++activity_[unitIdx(CpuUnit::IssueQueue)];
+
+        iq_.push_back(e.seq);
+        rob_.push_back(e);
+        fetchQueue_.pop_front();
+        ++dispatched;
+    }
+    (void)now;
+}
+
+void
+OooCore::issue(Cycle now)
+{
+    uint32_t issued = 0;
+    uint32_t scanned = 0;
+    for (auto it = iq_.begin();
+         it != iq_.end() && issued < params_.issueWidth &&
+         scanned < params_.issueReach;
+         ++scanned) {
+        RobEntry *e = entryBySeq(*it);
+        hetsim_assert(e && !e->issued, "IQ entry out of sync");
+        if (!depReady(e->dep1, now) || !depReady(e->dep2, now)) {
+            ++it;
+            continue;
+        }
+
+        const RobEntry *dep_store = nullptr;
+        if (e->op.cls == OpClass::Load && e->storeDep != 0) {
+            dep_store = entryBySeq(e->storeDep);
+            if (dep_store &&
+                (!dep_store->issued || dep_store->doneCycle > now)) {
+                ++it;
+                continue; // wait for the forwarding store's address
+            }
+        }
+
+        const FuIssue fi = fuPool_.tryIssue(e->op.cls, now,
+                                            e->preferFast);
+        if (!fi.ok) {
+            ++it;
+            continue;
+        }
+
+        Cycle done;
+        switch (e->op.cls) {
+          case OpClass::Load:
+            if (dep_store) {
+                // Store-to-load forwarding from the LSQ (CMOS logic;
+                // fast in every configuration): AGU + LSQ CAM.
+                done = now + fi.latency + 1;
+                ++stats_.counter("forwarded_loads");
+            } else {
+                const auto r = hier_->access(coreId_, e->op.addr,
+                                             AccessType::Load, now);
+                // The configured round trips already include address
+                // generation (Table III). The load pipeline (AGU,
+                // TLB, tag, alignment) imposes a 2-cycle floor on the
+                // round trip regardless of how fast the data array
+                // is, which is why a 1-cycle asymmetric fast way buys
+                // nothing in an all-CMOS core (BaseCMOS-Enh) but a
+                // lot in a TFET-DL1 core (AdvHet).
+                done = now + std::max<uint32_t>(r.latency, 2);
+            }
+            break;
+          case OpClass::Store:
+            done = now + fi.latency; // AGU; data written at commit
+            break;
+          default:
+            done = now + fi.latency;
+            break;
+        }
+        e->issued = true;
+        e->doneCycle = done;
+
+        if (e->mispredicted) {
+            // Redirect: the front end refills after resolution.
+            fetchResumeAt_ = done + params_.frontendDepth;
+            ++stats_.counter("mispredict_redirects");
+        }
+
+        switch (e->op.cls) {
+          case OpClass::IntAlu:
+          case OpClass::Branch:
+          case OpClass::Call:
+          case OpClass::Return:
+            ++activity_[unitIdx(CpuUnit::Alu)];
+            break;
+          case OpClass::IntMult:
+          case OpClass::IntDiv:
+            ++activity_[unitIdx(CpuUnit::MulDiv)];
+            break;
+          case OpClass::FpAdd:
+          case OpClass::FpMult:
+          case OpClass::FpDiv:
+            ++activity_[unitIdx(CpuUnit::Fpu)];
+            break;
+          default:
+            break;
+        }
+        countRegAccess(e->op);
+
+        it = iq_.erase(it);
+        ++issued;
+    }
+}
+
+void
+OooCore::commit(Cycle now)
+{
+    uint32_t committed = 0;
+    while (committed < params_.commitWidth && !rob_.empty()) {
+        RobEntry &e = rob_.front();
+        if (!e.issued || e.doneCycle > now)
+            break;
+
+        if (e.op.cls == OpClass::Store) {
+            // Drain the committed store into the memory system.
+            hier_->access(coreId_, e.op.addr, AccessType::Store, now);
+            hetsim_assert(!storeQueue_.empty() &&
+                          storeQueue_.front().seq == e.seq,
+                          "store queue out of order");
+            storeQueue_.pop_front();
+            --lsqCount_;
+        } else if (e.op.cls == OpClass::Load) {
+            --lsqCount_;
+        }
+
+        if (e.op.dst >= 0) {
+            if (scoreboard_[e.op.dst] == e.seq)
+                scoreboard_[e.op.dst] = 0;
+            if (e.op.dst < kNumIntRegs)
+                ++freeIntRegs_;
+            else
+                ++freeFpRegs_;
+        }
+
+        ++activity_[unitIdx(CpuUnit::Rob)];
+        ++committedOps_;
+        rob_.pop_front();
+        ++committed;
+    }
+}
+
+bool
+OooCore::finished() const
+{
+    return traceDone_ && !haveStaged_ && fetchQueue_.empty() &&
+        rob_.empty() && !atBarrier_;
+}
+
+void
+OooCore::releaseBarrier()
+{
+    hetsim_assert(atBarrier_, "releaseBarrier while not at a barrier");
+    atBarrier_ = false;
+}
+
+bool
+OooCore::checkDependencyOrder() const
+{
+    for (const RobEntry &e : rob_) {
+        if (e.dep1 >= e.seq || e.dep2 >= e.seq ||
+            e.storeDep >= e.seq) {
+            if (e.dep1 >= e.seq && e.dep1 != 0)
+                return false;
+            if (e.dep2 >= e.seq && e.dep2 != 0)
+                return false;
+            if (e.storeDep >= e.seq && e.storeDep != 0)
+                return false;
+        }
+    }
+    return true;
+}
+
+bool
+OooCore::checkOccupancyBounds() const
+{
+    return iq_.size() <= params_.iqSize &&
+        lsqCount_ <= params_.lsqSize &&
+        rob_.size() <= params_.robSize;
+}
+
+} // namespace hetsim::cpu

@@ -1,0 +1,172 @@
+/**
+ * @file
+ * Trace-driven, cycle-level out-of-order core (Table III).
+ *
+ * The core consumes MicroOps from a TraceSource and imposes the timing
+ * of a 4-wide out-of-order machine: fetch through an IL1 with a
+ * tournament predictor, register renaming against finite INT/FP
+ * register files, a 160-entry ROB, 64-entry issue queue, 48-entry LSQ,
+ * the FuncUnitPool execution resources, store-to-load forwarding, and
+ * in-order commit. Mispredicted branches block fetch until they
+ * execute plus a front-end refill penalty (wrong-path work is not
+ * simulated, the standard trace-driven approximation).
+ *
+ * HetCore hooks: per-unit latencies come from FuPoolParams and the
+ * memory hierarchy latencies (so TFET configs simply deepen them), and
+ * the AdvHet dual-speed ALU steering runs at dispatch (Section IV-C2):
+ * an ALU op whose consumer appears within the next issue-width ops in
+ * the dispatch buffer is steered to the CMOS ALU.
+ */
+
+#ifndef HETSIM_CPU_OOO_CORE_HH
+#define HETSIM_CPU_OOO_CORE_HH
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/branch_pred.hh"
+#include "cpu/func_unit.hh"
+#include "cpu/microop.hh"
+#include "mem/hierarchy.hh"
+#include "power/accountant.hh"
+
+namespace hetsim::cpu
+{
+
+/** Full configuration of one core. */
+struct CoreParams
+{
+    uint32_t fetchWidth = 4;
+    uint32_t issueWidth = 4;
+    uint32_t commitWidth = 4;
+    uint32_t robSize = 160;
+    uint32_t iqSize = 64;
+    /** Scheduler select reach: only the oldest `issueReach` waiting
+     *  ops are select candidates each cycle (real wakeup/select
+     *  networks do not scan the whole queue). */
+    uint32_t issueReach = 16;
+    uint32_t lsqSize = 48;
+    uint32_t intRegs = 128; ///< Physical integer registers.
+    uint32_t fpRegs = 80;   ///< Physical FP registers.
+    uint32_t frontendDepth = 6; ///< Redirect/refill penalty (cycles).
+    FuPoolParams fu;
+    BranchPredParams bp;
+    /** AdvHet: steer producer ops with nearby consumers to the CMOS
+     *  ALU at dispatch. */
+    bool steerDependents = false;
+};
+
+/** One core of the simulated multicore. */
+class OooCore
+{
+  public:
+    OooCore(const CoreParams &params, uint32_t core_id,
+            mem::MemHierarchy *hierarchy, TraceSource *trace);
+
+    /** Advance one cycle. */
+    void tick(mem::Cycle now);
+
+    /** Trace fully consumed and pipeline drained. */
+    bool finished() const;
+
+    /** Stalled at a barrier micro-op waiting for release. */
+    bool waitingAtBarrier() const { return atBarrier_; }
+
+    /** Release a barrier (called by the multicore runner). */
+    void releaseBarrier();
+
+    uint64_t committedOps() const { return committedOps_; }
+
+    /** Per-unit activity counts for the energy model (core units
+     *  only; cache counts are collected from the hierarchy). */
+    const power::CpuActivity &activity() const { return activity_; }
+
+    BranchPredictor &branchPredictor() { return bpred_; }
+    FuncUnitPool &fuPool() { return fuPool_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Invariant checks for property tests. @{ */
+    /** All in-flight producer seqs referenced by waiting ops are older
+     *  than the referencing op. */
+    bool checkDependencyOrder() const;
+    /** IQ/LSQ occupancy within configured bounds. */
+    bool checkOccupancyBounds() const;
+    /** @} */
+
+  private:
+    struct RobEntry
+    {
+        MicroOp op;
+        uint64_t seq = 0;
+        uint64_t dep1 = 0;     ///< Producer seq of src1 (0 = ready).
+        uint64_t dep2 = 0;
+        uint64_t storeDep = 0; ///< Older same-address store (loads).
+        mem::Cycle doneCycle = 0;
+        bool issued = false;
+        bool mispredicted = false;
+        bool preferFast = false;
+    };
+
+    void fetch(mem::Cycle now);
+    void dispatch(mem::Cycle now);
+    void issue(mem::Cycle now);
+    void commit(mem::Cycle now);
+
+    RobEntry *entryBySeq(uint64_t seq);
+    const RobEntry *entryBySeq(uint64_t seq) const;
+    bool depReady(uint64_t seq, mem::Cycle now) const;
+    void countRegAccess(const MicroOp &op);
+
+    CoreParams params_;
+    uint32_t coreId_;
+    mem::MemHierarchy *hier_;
+    TraceSource *trace_;
+
+    BranchPredictor bpred_;
+    FuncUnitPool fuPool_;
+
+    struct FetchedOp
+    {
+        MicroOp op;
+        bool mispredicted = false;
+    };
+
+    // Front end.
+    std::deque<FetchedOp> fetchQueue_;
+    bool haveStaged_ = false;
+    MicroOp staged_;           ///< Op pulled from the trace, not yet
+                               ///< accepted into the fetch queue.
+    bool fetchBlocked_ = false;   ///< Waiting on a mispredicted branch.
+    mem::Cycle fetchResumeAt_ = 0; ///< 0 = blocking branch not issued.
+    mem::Cycle fetchStallUntil_ = 0; ///< IL1 miss stall.
+    uint64_t lastFetchLine_ = ~0ull;
+    bool traceDone_ = false;
+
+    // Back end.
+    std::deque<RobEntry> rob_;
+    std::vector<uint64_t> iq_; ///< Seqs waiting to issue, program order.
+    uint64_t nextSeq_ = 1;
+    std::vector<uint64_t> scoreboard_; ///< Logical reg -> producer seq.
+    uint32_t freeIntRegs_;
+    uint32_t freeFpRegs_;
+    uint32_t lsqCount_ = 0;
+    bool atBarrier_ = false;
+
+    struct StoreRec
+    {
+        uint64_t seq;
+        uint64_t addr8; ///< addr >> 3 (8-byte forwarding granularity).
+    };
+    std::deque<StoreRec> storeQueue_;
+
+    uint64_t committedOps_ = 0;
+    power::CpuActivity activity_{};
+    StatGroup stats_;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_OOO_CORE_HH

@@ -1,0 +1,73 @@
+#include "device/activity.hh"
+
+#include "common/logging.hh"
+#include "device/leakage.hh"
+#include "device/technology.hh"
+
+namespace hetsim::device
+{
+
+AluActivityModel::AluActivityModel()
+{
+    const TechParams &cmos = techParams(Tech::SiCmos);
+    const TechParams &tfet = techParams(Tech::HetJTfet);
+
+    // Both ALUs complete one operation per core clock at activity 1;
+    // the TFET ALU is pipelined 2x deeper to keep that rate. Operation
+    // rate is set by the CMOS ALU delay (Table I).
+    const double ops_per_sec = 1.0e12 / cmos.aluDelayPs; // ps -> s
+
+    // fJ/op * ops/s = 1e-15 J/s; convert to uW (1e-6 W).
+    cmosDynAtFullUw_ = cmos.aluDynamicEnergyFj * ops_per_sec * 1e-9;
+    tfetDynAtFullUw_ = tfet.aluDynamicEnergyFj * ops_per_sec * 1e-9;
+
+    // The CMOS ALU uses 60% high-V_t transistors on non-critical paths.
+    cmosLeakUw_ = cmos.aluLeakagePowerUw
+        * dualVtLeakageFactor(kCoreLogicHighVtFraction);
+    tfetLeakUw_ = tfet.aluLeakagePowerUw;
+}
+
+double
+AluActivityModel::cmosPowerUw(double activity) const
+{
+    hetsim_assert(activity >= 0.0 && activity <= 1.0,
+                  "activity %.3f out of range", activity);
+    return activity * cmosDynAtFullUw_ + cmosLeakUw_;
+}
+
+double
+AluActivityModel::tfetPowerUw(double activity) const
+{
+    hetsim_assert(activity >= 0.0 && activity <= 1.0,
+                  "activity %.3f out of range", activity);
+    return activity * tfetDynAtFullUw_ + tfetLeakUw_;
+}
+
+double
+AluActivityModel::powerRatio(double activity) const
+{
+    return cmosPowerUw(activity) / tfetPowerUw(activity);
+}
+
+double
+AluActivityModel::leakageRatio() const
+{
+    return cmosLeakUw_ / tfetLeakUw_;
+}
+
+std::vector<ActivityPoint>
+sweepActivity(const AluActivityModel &model, int octaves)
+{
+    hetsim_assert(octaves >= 0, "negative octave count");
+    std::vector<ActivityPoint> out;
+    out.reserve(octaves + 1);
+    double a = 1.0;
+    for (int i = 0; i <= octaves; ++i) {
+        out.push_back({a, model.cmosPowerUw(a), model.tfetPowerUw(a),
+                       model.powerRatio(a)});
+        a *= 0.5;
+    }
+    return out;
+}
+
+} // namespace hetsim::device

@@ -1,0 +1,63 @@
+/**
+ * @file
+ * Activity-factor power model for a 32-bit ALU (Figure 2).
+ *
+ * Compares the total power of a dual-V_t Si-CMOS ALU (60% high-V_t
+ * transistors on non-critical paths) against a HetJTFET ALU performing
+ * the same operation stream, as the activity factor drops from 1 (an
+ * operation every cycle) toward 0. Because the TFET ALU leaks ~two
+ * orders of magnitude less, its relative advantage grows without bound
+ * as activity falls; at zero activity the ratio approaches the ~125x
+ * leakage gap the paper quotes.
+ */
+
+#ifndef HETSIM_DEVICE_ACTIVITY_HH
+#define HETSIM_DEVICE_ACTIVITY_HH
+
+#include <vector>
+
+namespace hetsim::device
+{
+
+/** Total-power model of a 32-bit ALU vs activity factor. */
+class AluActivityModel
+{
+  public:
+    AluActivityModel();
+
+    /** Total power (uW) of the dual-V_t Si-CMOS ALU at activity a. */
+    double cmosPowerUw(double activity) const;
+
+    /** Total power (uW) of the HetJTFET ALU at activity a (same
+     *  operation throughput, deeper pipeline). */
+    double tfetPowerUw(double activity) const;
+
+    /** CMOS power / TFET power at activity a. */
+    double powerRatio(double activity) const;
+
+    /** Limit of the ratio as activity approaches zero (pure leakage). */
+    double leakageRatio() const;
+
+  private:
+    double cmosDynAtFullUw_;  ///< CMOS dynamic power at activity 1.
+    double tfetDynAtFullUw_;  ///< TFET dynamic power at activity 1.
+    double cmosLeakUw_;       ///< Dual-V_t CMOS ALU leakage.
+    double tfetLeakUw_;       ///< HetJTFET ALU leakage.
+};
+
+/** One sample of the Figure 2 sweep. */
+struct ActivityPoint
+{
+    double activity;
+    double cmosPowerUw;
+    double tfetPowerUw;
+    double ratio;
+};
+
+/** Sweep activity factors 1, 1/2, 1/4, ... down to 1/2^octaves. */
+std::vector<ActivityPoint> sweepActivity(const AluActivityModel &model,
+                                         int octaves);
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_ACTIVITY_HH

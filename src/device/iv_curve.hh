@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Analytic I_D-V_G device curves (Figure 1 of the paper).
+ *
+ * Models the drain current of an N-MOSFET and an N-HetJTFET as a function
+ * of gate voltage, calibrated to the qualitative features of the Intel
+ * data the paper plots: the TFET has a steeper sub-threshold slope
+ * (well below 60 mV/dec), crosses above the MOSFET at low V_G, and
+ * saturates beyond roughly 0.6 V, while the MOSFET keeps scaling.
+ *
+ * Currents are in amperes per micron of device width; the absolute level
+ * is representative, the *shape* is what the architecture analysis uses.
+ */
+
+#ifndef HETSIM_DEVICE_IV_CURVE_HH
+#define HETSIM_DEVICE_IV_CURVE_HH
+
+#include <vector>
+
+namespace hetsim::device
+{
+
+/** Which device an IvCurve models. */
+enum class IvDevice
+{
+    NMosfet,
+    NHetJTfet,
+};
+
+/**
+ * Analytic I-V model.
+ *
+ * MOSFET: 60 mV/dec exponential sub-threshold conduction blended into a
+ * square-law on-region. HetJTFET: ~30 mV/dec band-to-band-tunneling slope
+ * with an on-current ceiling that flattens the curve past ~0.6 V.
+ */
+class IvCurve
+{
+  public:
+    explicit IvCurve(IvDevice device);
+
+    /** Drain current (A/um) at gate voltage vg (V), V_DS at nominal. */
+    double current(double vg) const;
+
+    /**
+     * Local sub-threshold slope at vg, in mV per decade of current.
+     * Large values mean a poor switch.
+     */
+    double subthresholdSlopeMvPerDecade(double vg) const;
+
+    /** Off current, I_D at V_G = 0. */
+    double offCurrent() const { return current(0.0); }
+
+    /** I_on / I_off ratio evaluated between V_G = 0 and vdd. */
+    double onOffRatio(double vdd) const;
+
+    /**
+     * Smallest V_G at which current reaches the given fraction of the
+     * current at v_max (search over [0, v_max]). Used by tests to show
+     * the TFET turns on at lower voltage.
+     */
+    double turnOnVoltage(double fraction, double v_max) const;
+
+    IvDevice device() const { return device_; }
+
+  private:
+    IvDevice device_;
+};
+
+/** One (V_G, I_D) sample of a sweep. */
+struct IvPoint
+{
+    double vg;
+    double id;
+};
+
+/** Sweep a curve from v_lo to v_hi inclusive with the given step count. */
+std::vector<IvPoint> sweepIv(const IvCurve &curve, double v_lo,
+                             double v_hi, int steps);
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_IV_CURVE_HH

@@ -1,0 +1,86 @@
+/**
+ * @file
+ * Multi-V_dd substrate overheads (Section V-B of the paper).
+ *
+ * HetCore pays for mixing device domains: dual supply rails, level
+ * converters folded into pipeline latches, unequal stage partitioning,
+ * and slower TFET latches. The paper's accounting:
+ *
+ *  - dual V_dd rails cost ~5% core area;
+ *  - level converters add ~5% stage delay;
+ *  - unequal work partitioning adds ~5% stage delay;
+ *  - slow TFET latches add ~10% stage delay (10% of stage latency is
+ *    latch); a stage pays the converter *or* the latch, not both;
+ *  - extra pipeline latches add ~10% stage power;
+ *  - total worst-case 15% stage delay is bought back by raising V_TFET
+ *    by 40 mV, which costs 24% TFET power, dropping the dynamic power
+ *    advantage from 8x to ~6.1x; the paper then evaluates with an even
+ *    more conservative 4x.
+ */
+
+#ifndef HETSIM_DEVICE_OVERHEADS_HH
+#define HETSIM_DEVICE_OVERHEADS_HH
+
+namespace hetsim::device
+{
+
+/** Area overhead of routing two supply rails through the core. */
+constexpr double kDualRailAreaOverhead = 0.05;
+
+/** Stage-delay overhead of a level converter latch. */
+constexpr double kLevelConverterDelayOverhead = 0.05;
+
+/** Stage-delay overhead from unequal pipeline work partitioning. */
+constexpr double kStageImbalanceDelayOverhead = 0.05;
+
+/** Stage-delay overhead of a slow TFET latch. */
+constexpr double kTfetLatchDelayOverhead = 0.10;
+
+/** Power overhead of the extra latches added by deeper pipelining. */
+constexpr double kExtraLatchPowerOverhead = 0.10;
+
+/** Worst-case combined TFET stage delay overhead (imbalance + max of
+ *  converter / latch). */
+constexpr double kTfetStageDelayOverhead =
+    kStageImbalanceDelayOverhead + kTfetLatchDelayOverhead;
+
+/** V_TFET guardband that recovers the 15% stage delay (volts). */
+constexpr double kTfetGuardbandVolts = 0.040;
+
+/** Nominal and guardbanded TFET supply for the 2 GHz design point. */
+constexpr double kTfetNominalVdd = 0.40;
+constexpr double kTfetOperatingVdd = kTfetNominalVdd + kTfetGuardbandVolts;
+
+/** CMOS supply at the 2 GHz design point. */
+constexpr double kCmosOperatingVdd = 0.73;
+
+/** TFET power increase caused by the 40 mV guardband. */
+constexpr double kGuardbandPowerPenalty = 0.24;
+
+/** Ideal TFET dynamic-power advantage over CMOS (same work). */
+constexpr double kIdealTfetDynamicPowerAdvantage = 8.0;
+
+/** Advantage after the guardband penalty: 8 / 1.24 = ~6.45, the paper
+ *  additionally folds latch power and quotes 6.1x. */
+constexpr double kRealisticTfetDynamicPowerAdvantage =
+    kIdealTfetDynamicPowerAdvantage
+    / ((1.0 + kGuardbandPowerPenalty) * (1.0 + kExtraLatchPowerOverhead)
+       / 1.05);
+
+/**
+ * The conservative factors actually used in the evaluation (Section VI):
+ * TFET units consume 4x lower dynamic power than HP-CMOS at the same
+ * clock, i.e. 4x lower dynamic energy per operation.
+ */
+constexpr double kEvalTfetDynamicEnergyFactor = 0.25;
+
+/** An all-TFET core at half frequency: 8x lower dynamic power, i.e. 4x
+ *  lower energy per op... the paper states 8x less dynamic power at 2x
+ *  lower frequency, which is 4x lower energy per operation; BaseTFET
+ *  uses the ideal ratio rather than the guardbanded one because a pure
+ *  TFET core needs no level converters or dual rails. */
+constexpr double kBaseTfetDynamicPowerFactor = 1.0 / 8.0;
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_OVERHEADS_HH

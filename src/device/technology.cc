@@ -1,0 +1,58 @@
+#include "device/technology.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::device
+{
+
+namespace
+{
+
+// Table I of the paper, verbatim. Order matches enum Tech.
+constexpr std::array<TechParams, kNumTechs> kTable1 = {{
+    // Si-CMOS
+    {0.73, 0.41, 0.18, 939.0, 32.71, 10.08, 170.1, 90.2, 50.4},
+    // HetJTFET
+    {0.40, 0.79, 0.42, 1881.0, 7.86, 3.03, 43.4, 0.30, 5.1},
+    // InAs-CMOS
+    {0.30, 3.80, 2.50, 9327.0, 3.62, 1.70, 20.5, 0.14, 0.6},
+    // HomJTFET
+    {0.20, 6.68, 3.60, 15990.0, 1.96, 0.76, 10.8, 1.44, 0.2},
+}};
+
+constexpr const char *kNames[kNumTechs] = {
+    "Si-CMOS", "HetJTFET", "InAs-CMOS", "HomJTFET",
+};
+
+} // namespace
+
+const char *
+techName(Tech t)
+{
+    const int i = static_cast<int>(t);
+    hetsim_assert(i >= 0 && i < kNumTechs, "bad tech %d", i);
+    return kNames[i];
+}
+
+const TechParams &
+techParams(Tech t)
+{
+    const int i = static_cast<int>(t);
+    hetsim_assert(i >= 0 && i < kNumTechs, "bad tech %d", i);
+    return kTable1[i];
+}
+
+TechRatios
+techRatios(Tech t)
+{
+    const TechParams &base = techParams(Tech::SiCmos);
+    const TechParams &p = techParams(t);
+    return {
+        p.switchingDelayPs / base.switchingDelayPs,
+        p.aluDynamicEnergyFj / base.aluDynamicEnergyFj,
+        p.aluLeakagePowerUw / base.aluLeakagePowerUw,
+        p.aluPowerDensity / base.aluPowerDensity,
+    };
+}
+
+} // namespace hetsim::device

@@ -1,0 +1,73 @@
+/**
+ * @file
+ * Device technology database for hetsim.
+ *
+ * Encodes Table I of the HetCore paper: performance, energy, and power
+ * characteristics of Si-CMOS, HetJTFET, InAs-CMOS, and HomJTFET at the
+ * 15nm node, each at its most cost-effective supply voltage. The data
+ * originates from Nikonov & Young's beyond-CMOS benchmarking.
+ */
+
+#ifndef HETSIM_DEVICE_TECHNOLOGY_HH
+#define HETSIM_DEVICE_TECHNOLOGY_HH
+
+#include <array>
+#include <string>
+
+namespace hetsim::device
+{
+
+/** The four device technologies compared in the paper. */
+enum class Tech
+{
+    SiCmos,    ///< Baseline silicon FinFET CMOS.
+    HetJTfet,  ///< Heterojunction TFET (GaSb source / InAs drain).
+    InAsCmos,  ///< Futuristic III-V MOSFET.
+    HomJTfet,  ///< Homojunction TFET (InAs source and drain).
+    NumTechs
+};
+
+constexpr int kNumTechs = static_cast<int>(Tech::NumTechs);
+
+/** Human-readable technology name as used in the paper. */
+const char *techName(Tech t);
+
+/**
+ * Per-technology characteristics at the 15nm node (Table I).
+ *
+ * Each technology is characterized at its most cost-effective V_dd.
+ */
+struct TechParams
+{
+    double supplyVoltage;        ///< V_dd in volts.
+    double switchingDelayPs;     ///< Transistor switching delay (ps).
+    double interconnectDelayPs;  ///< Wire delay per transistor length (ps).
+    double aluDelayPs;           ///< 32-bit ALU operation delay (ps).
+    double switchingEnergyAj;    ///< Transistor switching energy (aJ).
+    double interconnectEnergyAj; ///< Wire energy per transistor len. (aJ).
+    double aluDynamicEnergyFj;   ///< 32-bit ALU dynamic energy (fJ).
+    double aluLeakagePowerUw;    ///< 32-bit ALU leakage power (uW).
+    double aluPowerDensity;      ///< ALU power density (W/cm^2).
+};
+
+/** Table I parameters for a technology. */
+const TechParams &techParams(Tech t);
+
+/**
+ * Ratio helpers relative to Si-CMOS, used for architecture decisions
+ * (Section III of the paper).
+ */
+struct TechRatios
+{
+    double delayVsCmos;         ///< Switching delay / Si-CMOS delay.
+    double aluEnergyVsCmos;     ///< ALU dynamic energy / Si-CMOS.
+    double aluLeakageVsCmos;    ///< ALU leakage power / Si-CMOS.
+    double powerDensityVsCmos;  ///< ALU power density / Si-CMOS.
+};
+
+/** Compute the ratios of a technology relative to Si-CMOS. */
+TechRatios techRatios(Tech t);
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_TECHNOLOGY_HH

@@ -1,0 +1,15 @@
+#include "device/variation.hh"
+
+#include <cmath>
+
+namespace hetsim::device
+{
+
+double
+variationLeakageScale(double guardband)
+{
+    // ~2x leakage per +100 mV of supply.
+    return std::pow(2.0, guardband / 0.100);
+}
+
+} // namespace hetsim::device

@@ -1,0 +1,42 @@
+/**
+ * @file
+ * Process-variation guardbands (Sections III-E and VII-D).
+ *
+ * Work-function variation affects both device families; reclaiming the
+ * lost performance requires V_dd guardbands. At 15nm the paper adopts
+ * Avci et al.'s worst-case guardbands: +120 mV for Si-CMOS and +70 mV
+ * for HetJTFET on top of the respective operating voltages. Dynamic
+ * energy scales with V^2, so each domain's energy inflates accordingly.
+ */
+
+#ifndef HETSIM_DEVICE_VARIATION_HH
+#define HETSIM_DEVICE_VARIATION_HH
+
+namespace hetsim::device
+{
+
+/** Guardband for Si-CMOS at 15nm (volts). */
+constexpr double kVariationGuardbandCmos = 0.120;
+
+/** Guardband for HetJTFET at 15nm (volts). */
+constexpr double kVariationGuardbandTfet = 0.070;
+
+/** Dynamic-energy inflation of a domain whose V_dd grows by the
+ *  guardband: (V + dV)^2 / V^2. */
+constexpr double
+variationEnergyScale(double vdd, double guardband)
+{
+    const double v = (vdd + guardband) / vdd;
+    return v * v;
+}
+
+/**
+ * Leakage inflation under a guardband. Sub-threshold leakage grows
+ * roughly exponentially with V_dd; over the small guardband range we
+ * use the standard approximation of ~2x per 100 mV.
+ */
+double variationLeakageScale(double guardband);
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_VARIATION_HH

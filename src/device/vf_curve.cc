@@ -1,0 +1,131 @@
+#include "device/vf_curve.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::device
+{
+
+VfCurve::VfCurve(std::vector<VfPoint> anchors)
+    : anchors_(std::move(anchors))
+{
+    hetsim_assert(anchors_.size() >= 2, "V-f curve needs >= 2 anchors");
+    for (size_t i = 1; i < anchors_.size(); ++i) {
+        hetsim_assert(anchors_[i].voltage > anchors_[i - 1].voltage,
+                      "anchors not increasing in voltage");
+        hetsim_assert(anchors_[i].freqGhz >= anchors_[i - 1].freqGhz,
+                      "anchors decreasing in frequency");
+    }
+}
+
+double
+VfCurve::freqAt(double voltage) const
+{
+    if (voltage <= anchors_.front().voltage)
+        return anchors_.front().freqGhz;
+    if (voltage >= anchors_.back().voltage)
+        return anchors_.back().freqGhz;
+    for (size_t i = 1; i < anchors_.size(); ++i) {
+        const VfPoint &a = anchors_[i - 1];
+        const VfPoint &b = anchors_[i];
+        if (voltage <= b.voltage) {
+            const double t = (voltage - a.voltage)
+                / (b.voltage - a.voltage);
+            return a.freqGhz + t * (b.freqGhz - a.freqGhz);
+        }
+    }
+    return anchors_.back().freqGhz; // unreachable
+}
+
+double
+VfCurve::voltageFor(double freq_ghz) const
+{
+    if (freq_ghz > maxFreq()) {
+        fatal("requested %.3f GHz exceeds curve maximum %.3f GHz",
+              freq_ghz, maxFreq());
+    }
+    if (freq_ghz <= anchors_.front().freqGhz)
+        return anchors_.front().voltage;
+    for (size_t i = 1; i < anchors_.size(); ++i) {
+        const VfPoint &a = anchors_[i - 1];
+        const VfPoint &b = anchors_[i];
+        if (freq_ghz <= b.freqGhz) {
+            if (b.freqGhz == a.freqGhz)
+                return a.voltage;
+            const double t = (freq_ghz - a.freqGhz)
+                / (b.freqGhz - a.freqGhz);
+            return a.voltage + t * (b.voltage - a.voltage);
+        }
+    }
+    return anchors_.back().voltage; // unreachable
+}
+
+double
+VfCurve::maxFreq() const
+{
+    return anchors_.back().freqGhz;
+}
+
+const VfCurve &
+cmosVfCurve()
+{
+    // Anchors pass exactly through the paper's quoted points:
+    // 0.66 V -> 1.5 GHz, 0.73 V -> 2.0 GHz, 0.805 V -> 2.5 GHz.
+    static const VfCurve curve({
+        {0.45, 0.30},
+        {0.55, 0.85},
+        {0.66, 1.50},
+        {0.73, 2.00},
+        {0.805, 2.50},
+        {0.88, 2.95},
+        {1.00, 3.60},
+    });
+    return curve;
+}
+
+const VfCurve &
+tfetVfCurve()
+{
+    // Effective core frequency (the 2x-deeper TFET pipeline already
+    // folded in). Quoted points: 0.32 V -> 1.5 GHz, 0.40 V -> 2.0 GHz,
+    // 0.49 V -> 2.5 GHz; the curve flattens above ~0.6 V where the
+    // TFET on-current saturates (Figure 1).
+    static const VfCurve curve({
+        {0.20, 0.55},
+        {0.26, 1.05},
+        {0.32, 1.50},
+        {0.40, 2.00},
+        {0.49, 2.50},
+        {0.57, 2.80},
+        {0.65, 2.92},
+        {0.80, 3.00},
+    });
+    return curve;
+}
+
+DvfsPoint
+dvfsPointFor(double freq_ghz)
+{
+    return {
+        freq_ghz,
+        cmosVfCurve().voltageFor(freq_ghz),
+        tfetVfCurve().voltageFor(freq_ghz),
+    };
+}
+
+double
+dynamicPowerScale(double v0, double f0, double v1, double f1)
+{
+    hetsim_assert(v0 > 0 && f0 > 0, "bad reference point");
+    return (f1 / f0) * (v1 / v0) * (v1 / v0);
+}
+
+double
+dynamicEnergyScale(double v0, double v1)
+{
+    hetsim_assert(v0 > 0, "bad reference voltage");
+    return (v1 / v0) * (v1 / v0);
+}
+
+} // namespace hetsim::device

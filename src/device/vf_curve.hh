@@ -1,0 +1,99 @@
+/**
+ * @file
+ * V_dd-frequency curves and the DVFS voltage-pair solver.
+ *
+ * Implements Figure 3 and Section III-D of the paper. Each curve maps a
+ * supply voltage to the *effective core frequency* the technology can
+ * sustain: for HetJTFET units this already accounts for the 2x-deeper
+ * pipelining, so at its nominal point (0.40 V) the TFET curve reads the
+ * same 2 GHz core clock as Si-CMOS at 0.73 V.
+ *
+ * The curves are monotone piecewise-linear interpolants through anchor
+ * points chosen to match every operating point the paper quotes:
+ * CMOS 0.73 V -> 2 GHz, +75 mV -> 2.5 GHz, -70 mV -> 1.5 GHz;
+ * TFET 0.40 V -> 2 GHz, +90 mV -> 2.5 GHz, -80 mV -> 1.5 GHz, with the
+ * characteristic TFET flattening above ~0.6 V.
+ */
+
+#ifndef HETSIM_DEVICE_VF_CURVE_HH
+#define HETSIM_DEVICE_VF_CURVE_HH
+
+#include <vector>
+
+namespace hetsim::device
+{
+
+/** One anchor of a V-f curve. */
+struct VfPoint
+{
+    double voltage; ///< V_dd (V).
+    double freqGhz; ///< Sustained effective core frequency (GHz).
+};
+
+/**
+ * Monotone piecewise-linear V_dd -> frequency curve with inversion.
+ */
+class VfCurve
+{
+  public:
+    /** Anchors must be strictly increasing in voltage and
+     *  non-decreasing in frequency. */
+    explicit VfCurve(std::vector<VfPoint> anchors);
+
+    /** Effective frequency at a supply voltage (linear interpolation,
+     *  clamped at the ends). */
+    double freqAt(double voltage) const;
+
+    /**
+     * Lowest voltage achieving at least the requested frequency.
+     * Fails (fatal) if the curve saturates below the request.
+     */
+    double voltageFor(double freq_ghz) const;
+
+    /** Highest frequency the curve ever reaches. */
+    double maxFreq() const;
+
+    double minVoltage() const { return anchors_.front().voltage; }
+    double maxVoltage() const { return anchors_.back().voltage; }
+
+    const std::vector<VfPoint> &anchors() const { return anchors_; }
+
+  private:
+    std::vector<VfPoint> anchors_;
+};
+
+/** The Si-CMOS curve of Figure 3 (core domain, 0.73 V -> 2 GHz). */
+const VfCurve &cmosVfCurve();
+
+/** The HetJTFET curve of Figure 3 (effective core frequency,
+ *  0.40 V -> 2 GHz, saturating above ~0.6 V). */
+const VfCurve &tfetVfCurve();
+
+/**
+ * A DVFS operating point: the (V_CMOS, V_TFET) pair that lets both
+ * device domains sustain the same core frequency (Section III-D).
+ */
+struct DvfsPoint
+{
+    double freqGhz;
+    double vCmos;
+    double vTfet;
+};
+
+/**
+ * Solve for the voltage pair at a core frequency.
+ * Fatal if the TFET curve cannot reach the frequency (saturation).
+ */
+DvfsPoint dvfsPointFor(double freq_ghz);
+
+/** Relative dynamic power scale when moving a domain from voltage v0 /
+ *  frequency f0 to v1 / f1 (P proportional to f * V^2). */
+double dynamicPowerScale(double v0, double f0, double v1, double f1);
+
+/** Relative dynamic energy-per-operation scale from v0 to v1
+ *  (E proportional to V^2). */
+double dynamicEnergyScale(double v0, double v1);
+
+} // namespace hetsim::device
+
+#endif // HETSIM_DEVICE_VF_CURVE_HH

@@ -1,0 +1,304 @@
+#include "gpu/compute_unit.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::gpu
+{
+
+using power::GpuUnit;
+
+namespace
+{
+
+constexpr int
+unitIdx(GpuUnit u)
+{
+    return static_cast<int>(u);
+}
+
+} // namespace
+
+ComputeUnit::ComputeUnit(const CuParams &params, uint32_t cu_id,
+                         GpuMemInterface *mem)
+    : params_(params), cuId_(cu_id), mem_(mem),
+      stats_("cu." + std::to_string(cu_id))
+{
+    hetsim_assert(mem_ != nullptr, "CU needs a memory interface");
+    hetsim_assert(params_.lanes >= 1 &&
+                  kWavefrontSize % params_.lanes == 0,
+                  "wavefront size must be a multiple of lane count");
+    beats_ = kWavefrontSize / params_.lanes;
+    slots_.reserve(params_.maxWavefronts);
+    for (uint32_t i = 0; i < params_.maxWavefronts; ++i)
+        slots_.emplace_back(params_.rfCacheEntries);
+    groups_.resize(params_.maxWavefronts);
+}
+
+uint32_t
+ComputeUnit::freeSlots() const
+{
+    uint32_t n = 0;
+    for (const Wavefront &wf : slots_)
+        if (wf.state() == WavefrontState::Idle)
+            ++n;
+    return n;
+}
+
+void
+ComputeUnit::launchWorkgroup(GpuKernel &kernel, uint32_t workgroup)
+{
+    const uint32_t wpg = kernel.wavefrontsPerGroup();
+    hetsim_assert(freeSlots() >= wpg,
+                  "launching a workgroup without enough slots");
+
+    // Find a free group slot.
+    uint32_t gslot = 0;
+    while (gslot < groups_.size() && groups_[gslot].valid)
+        ++gslot;
+    hetsim_assert(gslot < groups_.size(), "no free group slot");
+    groups_[gslot].valid = true;
+    groups_[gslot].wavefronts = wpg;
+
+    uint32_t launched = 0;
+    for (Wavefront &wf : slots_) {
+        if (launched == wpg)
+            break;
+        if (wf.state() != WavefrontState::Idle)
+            continue;
+        wf.assign(kernel.makeWavefront(workgroup, launched), gslot);
+        ++launched;
+    }
+    ++stats_.counter("workgroups_launched");
+}
+
+uint32_t
+ComputeUnit::readLatency(Wavefront &wf, int16_t vreg)
+{
+    if (vreg < 0)
+        return 0;
+    const GpuTimings &t = params_.timings;
+    if (t.useRfCache && wf.rfCache().readHit(vreg)) {
+        ++activity_[unitIdx(GpuUnit::RfCache)];
+        ++stats_.counter("rf_cache_read_hits");
+        return t.rfCacheLat;
+    }
+    if (t.partitionedRf &&
+        vreg < static_cast<int16_t>(t.fastPartitionRegs)) {
+        ++activity_[unitIdx(GpuUnit::VectorRfFast)];
+        ++stats_.counter("rf_fast_partition_reads");
+        return 1;
+    }
+    ++activity_[unitIdx(GpuUnit::VectorRf)];
+    if (t.useRfCache)
+        ++stats_.counter("rf_cache_read_misses");
+    return t.rfLat;
+}
+
+uint32_t
+ComputeUnit::writeLatency(Wavefront &wf, int16_t vreg)
+{
+    if (vreg < 0)
+        return 0;
+    const GpuTimings &t = params_.timings;
+    if (t.partitionedRf &&
+        vreg < static_cast<int16_t>(t.fastPartitionRegs)) {
+        ++activity_[unitIdx(GpuUnit::VectorRfFast)];
+        return 1;
+    }
+    // Writes are always sent to the main RF (write-through); with the
+    // RF cache they also allocate there and complete at cache speed.
+    ++activity_[unitIdx(GpuUnit::VectorRf)];
+    if (t.useRfCache) {
+        wf.rfCache().write(vreg);
+        ++activity_[unitIdx(GpuUnit::RfCache)];
+        return t.rfCacheLat;
+    }
+    return t.rfLat;
+}
+
+bool
+ComputeUnit::tryIssue(Wavefront &wf, Cycle now)
+{
+    const GpuOp &op = wf.currentOp();
+    const GpuTimings &t = params_.timings;
+
+    switch (op.cls) {
+      case GpuOpClass::VAlu:
+      {
+        if (simdFreeAt_ > now)
+            return false;
+        // Operand collection through the banked vector RF gates the
+        // SIMD pipe: each source is read through a bank port, so a
+        // 3-operand FMA occupies the unit for the larger of its
+        // issue beats and its serialized operand reads. This is how
+        // the slower TFET RF costs *throughput*, and what the
+        // register-file cache buys back (Section IV-C3).
+        uint32_t read_sum = 0;
+        uint32_t read_max = 0;
+        for (int i = 0; i < op.numSrcs; ++i) {
+            const uint32_t lat = readLatency(wf, op.src[i]);
+            read_sum += lat;
+            read_max = std::max(read_max, lat);
+        }
+        const uint32_t write_lat = writeLatency(wf, op.dst);
+        // The destination write-back consumes a bank port too, so a
+        // CMOS FMA (3 reads + 1 write at 1 cycle each) exactly fills
+        // its 4 issue beats while the TFET RF halves the sustainable
+        // rate unless the RF cache absorbs the traffic.
+        const uint32_t occupancy =
+            std::max(beats_, read_sum + write_lat);
+        simdFreeAt_ = now + occupancy;
+        const Cycle dst_ready = now + read_max + (beats_ - 1)
+            + t.fmaLat + write_lat;
+        ++activity_[unitIdx(GpuUnit::SimdFma)];
+        wf.completeIssue(now, dst_ready);
+        return true;
+      }
+
+      case GpuOpClass::SAlu:
+      {
+        if (saluFreeAt_ > now)
+            return false;
+        saluFreeAt_ = now + 1;
+        ++activity_[unitIdx(GpuUnit::Salu)];
+        wf.completeIssue(now, now + t.saluLat);
+        return true;
+      }
+
+      case GpuOpClass::LdsOp:
+      {
+        if (ldsFreeAt_ > now)
+            return false;
+        uint32_t read_sum = 0, read_max = 0;
+        for (int i = 0; i < op.numSrcs; ++i) {
+            const uint32_t lat = readLatency(wf, op.src[i]);
+            read_sum += lat;
+            read_max = std::max(read_max, lat);
+        }
+        ldsFreeAt_ = now + std::max(1u, read_sum);
+        const uint32_t write_lat = writeLatency(wf, op.dst);
+        ++activity_[unitIdx(GpuUnit::Lds)];
+        wf.completeIssue(now,
+                         now + read_max + t.ldsLat + write_lat);
+        return true;
+      }
+
+      case GpuOpClass::VLoad:
+      case GpuOpClass::VStore:
+      {
+        if (memFreeAt_ > now)
+            return false;
+        const bool is_store = op.cls == GpuOpClass::VStore;
+        uint32_t read_sum = 0, read_lat = 0;
+        for (int i = 0; i < op.numSrcs; ++i) {
+            const uint32_t lat = readLatency(wf, op.src[i]);
+            read_sum += lat;
+            read_lat = std::max(read_lat, lat);
+        }
+        // Address (and store-data) operand reads gate the memory
+        // port just like they gate the SIMD pipe.
+        memFreeAt_ = now + std::max(beats_, read_sum);
+        // The coalescer issues one line per cycle.
+        uint32_t mem_lat = 0;
+        for (uint32_t l = 0; l < op.numLines; ++l) {
+            const uint32_t lat = mem_->access(
+                cuId_, op.addr + static_cast<uint64_t>(l) * 64,
+                is_store, now + l);
+            mem_lat = std::max(mem_lat, l + lat);
+        }
+        Cycle done = now + read_lat + mem_lat;
+        if (!is_store)
+            done += writeLatency(wf, op.dst);
+        ++stats_.counter(is_store ? "vstores" : "vloads");
+        wf.completeIssue(now, is_store ? now + 1 : done);
+        return true;
+      }
+
+      case GpuOpClass::SBarrier:
+        // Barriers never reach tryIssue: staging one parks the
+        // wavefront.
+        panic("barrier reached issue");
+    }
+    return false;
+}
+
+void
+ComputeUnit::checkBarriers()
+{
+    for (uint32_t g = 0; g < groups_.size(); ++g) {
+        if (!groups_[g].valid)
+            continue;
+        uint32_t members = 0, parked = 0;
+        for (const Wavefront &wf : slots_) {
+            if (wf.state() == WavefrontState::Idle ||
+                wf.workgroupSlot() != g)
+                continue;
+            if (wf.state() == WavefrontState::Done)
+                continue;
+            ++members;
+            if (wf.state() == WavefrontState::AtBarrier)
+                ++parked;
+        }
+        if (members > 0 && parked == members) {
+            for (Wavefront &wf : slots_) {
+                if (wf.state() == WavefrontState::AtBarrier &&
+                    wf.workgroupSlot() == g)
+                    wf.releaseBarrier();
+            }
+            ++stats_.counter("barrier_releases");
+        }
+    }
+}
+
+void
+ComputeUnit::reapFinished()
+{
+    for (Wavefront &wf : slots_) {
+        if (wf.state() != WavefrontState::Done)
+            continue;
+        const uint32_t g = wf.workgroupSlot();
+        hetsim_assert(groups_[g].valid && groups_[g].wavefronts > 0,
+                      "group accounting broken");
+        --groups_[g].wavefronts;
+        if (groups_[g].wavefronts == 0) {
+            groups_[g].valid = false;
+            ++stats_.counter("workgroups_retired");
+        }
+        wf.release();
+    }
+}
+
+void
+ComputeUnit::tick(Cycle now)
+{
+    // Round-robin: try each wavefront once, starting after the last
+    // issuer; at most one instruction issues per cycle.
+    const uint32_t n = static_cast<uint32_t>(slots_.size());
+    for (uint32_t i = 0; i < n; ++i) {
+        Wavefront &wf = slots_[(rrNext_ + i) % n];
+        if (!wf.canIssue(now))
+            continue;
+        if (tryIssue(wf, now)) {
+            rrNext_ = (rrNext_ + i + 1) % n;
+            ++issuedOps_;
+            ++activity_[unitIdx(GpuUnit::FetchIssue)];
+            break;
+        }
+    }
+    checkBarriers();
+    reapFinished();
+    ++activity_[unitIdx(GpuUnit::ClockTree)];
+}
+
+bool
+ComputeUnit::idle() const
+{
+    for (const Wavefront &wf : slots_)
+        if (wf.state() != WavefrontState::Idle)
+            return false;
+    return true;
+}
+
+} // namespace hetsim::gpu

@@ -1,0 +1,130 @@
+#include "gpu/gpu.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::gpu
+{
+
+using power::GpuUnit;
+
+GpuMemSystem::GpuMemSystem(const GpuParams &params)
+    : params_(params), dram_(params.dramRt, 2, 4)
+{
+    for (uint32_t c = 0; c < params.numCus; ++c) {
+        mem::CacheParams p{"gpu.l1." + std::to_string(c),
+                           params.l1SizeBytes, params.l1Ways,
+                           mem::kLineBytes, false};
+        l1_.push_back(std::make_unique<mem::Cache>(p));
+    }
+    mem::CacheParams p{"gpu.l2", params.l2SizeBytes, params.l2Ways,
+                       mem::kLineBytes, false};
+    l2_ = std::make_unique<mem::Cache>(p);
+}
+
+uint32_t
+GpuMemSystem::access(uint32_t cu, uint64_t addr, bool is_store,
+                     Cycle now)
+{
+    addr = mem::lineAlign(addr);
+    mem::Cache &l1 = *l1_[cu];
+
+    auto handle_l1_eviction = [&](const mem::Eviction &ev) {
+        if (!ev.valid || !ev.dirty)
+            return;
+        // Non-inclusive L2: merge into L2 if resident, else go to
+        // memory.
+        if (l2_->contains(ev.lineAddr))
+            l2_->markDirty(ev.lineAddr);
+        else
+            dram_.writeback(ev.lineAddr, now);
+    };
+
+    if (l1.access(addr).hit) {
+        if (is_store)
+            l1.markDirty(addr);
+        return params_.l1Rt;
+    }
+
+    uint32_t latency;
+    if (l2_->access(addr).hit) {
+        latency = params_.l2Rt;
+    } else {
+        latency = params_.l2Rt + dram_.access(addr, now);
+        const mem::Eviction ev =
+            l2_->fill(addr, mem::CoherenceState::Shared);
+        if (ev.valid && ev.dirty)
+            dram_.writeback(ev.lineAddr, now);
+    }
+    handle_l1_eviction(l1.fill(addr, mem::CoherenceState::Shared));
+    if (is_store)
+        l1.markDirty(addr);
+    return latency;
+}
+
+Gpu::Gpu(const GpuParams &params) : params_(params), mem_(params_)
+{
+    hetsim_assert(params_.numCus >= 1, "GPU needs compute units");
+    for (uint32_t c = 0; c < params_.numCus; ++c)
+        cus_.push_back(
+            std::make_unique<ComputeUnit>(params_.cu, c, &mem_));
+}
+
+GpuResult
+Gpu::run(GpuKernel &kernel)
+{
+    const uint32_t wpg = kernel.wavefrontsPerGroup();
+    hetsim_assert(wpg >= 1 && wpg <= params_.cu.maxWavefronts,
+                  "workgroup does not fit a CU (%u wavefronts)", wpg);
+
+    uint32_t next_group = 0;
+    const uint32_t total_groups = kernel.numWorkgroups();
+    Cycle now = 0;
+
+    while (true) {
+        hetsim_assert(now < params_.maxCycles,
+                      "GPU exceeded cycle budget; deadlock?");
+
+        // Dispatch: each CU may receive one workgroup per cycle.
+        for (auto &cu : cus_) {
+            if (next_group >= total_groups)
+                break;
+            if (cu->freeSlots() >= wpg) {
+                cu->launchWorkgroup(kernel, next_group);
+                ++next_group;
+            }
+        }
+
+        bool all_idle = true;
+        for (auto &cu : cus_) {
+            cu->tick(now);
+            all_idle = all_idle && cu->idle();
+        }
+        ++now;
+
+        if (next_group >= total_groups && all_idle)
+            break;
+    }
+
+    GpuResult res;
+    res.cycles = now;
+    res.seconds = static_cast<double>(now) / (params_.freqGhz * 1e9);
+    for (auto &cu : cus_) {
+        res.issuedOps += cu->issuedOps();
+        const power::GpuActivity &a = cu->activity();
+        for (int i = 0; i < power::kNumGpuUnits; ++i)
+            res.activity[i] += a[i];
+    }
+    // Cache activity.
+    uint64_t l1 = 0;
+    for (uint32_t c = 0; c < params_.numCus; ++c) {
+        const auto &s = mem_.l1(c).stats();
+        l1 += s.value("accesses") + s.value("fills");
+    }
+    const auto &l2s = mem_.l2().stats();
+    res.activity[static_cast<int>(GpuUnit::L1)] += l1;
+    res.activity[static_cast<int>(GpuUnit::L2)] +=
+        l2s.value("accesses") + l2s.value("fills");
+    return res;
+}
+
+} // namespace hetsim::gpu

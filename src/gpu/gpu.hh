@@ -1,0 +1,95 @@
+/**
+ * @file
+ * The full GPU: compute units, memory system, workgroup dispatcher.
+ *
+ * Table III: 8 CUs with 16 EUs each at 1 GHz (16 CUs for AdvHet-2X,
+ * half frequency for the all-TFET GPU). The memory system is a per-CU
+ * vector L1, a shared L2, and a bandwidth-limited DRAM channel; GPU
+ * kernels partition their address space per workgroup, so no inter-CU
+ * coherence protocol is required.
+ */
+
+#ifndef HETSIM_GPU_GPU_HH
+#define HETSIM_GPU_GPU_HH
+
+#include <memory>
+#include <vector>
+
+#include "gpu/compute_unit.hh"
+#include "mem/cache.hh"
+#include "mem/dram.hh"
+#include "power/accountant.hh"
+
+namespace hetsim::gpu
+{
+
+/** Full GPU configuration. */
+struct GpuParams
+{
+    uint32_t numCus = 8;
+    CuParams cu;
+    double freqGhz = 1.0;
+    uint32_t l1SizeBytes = 16 * 1024;
+    uint32_t l1Ways = 4;
+    uint32_t l2SizeBytes = 1024 * 1024;
+    uint32_t l2Ways = 16;
+    uint32_t l1Rt = 4;     ///< Vector L1 hit round trip (cycles).
+    uint32_t l2Rt = 20;    ///< Shared L2 hit round trip.
+    uint32_t dramRt = 100; ///< DRAM round trip at 1 GHz.
+    uint64_t maxCycles = 1ull << 33;
+};
+
+/** Aggregate outcome of one kernel launch. */
+struct GpuResult
+{
+    uint64_t cycles = 0;
+    double seconds = 0.0;
+    uint64_t issuedOps = 0;
+    power::GpuActivity activity{};
+};
+
+/** Per-CU L1s + shared L2 + DRAM. */
+class GpuMemSystem : public GpuMemInterface
+{
+  public:
+    explicit GpuMemSystem(const GpuParams &params);
+
+    uint32_t access(uint32_t cu, uint64_t addr, bool is_store,
+                    Cycle now) override;
+
+    mem::Cache &l1(uint32_t cu) { return *l1_[cu]; }
+    mem::Cache &l2() { return *l2_; }
+    mem::Dram &dram() { return dram_; }
+
+  private:
+    const GpuParams &params_;
+    std::vector<std::unique_ptr<mem::Cache>> l1_;
+    std::unique_ptr<mem::Cache> l2_;
+    mem::Dram dram_;
+};
+
+/** The GPU chip. */
+class Gpu
+{
+  public:
+    explicit Gpu(const GpuParams &params);
+
+    /** Run one kernel to completion. */
+    GpuResult run(GpuKernel &kernel);
+
+    ComputeUnit &cu(uint32_t i) { return *cus_[i]; }
+    GpuMemSystem &memSystem() { return mem_; }
+    uint32_t numCus() const
+    {
+        return static_cast<uint32_t>(cus_.size());
+    }
+
+  private:
+    GpuParams params_;
+    GpuMemSystem mem_;
+    std::vector<std::unique_ptr<ComputeUnit>> cus_;
+};
+
+} // namespace hetsim::gpu
+
+#endif // HETSIM_GPU_GPU_HH

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * GPU kernel abstraction consumed by the compute-unit model.
+ *
+ * A kernel is a grid of workgroups; each workgroup is a fixed number of
+ * 64-thread wavefronts, all assigned to one compute unit. Every
+ * wavefront executes a stream of GpuOps produced by a WavefrontProgram
+ * (per-wavefront generator state allows address divergence while the
+ * instruction sequence shape stays kernel-defined).
+ */
+
+#ifndef HETSIM_GPU_KERNEL_HH
+#define HETSIM_GPU_KERNEL_HH
+
+#include <cstdint>
+#include <memory>
+
+namespace hetsim::gpu
+{
+
+/** Vector registers architected per thread (AMD Southern Islands). */
+constexpr uint32_t kVectorRegsPerThread = 256;
+
+/** Wavefront width in threads. */
+constexpr uint32_t kWavefrontSize = 64;
+
+/** GPU operation classes with distinct timing. */
+enum class GpuOpClass : uint8_t
+{
+    VAlu,     ///< SIMD FMA/ALU over the wavefront.
+    SAlu,     ///< Scalar ALU operation.
+    VLoad,    ///< Vector (global memory) load.
+    VStore,   ///< Vector (global memory) store.
+    LdsOp,    ///< Local data share access.
+    SBarrier, ///< Workgroup barrier.
+};
+
+/** One wavefront-level instruction. */
+struct GpuOp
+{
+    GpuOpClass cls = GpuOpClass::VAlu;
+    int16_t dst = -1;     ///< Destination vreg or -1.
+    int16_t src[3] = {-1, -1, -1};
+    uint8_t numSrcs = 0;
+    /** Memory ops: base line-aligned address and the number of
+     *  distinct 64-byte lines the coalescer produces (1..wavefront
+     *  size; consecutive lines from `addr`). */
+    uint64_t addr = 0;
+    uint8_t numLines = 1;
+};
+
+/** Per-wavefront instruction stream. */
+class WavefrontProgram
+{
+  public:
+    virtual ~WavefrontProgram() = default;
+
+    /** Produce the next op; false when the wavefront is finished. */
+    virtual bool next(GpuOp &op) = 0;
+};
+
+/** A launchable kernel: grid shape plus per-wavefront programs. */
+class GpuKernel
+{
+  public:
+    virtual ~GpuKernel() = default;
+
+    virtual uint32_t numWorkgroups() const = 0;
+    virtual uint32_t wavefrontsPerGroup() const = 0;
+
+    /** Instantiate the program of one wavefront. */
+    virtual std::unique_ptr<WavefrontProgram>
+    makeWavefront(uint32_t workgroup, uint32_t wavefront) = 0;
+};
+
+} // namespace hetsim::gpu
+
+#endif // HETSIM_GPU_KERNEL_HH

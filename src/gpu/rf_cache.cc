@@ -1,0 +1,44 @@
+#include "gpu/rf_cache.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::gpu
+{
+
+RfCache::RfCache(uint32_t entries) : capacity_(entries)
+{
+    hetsim_assert(entries >= 1, "RF cache needs at least one entry");
+    fifo_.reserve(entries);
+}
+
+void
+RfCache::write(int16_t vreg)
+{
+    if (vreg < 0)
+        return;
+    auto it = std::find(fifo_.begin(), fifo_.end(), vreg);
+    if (it != fifo_.end()) {
+        // Rewrite of a cached register: keep its FIFO position.
+        return;
+    }
+    if (fifo_.size() == capacity_)
+        fifo_.erase(fifo_.begin());
+    fifo_.push_back(vreg);
+}
+
+bool
+RfCache::readHit(int16_t vreg) const
+{
+    return vreg >= 0 &&
+        std::find(fifo_.begin(), fifo_.end(), vreg) != fifo_.end();
+}
+
+void
+RfCache::reset()
+{
+    fifo_.clear();
+}
+
+} // namespace hetsim::gpu

@@ -1,0 +1,52 @@
+/**
+ * @file
+ * Register-file cache (Section IV-C3; Gebhart et al. style).
+ *
+ * A tiny per-thread cache in front of the main vector register file: 6
+ * entries per thread, 1-cycle access. Only *written* registers are
+ * allocated (about 40% of writes are consumed by reads within a few
+ * instructions, so caching writes captures the short-lived values
+ * without thrashing); replacement is FIFO. Because control flow is
+ * wavefront-uniform, the model tracks one entry set per wavefront.
+ */
+
+#ifndef HETSIM_GPU_RF_CACHE_HH
+#define HETSIM_GPU_RF_CACHE_HH
+
+#include <cstdint>
+#include <vector>
+
+#include "common/stats.hh"
+
+namespace hetsim::gpu
+{
+
+/** FIFO write-allocated register-file cache for one wavefront. */
+class RfCache
+{
+  public:
+    explicit RfCache(uint32_t entries = 6);
+
+    /** Record a register write (allocates; FIFO eviction). */
+    void write(int16_t vreg);
+
+    /** Whether a read of `vreg` hits the cache. */
+    bool readHit(int16_t vreg) const;
+
+    /** Reset (e.g. when a wavefront slot is reassigned). */
+    void reset();
+
+    uint32_t entries() const
+    {
+        return static_cast<uint32_t>(fifo_.size());
+    }
+    uint32_t capacity() const { return capacity_; }
+
+  private:
+    uint32_t capacity_;
+    std::vector<int16_t> fifo_; ///< Oldest first; size <= capacity_.
+};
+
+} // namespace hetsim::gpu
+
+#endif // HETSIM_GPU_RF_CACHE_HH

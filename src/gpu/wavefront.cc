@@ -1,0 +1,89 @@
+#include "gpu/wavefront.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::gpu
+{
+
+Wavefront::Wavefront(uint32_t rf_cache_entries)
+    : rfCache_(rf_cache_entries)
+{
+}
+
+void
+Wavefront::assign(std::unique_ptr<WavefrontProgram> program,
+                  uint32_t workgroup_slot)
+{
+    hetsim_assert(state_ == WavefrontState::Idle,
+                  "assigning a busy wavefront slot");
+    program_ = std::move(program);
+    workgroupSlot_ = workgroup_slot;
+    state_ = WavefrontState::Active;
+    nextIssueCycle_ = 0;
+    regReady_.fill(0);
+    rfCache_.reset();
+    stageNext();
+}
+
+void
+Wavefront::release()
+{
+    hetsim_assert(state_ == WavefrontState::Done,
+                  "releasing an unfinished wavefront");
+    program_.reset();
+    state_ = WavefrontState::Idle;
+}
+
+void
+Wavefront::stageNext()
+{
+    GpuOp op;
+    if (!program_->next(op)) {
+        state_ = WavefrontState::Done;
+        return;
+    }
+    current_ = op;
+    if (op.cls == GpuOpClass::SBarrier)
+        state_ = WavefrontState::AtBarrier;
+}
+
+bool
+Wavefront::canIssue(Cycle now) const
+{
+    if (state_ != WavefrontState::Active || now < nextIssueCycle_)
+        return false;
+    for (int i = 0; i < current_.numSrcs; ++i) {
+        const int16_t r = current_.src[i];
+        if (r >= 0 && regReady_[r] > now)
+            return false;
+    }
+    return true;
+}
+
+void
+Wavefront::completeIssue(Cycle now, Cycle dst_ready)
+{
+    hetsim_assert(state_ == WavefrontState::Active,
+                  "issue from a non-active wavefront");
+    if (current_.dst >= 0)
+        regReady_[current_.dst] = dst_ready;
+    nextIssueCycle_ = now + 1;
+    stageNext();
+}
+
+void
+Wavefront::releaseBarrier()
+{
+    hetsim_assert(state_ == WavefrontState::AtBarrier,
+                  "barrier release on a non-parked wavefront");
+    state_ = WavefrontState::Active;
+    stageNext();
+}
+
+Cycle
+Wavefront::regReadyAt(int16_t vreg) const
+{
+    return vreg >= 0 ? regReady_[vreg] : 0;
+}
+
+} // namespace hetsim::gpu

@@ -1,0 +1,50 @@
+#include "mem/dram.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::mem
+{
+
+Dram::Dram(uint32_t latency_cycles, uint32_t service_cycles,
+           uint32_t channels)
+    : latencyCycles_(latency_cycles), serviceCycles_(service_cycles),
+      channelFree_(channels, 0), stats_("dram")
+{
+    hetsim_assert(channels >= 1, "need at least one DRAM channel");
+}
+
+uint32_t
+Dram::channelOf(Addr addr) const
+{
+    return static_cast<uint32_t>(lineNumber(addr))
+        % channelFree_.size();
+}
+
+Cycle
+Dram::reserveSlot(uint32_t channel, Cycle now)
+{
+    Cycle start = std::max(now, channelFree_[channel]);
+    channelFree_[channel] = start + serviceCycles_;
+    return start;
+}
+
+uint32_t
+Dram::access(Addr addr, Cycle now)
+{
+    ++stats_.counter("reads");
+    const Cycle start = reserveSlot(channelOf(addr), now);
+    const Cycle queue_delay = start - now;
+    stats_.counter("queue_cycles") += queue_delay;
+    return static_cast<uint32_t>(queue_delay) + latencyCycles_;
+}
+
+void
+Dram::writeback(Addr addr, Cycle now)
+{
+    ++stats_.counter("writes");
+    reserveSlot(channelOf(addr), now);
+}
+
+} // namespace hetsim::mem

@@ -1,0 +1,61 @@
+/**
+ * @file
+ * Simple DRAM model: fixed round-trip latency (Table III: 50 ns) plus
+ * a bandwidth-limited channel that queues line transfers.
+ *
+ * The channel services one 64-byte line every `service_cycles`; requests
+ * arriving while the channel is busy wait. This is enough to expose
+ * memory contention when the AdvHet-2X configuration doubles the core
+ * count against the same memory system.
+ */
+
+#ifndef HETSIM_MEM_DRAM_HH
+#define HETSIM_MEM_DRAM_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+#include "mem/types.hh"
+
+namespace hetsim::mem
+{
+
+/** Bandwidth-limited fixed-latency DRAM channel. */
+class Dram
+{
+  public:
+    /**
+     * @param latency_cycles Round-trip access latency in core cycles.
+     * @param service_cycles Minimum spacing between line transfers.
+     * @param channels       Independent channels (line-interleaved).
+     */
+    Dram(uint32_t latency_cycles, uint32_t service_cycles = 4,
+         uint32_t channels = 2);
+
+    /**
+     * Latency of a line access issued at cycle `now`, including any
+     * queuing delay behind earlier transfers on the same channel.
+     */
+    uint32_t access(Addr addr, Cycle now);
+
+    /** Record a write-back (consumes channel bandwidth, no latency
+     *  returned to the requester). */
+    void writeback(Addr addr, Cycle now);
+
+    uint32_t latencyCycles() const { return latencyCycles_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    uint32_t channelOf(Addr addr) const;
+    Cycle reserveSlot(uint32_t channel, Cycle now);
+
+    uint32_t latencyCycles_;
+    uint32_t serviceCycles_;
+    std::vector<Cycle> channelFree_;
+    StatGroup stats_;
+};
+
+} // namespace hetsim::mem
+
+#endif // HETSIM_MEM_DRAM_HH

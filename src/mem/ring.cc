@@ -1,0 +1,36 @@
+#include "mem/ring.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+
+namespace hetsim::mem
+{
+
+RingNetwork::RingNetwork(uint32_t num_nodes, uint32_t hop_cycles,
+                         uint32_t injection_cycles)
+    : numNodes_(num_nodes), hopCycles_(hop_cycles),
+      injectionCycles_(injection_cycles), stats_("ring")
+{
+    hetsim_assert(num_nodes >= 1, "ring needs at least one node");
+}
+
+uint32_t
+RingNetwork::hops(uint32_t from, uint32_t to) const
+{
+    hetsim_assert(from < numNodes_ && to < numNodes_,
+                  "node out of range (%u, %u)", from, to);
+    const uint32_t d = from > to ? from - to : to - from;
+    return std::min(d, numNodes_ - d);
+}
+
+uint32_t
+RingNetwork::latency(uint32_t from, uint32_t to)
+{
+    const uint32_t h = hops(from, to);
+    ++stats_.counter("messages");
+    stats_.counter("hop_traversals") += h;
+    return injectionCycles_ + h * hopCycles_;
+}
+
+} // namespace hetsim::mem

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Bidirectional ring interconnect model (Table III: "Ring with MESI
+ * directory-based protocol").
+ *
+ * Nodes are core tiles and L3-bank/directory tiles placed alternately
+ * around the ring. A message takes the shorter direction; latency is a
+ * fixed router/link cost per hop plus a per-message injection cost.
+ * The model is contention-free (the paper's workloads are far below
+ * ring saturation), but tracks traffic for the energy model.
+ */
+
+#ifndef HETSIM_MEM_RING_HH
+#define HETSIM_MEM_RING_HH
+
+#include <cstdint>
+
+#include "common/stats.hh"
+
+namespace hetsim::mem
+{
+
+/** Bidirectional ring with uniform hop latency. */
+class RingNetwork
+{
+  public:
+    /**
+     * @param num_nodes        Stops on the ring.
+     * @param hop_cycles       Router+link traversal per hop.
+     * @param injection_cycles Fixed cost to enter/exit the ring.
+     */
+    RingNetwork(uint32_t num_nodes, uint32_t hop_cycles = 1,
+                uint32_t injection_cycles = 1);
+
+    /** Hop count along the shorter direction. */
+    uint32_t hops(uint32_t from, uint32_t to) const;
+
+    /** One-way message latency in cycles; records the traversal. */
+    uint32_t latency(uint32_t from, uint32_t to);
+
+    uint32_t numNodes() const { return numNodes_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+  private:
+    uint32_t numNodes_;
+    uint32_t hopCycles_;
+    uint32_t injectionCycles_;
+    StatGroup stats_;
+};
+
+} // namespace hetsim::mem
+
+#endif // HETSIM_MEM_RING_HH

@@ -1,0 +1,22 @@
+#include "mem/types.hh"
+
+namespace hetsim::mem
+{
+
+const char *
+coherenceStateName(CoherenceState s)
+{
+    switch (s) {
+      case CoherenceState::Invalid:
+        return "I";
+      case CoherenceState::Shared:
+        return "S";
+      case CoherenceState::Exclusive:
+        return "E";
+      case CoherenceState::Modified:
+        return "M";
+    }
+    return "?";
+}
+
+} // namespace hetsim::mem

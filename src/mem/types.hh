@@ -1,0 +1,57 @@
+/**
+ * @file
+ * Shared memory-system type definitions.
+ */
+
+#ifndef HETSIM_MEM_TYPES_HH
+#define HETSIM_MEM_TYPES_HH
+
+#include <cstdint>
+
+namespace hetsim::mem
+{
+
+using Addr = uint64_t;
+using Cycle = uint64_t;
+
+/** Cache line size used throughout the simulated hierarchy (Table III). */
+constexpr uint32_t kLineBytes = 64;
+constexpr uint32_t kLineShift = 6;
+
+/** Align an address down to its line. */
+constexpr Addr
+lineAlign(Addr a)
+{
+    return a & ~static_cast<Addr>(kLineBytes - 1);
+}
+
+/** Line number of an address. */
+constexpr Addr
+lineNumber(Addr a)
+{
+    return a >> kLineShift;
+}
+
+/** Kinds of memory access issued by a core. */
+enum class AccessType
+{
+    Load,
+    Store,
+    Ifetch,
+    Prefetch, ///< Load semantics, but skips demand L1 statistics.
+};
+
+/** MESI coherence states. */
+enum class CoherenceState : uint8_t
+{
+    Invalid,
+    Shared,
+    Exclusive,
+    Modified,
+};
+
+const char *coherenceStateName(CoherenceState s);
+
+} // namespace hetsim::mem
+
+#endif // HETSIM_MEM_TYPES_HH

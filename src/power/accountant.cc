@@ -1,0 +1,95 @@
+#include "power/accountant.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::power
+{
+
+EnergyGroup
+cpuUnitGroup(CpuUnit u)
+{
+    switch (u) {
+      case CpuUnit::L2:
+        return EnergyGroup::L2;
+      case CpuUnit::L3:
+      case CpuUnit::Noc:
+        return EnergyGroup::L3;
+      default:
+        return EnergyGroup::Core;
+    }
+}
+
+double
+EnergyBreakdown::totalDynamicJ() const
+{
+    double sum = 0.0;
+    for (double e : dynamicJ)
+        sum += e;
+    return sum;
+}
+
+double
+EnergyBreakdown::totalLeakageJ() const
+{
+    double sum = 0.0;
+    for (double e : leakageJ)
+        sum += e;
+    return sum;
+}
+
+EnergyBreakdown
+computeCpuEnergy(const CpuActivity &activity,
+                 const CpuUnitConfigs &configs, double seconds,
+                 uint32_t num_cores, const VoltageScales &scales)
+{
+    hetsim_assert(seconds >= 0.0, "negative execution time");
+    hetsim_assert(num_cores >= 1, "need at least one core");
+    EnergyBreakdown out;
+    out.dynamicJ.resize(kNumCpuUnits, 0.0);
+    out.leakageJ.resize(kNumCpuUnits, 0.0);
+    for (int i = 0; i < kNumCpuUnits; ++i) {
+        const auto unit = static_cast<CpuUnit>(i);
+        const UnitPower &base = cpuUnitPower(unit);
+        const UnitConfig &cfg = configs[i];
+        const double dyn_j = activity[i] * unitDynPj(base, cfg)
+            * scales.dynamic(cfg.dev) * 1e-12;
+        const double leak_j = unitLeakMw(base, cfg) * num_cores
+            * scales.leakage(cfg.dev) * 1e-3 * seconds;
+        out.dynamicJ[i] = dyn_j;
+        out.leakageJ[i] = leak_j;
+        const int g = static_cast<int>(cpuUnitGroup(unit));
+        out.groupDynamicJ[g] += dyn_j;
+        out.groupLeakageJ[g] += leak_j;
+    }
+    return out;
+}
+
+EnergyBreakdown
+computeGpuEnergy(const GpuActivity &activity,
+                 const GpuUnitConfigs &configs, double seconds,
+                 uint32_t num_cus, const VoltageScales &scales)
+{
+    hetsim_assert(seconds >= 0.0, "negative execution time");
+    hetsim_assert(num_cus >= 1, "need at least one CU");
+    EnergyBreakdown out;
+    out.dynamicJ.resize(kNumGpuUnits, 0.0);
+    out.leakageJ.resize(kNumGpuUnits, 0.0);
+    for (int i = 0; i < kNumGpuUnits; ++i) {
+        const auto unit = static_cast<GpuUnit>(i);
+        const UnitPower &base = gpuUnitPower(unit);
+        const UnitConfig &cfg = configs[i];
+        const double dyn_j = activity[i] * unitDynPj(base, cfg)
+            * scales.dynamic(cfg.dev) * 1e-12;
+        const double leak_j = unitLeakMw(base, cfg) * num_cus
+            * scales.leakage(cfg.dev) * 1e-3 * seconds;
+        out.dynamicJ[i] = dyn_j;
+        out.leakageJ[i] = leak_j;
+        // The GPU breakdown only distinguishes dynamic vs leakage in
+        // the paper; keep everything in the Core group.
+        out.groupDynamicJ[static_cast<int>(EnergyGroup::Core)] += dyn_j;
+        out.groupLeakageJ[static_cast<int>(EnergyGroup::Core)] += leak_j;
+    }
+    return out;
+}
+
+} // namespace hetsim::power

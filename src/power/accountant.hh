@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Energy accounting: turns activity counts + device assignments into a
+ * per-unit dynamic/leakage energy breakdown (the McPAT/GPUWattch role).
+ *
+ * Dynamic energy  = sum over units of accesses x E/access(device, V).
+ * Leakage energy  = sum over units of P_leak(device, V) x wall time.
+ *
+ * Voltage scales let the DVFS and process-variation experiments inflate
+ * or deflate each device domain relative to its nominal operating point
+ * (dynamic with V^2, leakage with the exponential model in
+ * device/variation.hh).
+ */
+
+#ifndef HETSIM_POWER_ACCOUNTANT_HH
+#define HETSIM_POWER_ACCOUNTANT_HH
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "power/unit_catalog.hh"
+
+namespace hetsim::power
+{
+
+/** Activity counts per CPU unit, indexed by CpuUnit. */
+using CpuActivity = std::array<uint64_t, kNumCpuUnits>;
+
+/** Activity counts per GPU unit, indexed by GpuUnit. */
+using GpuActivity = std::array<uint64_t, kNumGpuUnits>;
+
+/** Device/size configuration of every CPU unit. */
+using CpuUnitConfigs = std::array<UnitConfig, kNumCpuUnits>;
+
+/** Device/size configuration of every GPU unit. */
+using GpuUnitConfigs = std::array<UnitConfig, kNumGpuUnits>;
+
+/** Voltage-dependent scaling of each device domain vs nominal. */
+struct VoltageScales
+{
+    double cmosDynamic = 1.0;
+    double cmosLeakage = 1.0;
+    double tfetDynamic = 1.0;
+    double tfetLeakage = 1.0;
+
+    double dynamic(DeviceClass dev) const
+    {
+        return dev == DeviceClass::Tfet ? tfetDynamic : cmosDynamic;
+    }
+    double leakage(DeviceClass dev) const
+    {
+        return dev == DeviceClass::Tfet ? tfetLeakage : cmosLeakage;
+    }
+};
+
+/** Grouping used by the paper's Figure 8 energy breakdown. */
+enum class EnergyGroup
+{
+    Core, ///< Core logic including the L1s.
+    L2,
+    L3,
+    NumGroups
+};
+
+constexpr int kNumEnergyGroups = static_cast<int>(EnergyGroup::NumGroups);
+
+/** The Figure 8 grouping of a CPU unit. */
+EnergyGroup cpuUnitGroup(CpuUnit u);
+
+/** Per-unit and per-group energy result (joules). */
+struct EnergyBreakdown
+{
+    std::vector<double> dynamicJ; ///< Indexed by unit enum.
+    std::vector<double> leakageJ;
+    double groupDynamicJ[kNumEnergyGroups] = {};
+    double groupLeakageJ[kNumEnergyGroups] = {};
+
+    double totalDynamicJ() const;
+    double totalLeakageJ() const;
+    double totalJ() const { return totalDynamicJ() + totalLeakageJ(); }
+};
+
+/**
+ * Compute the energy of one CPU core + its cache slices.
+ *
+ * @param activity  Per-unit access counts (chip-wide).
+ * @param configs   Device/size assignment per unit.
+ * @param seconds   Wall-clock execution time (leakage integrates this).
+ * @param num_cores Cores on the chip; the catalog is per core, so
+ *                  leakage scales with this count (dynamic counts are
+ *                  already chip-wide).
+ * @param scales    Voltage-dependent domain scaling.
+ */
+EnergyBreakdown computeCpuEnergy(const CpuActivity &activity,
+                                 const CpuUnitConfigs &configs,
+                                 double seconds,
+                                 uint32_t num_cores = 1,
+                                 const VoltageScales &scales = {});
+
+/** Compute the energy of a GPU: the catalog is per compute unit, so
+ *  leakage scales with `num_cus`. */
+EnergyBreakdown computeGpuEnergy(const GpuActivity &activity,
+                                 const GpuUnitConfigs &configs,
+                                 double seconds,
+                                 uint32_t num_cus = 1,
+                                 const VoltageScales &scales = {});
+
+} // namespace hetsim::power
+
+#endif // HETSIM_POWER_ACCOUNTANT_HH

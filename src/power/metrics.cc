@@ -1,0 +1,34 @@
+#include "power/metrics.hh"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hh"
+
+namespace hetsim::power
+{
+
+NormalizedMetrics
+normalize(const RunMetrics &run, const RunMetrics &baseline)
+{
+    hetsim_assert(baseline.seconds > 0 && baseline.energyJ > 0,
+                  "degenerate baseline");
+    NormalizedMetrics out;
+    out.time = run.seconds / baseline.seconds;
+    out.energy = run.energyJ / baseline.energyJ;
+    out.ed = run.edJs() / baseline.edJs();
+    out.ed2 = run.ed2Js2() / baseline.ed2Js2();
+    return out;
+}
+
+uint32_t
+coresWithinBudget(double budget_unit_power, uint32_t budget_cores,
+                  double unit_power)
+{
+    hetsim_assert(unit_power > 0, "core power must be positive");
+    const double budget = budget_unit_power * budget_cores;
+    const double n = std::floor(budget / unit_power);
+    return std::max(1u, static_cast<uint32_t>(n));
+}
+
+} // namespace hetsim::power

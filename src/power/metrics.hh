@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Efficiency metrics and the fixed-power-budget solver.
+ */
+
+#ifndef HETSIM_POWER_METRICS_HH
+#define HETSIM_POWER_METRICS_HH
+
+#include <cstdint>
+
+namespace hetsim::power
+{
+
+/** Execution time + energy of one run, with derived metrics. */
+struct RunMetrics
+{
+    double seconds = 0.0;
+    double energyJ = 0.0;
+
+    double powerW() const { return seconds > 0 ? energyJ / seconds : 0; }
+    double edJs() const { return energyJ * seconds; }
+    double ed2Js2() const { return energyJ * seconds * seconds; }
+};
+
+/** Ratios of one run vs a baseline run (the paper's normalized bars). */
+struct NormalizedMetrics
+{
+    double time = 1.0;
+    double energy = 1.0;
+    double ed = 1.0;
+    double ed2 = 1.0;
+};
+
+/** Normalize `run` against `baseline`. */
+NormalizedMetrics normalize(const RunMetrics &run,
+                            const RunMetrics &baseline);
+
+/**
+ * How many cores of average power `unit_power` fit the budget set by
+ * `budget_cores` cores of `budget_unit_power` each (floor, >= 1).
+ */
+uint32_t coresWithinBudget(double budget_unit_power,
+                           uint32_t budget_cores, double unit_power);
+
+} // namespace hetsim::power
+
+#endif // HETSIM_POWER_METRICS_HH

@@ -1,0 +1,168 @@
+/**
+ * @file
+ * Per-unit energy catalog for the CPU and GPU (McPAT/GPUWattch stand-in).
+ *
+ * Each architectural unit has a per-access dynamic energy and a leakage
+ * power, characterized for the all-CMOS baseline at the 2 GHz / 0.73 V
+ * 15nm HP design point (1 GHz for the GPU). The paper's evaluation rules
+ * are applied on top (Section VI):
+ *
+ *  - a TFET unit consumes 4x lower dynamic energy per access and 10x
+ *    lower leakage power than its (dual-V_t) CMOS counterpart;
+ *  - a high-V_t-only unit (BaseHighVt) keeps CMOS dynamic energy but
+ *    leaks 10x less;
+ *  - resized units (larger ROB / FP RF) scale leakage linearly with
+ *    capacity and dynamic energy with the square root of capacity
+ *    (longer bitlines/wordlines).
+ *
+ * Absolute values are representative of McPAT HP-CMOS breakdowns scaled
+ * to 15nm; the evaluation only depends on the *relative* breakdown,
+ * which the calibration tests in tests/test_power_calibration.cc pin.
+ */
+
+#ifndef HETSIM_POWER_UNIT_CATALOG_HH
+#define HETSIM_POWER_UNIT_CATALOG_HH
+
+#include <array>
+#include <cstdint>
+
+namespace hetsim::power
+{
+
+/** CPU architectural units tracked by the energy model. */
+enum class CpuUnit
+{
+    Frontend,   ///< Fetch + branch prediction + decode.
+    Rename,     ///< Rename tables and free lists.
+    Rob,        ///< Reorder buffer.
+    IssueQueue, ///< Scheduler CAM/payload.
+    Lsq,        ///< Load-store queue.
+    IntRf,      ///< Integer register file.
+    FpRf,       ///< Floating-point register file.
+    Alu,        ///< Simple integer ALUs incl. bypass (slow cluster
+                ///< when dual-speed).
+    AluFast,    ///< CMOS ALU of the AdvHet dual-speed cluster.
+    MulDiv,     ///< Integer multiply/divide units.
+    Fpu,        ///< Floating-point units (x2).
+    Il1,        ///< Instruction L1.
+    Dl1,        ///< Data L1 (full array, or slow ways when asymmetric).
+    Dl1Fast,    ///< Asymmetric DL1 fast way (4 KB).
+    L2,         ///< Private L2.
+    L3,         ///< Shared L3 slice.
+    Noc,        ///< Ring interconnect interface.
+    NumUnits
+};
+
+constexpr int kNumCpuUnits = static_cast<int>(CpuUnit::NumUnits);
+
+/** GPU architectural units tracked by the energy model. */
+enum class GpuUnit
+{
+    FetchIssue, ///< Wavefront fetch/decode/schedule/issue.
+    Salu,       ///< Scalar ALU.
+    SimdFma,    ///< SIMD FMA/ALU lanes.
+    VectorRf,   ///< Main vector register file banks.
+    VectorRfFast, ///< CMOS fast partition of a partitioned RF
+                  ///< (related-work alternative to the RF cache).
+    RfCache,    ///< AdvHet register file cache.
+    Lds,        ///< Local data share.
+    L1,         ///< Per-CU vector L1.
+    L2,         ///< Shared GPU L2.
+    ClockTree,  ///< Clock distribution (per cycle; always CMOS).
+    NumUnits
+};
+
+constexpr int kNumGpuUnits = static_cast<int>(GpuUnit::NumUnits);
+
+/** Baseline (all-CMOS) characterization of a unit. */
+struct UnitPower
+{
+    const char *name;
+    double dynPjPerAccess; ///< Dynamic energy per access (pJ).
+    double leakMw;         ///< Leakage power (mW) in the baseline.
+};
+
+/** Baseline catalog entry for a CPU unit (per core). */
+const UnitPower &cpuUnitPower(CpuUnit u);
+
+/** Baseline catalog entry for a GPU unit (per compute unit). */
+const UnitPower &gpuUnitPower(GpuUnit u);
+
+/** Device implementation choice for one unit. */
+enum class DeviceClass
+{
+    Cmos,     ///< Regular dual-V_t CMOS (baseline).
+    Tfet,     ///< HetJTFET at V_TFET (4x dyn, 10x leak advantage).
+    HighVt,   ///< All-high-V_t CMOS (same dyn, 10x leak, slower).
+    InAsCmos, ///< III-V MOSFET: ~10x slower, ~8x lower energy/op.
+    HomJTfet, ///< Homojunction TFET: ~16x slower, ~16x lower energy.
+};
+
+/** Evaluation scaling rules from Section VI of the paper. @{ */
+constexpr double kTfetDynamicFactor = 0.25;
+constexpr double kTfetLeakageFactor = 0.10;
+constexpr double kHighVtLeakageFactor = 0.10;
+/** Table I ratios for the ultra-low-voltage devices, relative to the
+ *  dual-V_t CMOS baseline (Section III argues these devices are
+ *  unsuitable for HetCore; bench_ext_device_choice quantifies it). */
+constexpr double kInAsDynamicFactor = 20.5 / 170.1;
+constexpr double kHomJDynamicFactor = 10.8 / 170.1;
+constexpr double kInAsLeakageFactor = 0.14 / (90.2 * 0.42);
+constexpr double kHomJLeakageFactor = 1.44 / (90.2 * 0.42);
+/** @} */
+
+/** Dynamic-energy multiplier of a device class vs baseline CMOS. */
+constexpr double
+dynamicFactor(DeviceClass dev)
+{
+    switch (dev) {
+      case DeviceClass::Tfet:
+        return kTfetDynamicFactor;
+      case DeviceClass::InAsCmos:
+        return kInAsDynamicFactor;
+      case DeviceClass::HomJTfet:
+        return kHomJDynamicFactor;
+      default:
+        return 1.0;
+    }
+}
+
+/** Leakage-power multiplier of a device class vs baseline CMOS. */
+constexpr double
+leakageFactor(DeviceClass dev)
+{
+    switch (dev) {
+      case DeviceClass::Tfet:
+        return kTfetLeakageFactor;
+      case DeviceClass::HighVt:
+        return kHighVtLeakageFactor;
+      case DeviceClass::InAsCmos:
+        return kInAsLeakageFactor;
+      case DeviceClass::HomJTfet:
+        return kHomJLeakageFactor;
+      case DeviceClass::Cmos:
+      default:
+        return 1.0;
+    }
+}
+
+/** Per-unit configuration: device class plus capacity scaling. */
+struct UnitConfig
+{
+    DeviceClass dev = DeviceClass::Cmos;
+    double sizeScale = 1.0; ///< Capacity vs baseline (e.g. 192/160 ROB).
+    /** Extra leakage-only scale, used to split a unit into clusters
+     *  (e.g. 3-of-4 TFET ALUs leak 0.75 of the catalog value) without
+     *  perturbing per-access dynamic energy. */
+    double leakOnlyScale = 1.0;
+};
+
+/** Capacity-scaled dynamic energy (pJ/access) of a configured unit. */
+double unitDynPj(const UnitPower &base, const UnitConfig &cfg);
+
+/** Capacity-scaled leakage power (mW) of a configured unit. */
+double unitLeakMw(const UnitPower &base, const UnitConfig &cfg);
+
+} // namespace hetsim::power
+
+#endif // HETSIM_POWER_UNIT_CATALOG_HH

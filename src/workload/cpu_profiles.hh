@@ -1,0 +1,77 @@
+/**
+ * @file
+ * Per-application characterization of the CPU workloads.
+ *
+ * The paper evaluates SPLASH-2 (barnes, cholesky, fft, fmm, lu,
+ * radiosity, radix, raytrace, water-nsquared, water-spatial) and
+ * PARSEC (blackscholes, canneal, streamcluster, fluidanimate). We
+ * cannot ship those binaries, so each application is replaced by a
+ * seeded synthetic trace generator tuned to its published
+ * microarchitectural characteristics: FP intensity, instruction-level
+ * parallelism (dependency distances), branch predictability, working
+ * set and locality, sharing and its serial fraction. The HetCore
+ * results depend on exactly these knobs — they determine how sensitive
+ * an app is to FPU/ALU/DL1/L2/L3 latency changes — so matching them
+ * preserves the paper's per-app behaviour shape.
+ */
+
+#ifndef HETSIM_WORKLOAD_CPU_PROFILES_HH
+#define HETSIM_WORKLOAD_CPU_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsim::workload
+{
+
+/** Tunable characteristics of one synthetic CPU application. */
+struct AppProfile
+{
+    const char *name;
+    const char *suite; ///< "splash2" or "parsec".
+
+    // Instruction mix (fractions of all micro-ops; the remainder is
+    // integer ALU work).
+    double loadFraction;
+    double storeFraction;
+    double branchFraction;
+    double fpFraction;      ///< FP ops as a fraction of all ops.
+    double fpDivShare;      ///< Of FP ops, fraction that are divides.
+    double fpMulShare;      ///< Of FP ops, fraction that are multiplies.
+    double intMulShare;     ///< Of int ALU ops, fraction multiplies.
+    double intDivShare;
+
+    // Dependency structure: producer-consumer distance is geometric
+    // with this success probability; higher means shorter distances
+    // (lower ILP).
+    double depShortP;
+
+    // Branch behaviour: fraction of branches whose outcome is
+    // data-dependent (50/50 random, hence mispredicted ~50%).
+    double branchRandomFrac;
+
+    // Memory behaviour.
+    uint32_t footprintKb;    ///< Total working set (partitioned
+                             ///< across threads).
+    double spatialLocality;  ///< P(sequential/stride access).
+    double sharedFraction;   ///< P(access goes to shared data).
+    uint32_t codeKb;         ///< Static code footprint (IL1 pressure).
+
+    // Parallel structure.
+    double serialFraction;   ///< Amdahl serial share of total work.
+    uint32_t phases;         ///< Parallel phases (barriers between).
+
+    // Total dynamic work at reference scale (all threads combined).
+    uint64_t totalOps;
+};
+
+/** All 14 applications, in the paper's order. */
+const std::vector<AppProfile> &cpuApps();
+
+/** Look up an application by name (fatal if unknown). */
+const AppProfile &cpuApp(const std::string &name);
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_CPU_PROFILES_HH

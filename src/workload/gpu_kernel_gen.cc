@@ -1,0 +1,204 @@
+#include "workload/gpu_kernel_gen.hh"
+
+#include <algorithm>
+#include <array>
+
+#include "common/logging.hh"
+
+namespace hetsim::workload
+{
+
+using gpu::GpuOp;
+using gpu::GpuOpClass;
+
+namespace
+{
+
+/** One wavefront's generated stream. */
+class SyntheticWavefrontProgram : public gpu::WavefrontProgram
+{
+  public:
+    SyntheticWavefrontProgram(const KernelProfile &profile,
+                              uint32_t workgroup, uint32_t wavefront,
+                              uint64_t seed, double scale)
+        : profile_(profile),
+          rng_(seed ^ (0x51ull * workgroup + 0x3ull * wavefront + 7))
+    {
+        opsLeft_ = std::max<uint64_t>(
+            8, static_cast<uint64_t>(profile.opsPerWavefront * scale));
+        totalOps_ = opsLeft_;
+        barrierEvery_ = profile.barriers > 0
+            ? std::max<uint64_t>(1, totalOps_ / (profile.barriers + 1))
+            : 0;
+        // Per-workgroup data region; wavefronts stream through
+        // distinct slices for coalesced phases.
+        base_ = (1ull << 34) +
+            (static_cast<uint64_t>(workgroup) << 22);
+        streamPos_ = static_cast<uint64_t>(wavefront) << 14;
+        recent_.fill(0);
+    }
+
+    bool
+    next(GpuOp &op) override
+    {
+        if (opsLeft_ == 0)
+            return false;
+
+        const uint64_t emitted = totalOps_ - opsLeft_;
+        if (barrierEvery_ > 0 && emitted > 0 &&
+            barriersEmitted_ < profile_.barriers &&
+            emitted % barrierEvery_ == 0 && !barrierPending_) {
+            // Barriers are placed at identical positions in every
+            // wavefront of the workgroup.
+            barrierPending_ = true;
+            ++barriersEmitted_;
+            op = GpuOp{};
+            op.cls = GpuOpClass::SBarrier;
+            return true;
+        }
+        barrierPending_ = false;
+
+        genOp(op);
+        --opsLeft_;
+        return true;
+    }
+
+  private:
+    int16_t
+    pickSrc()
+    {
+        if (rng_.chance(profile_.depNearFrac)) {
+            // A recently produced value (last 4 writes).
+            return recent_[(recentPos_ + kRecent -
+                            1 - rng_.range(4)) % kRecent];
+        }
+        // A long-lived input register.
+        return static_cast<int16_t>(
+            rng_.range(gpu::kVectorRegsPerThread / 4));
+    }
+
+    int16_t
+    allocDst()
+    {
+        // Destinations rotate through the upper register space.
+        const int16_t base = gpu::kVectorRegsPerThread / 4;
+        const int16_t r = static_cast<int16_t>(
+            base + (dstCounter_++ %
+                    (gpu::kVectorRegsPerThread - base)));
+        recentPos_ = (recentPos_ + 1) % kRecent;
+        recent_[recentPos_] = r;
+        return r;
+    }
+
+    uint64_t
+    genAddress()
+    {
+        const uint64_t footprint =
+            static_cast<uint64_t>(profile_.footprintKbPerWg) * 1024;
+        if (rng_.chance(profile_.spatialLocality)) {
+            streamPos_ = (streamPos_ + 64) % footprint;
+            return base_ + streamPos_;
+        }
+        return base_ + 64 * rng_.range(
+            std::max<uint64_t>(footprint / 64, 1));
+    }
+
+    void
+    genOp(GpuOp &op)
+    {
+        op = GpuOp{};
+        const double r = rng_.uniform();
+        const double p_valu = profile_.valuFraction;
+        const double p_load = p_valu + profile_.loadFraction;
+        const double p_store = p_load + profile_.storeFraction;
+        const double p_lds = p_store + profile_.ldsFraction;
+
+        if (r < p_valu) {
+            op.cls = GpuOpClass::VAlu;
+            op.numSrcs = 3; // FMA: a*b + c
+            op.src[0] = pickSrc();
+            op.src[1] = pickSrc();
+            op.src[2] = pickSrc();
+            op.dst = allocDst();
+        } else if (r < p_load) {
+            op.cls = GpuOpClass::VLoad;
+            op.numSrcs = 1; // address register
+            op.src[0] = pickSrc();
+            op.addr = genAddress();
+            op.numLines = lineCount();
+            op.dst = allocDst();
+        } else if (r < p_store) {
+            op.cls = GpuOpClass::VStore;
+            op.numSrcs = 2; // address + data
+            op.src[0] = pickSrc();
+            op.src[1] = pickSrc();
+            op.addr = genAddress();
+            op.numLines = lineCount();
+        } else if (r < p_lds) {
+            op.cls = GpuOpClass::LdsOp;
+            op.numSrcs = 2;
+            op.src[0] = pickSrc();
+            op.src[1] = pickSrc();
+            op.dst = allocDst();
+        } else {
+            op.cls = GpuOpClass::SAlu;
+            op.numSrcs = 0; // scalar operands live in the scalar RF
+        }
+    }
+
+    uint8_t
+    lineCount()
+    {
+        // Jitter around the profile's average coalescing quality.
+        const uint32_t avg = profile_.avgLines;
+        const uint32_t lo = avg > 1 ? avg / 2 : 1;
+        const uint32_t hi = std::min(16u, avg * 2);
+        return static_cast<uint8_t>(rng_.rangeInclusive(lo, hi));
+    }
+
+    static constexpr int kRecent = 8;
+
+    const KernelProfile &profile_;
+    hetsim::Rng rng_;
+    uint64_t opsLeft_;
+    uint64_t totalOps_;
+    uint64_t barrierEvery_;
+    uint32_t barriersEmitted_ = 0;
+    bool barrierPending_ = false;
+    uint64_t base_;
+    uint64_t streamPos_;
+    std::array<int16_t, kRecent> recent_;
+    int recentPos_ = 0;
+    uint32_t dstCounter_ = 0;
+};
+
+} // namespace
+
+SyntheticKernel::SyntheticKernel(const KernelProfile &profile,
+                                 uint64_t seed, double scale)
+    : profile_(profile), seed_(seed), scale_(scale)
+{
+    hetsim_assert(scale > 0.0, "scale must be positive");
+}
+
+uint32_t
+SyntheticKernel::numWorkgroups() const
+{
+    return std::max(1u, static_cast<uint32_t>(
+        profile_.workgroups * std::min(1.0, scale_ * 4)));
+}
+
+uint32_t
+SyntheticKernel::wavefrontsPerGroup() const
+{
+    return profile_.wavefrontsPerGroup;
+}
+
+std::unique_ptr<gpu::WavefrontProgram>
+SyntheticKernel::makeWavefront(uint32_t workgroup, uint32_t wavefront)
+{
+    return std::make_unique<SyntheticWavefrontProgram>(
+        profile_, workgroup, wavefront, seed_, scale_);
+}
+
+} // namespace hetsim::workload

@@ -1,0 +1,54 @@
+/**
+ * @file
+ * Synthetic GPU kernel generator.
+ *
+ * Builds a gpu::GpuKernel from a KernelProfile. Every wavefront runs
+ * an instruction stream with the profile's mix; source registers are
+ * drawn near-recent with probability depNearFrac (driving RF-cache
+ * hits and FMA-pipeline sensitivity); vector memory ops coalesce into
+ * the profile's line count over a per-workgroup address space; the
+ * configured number of barriers is distributed evenly through the
+ * program so all wavefronts of a workgroup stay in lockstep sections.
+ */
+
+#ifndef HETSIM_WORKLOAD_GPU_KERNEL_GEN_HH
+#define HETSIM_WORKLOAD_GPU_KERNEL_GEN_HH
+
+#include <cstdint>
+#include <memory>
+
+#include "common/rng.hh"
+#include "gpu/kernel.hh"
+#include "workload/gpu_profiles.hh"
+
+namespace hetsim::workload
+{
+
+/** Synthetic kernel driven by a KernelProfile. */
+class SyntheticKernel : public gpu::GpuKernel
+{
+  public:
+    /**
+     * @param scale Work multiplier applied to ops-per-wavefront and
+     *              workgroup count (tests use small scales).
+     */
+    explicit SyntheticKernel(const KernelProfile &profile,
+                             uint64_t seed = 1, double scale = 1.0);
+
+    uint32_t numWorkgroups() const override;
+    uint32_t wavefrontsPerGroup() const override;
+
+    std::unique_ptr<gpu::WavefrontProgram>
+    makeWavefront(uint32_t workgroup, uint32_t wavefront) override;
+
+    const KernelProfile &profile() const { return profile_; }
+
+  private:
+    KernelProfile profile_;
+    uint64_t seed_;
+    double scale_;
+};
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_GPU_KERNEL_GEN_HH

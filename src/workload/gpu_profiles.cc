@@ -1,0 +1,54 @@
+#include "workload/gpu_profiles.hh"
+
+#include "common/logging.hh"
+
+namespace hetsim::workload
+{
+
+namespace
+{
+
+// Fields: name, valu, load, store, lds, depNearFrac, avgLines,
+// footprintKbPerWg, spatialLocality, opsPerWavefront, workgroups,
+// wavefrontsPerGroup, barriers.
+const std::vector<KernelProfile> kKernels = {
+    {"matrixmul", 0.62, 0.14, 0.04, 0.10, 0.45, 2, 96, 0.85,
+     1500, 128, 2, 4},
+    {"nbody", 0.72, 0.10, 0.02, 0.04, 0.55, 1, 48, 0.90,
+     2000, 96, 2, 2},
+    {"blackscholes", 0.70, 0.08, 0.06, 0.00, 0.60, 1, 32, 0.95,
+     1200, 128, 2, 0},
+    {"dct", 0.58, 0.14, 0.08, 0.12, 0.50, 2, 64, 0.85,
+     1000, 128, 2, 4},
+    {"binarysearch", 0.42, 0.26, 0.06, 0.02, 0.45, 2, 256, 0.20,
+     600, 64, 2, 0},
+    {"bitonicsort", 0.46, 0.20, 0.16, 0.06, 0.45, 3, 256, 0.55,
+     900, 128, 2, 6},
+    {"histogram", 0.42, 0.24, 0.10, 0.16, 0.42, 3, 384, 0.40,
+     800, 128, 2, 2},
+    {"reduction", 0.42, 0.22, 0.06, 0.20, 0.45, 2, 128, 0.90,
+     700, 128, 2, 5},
+    {"matrixtranspose", 0.36, 0.26, 0.22, 0.10, 0.40, 3, 256, 0.60,
+     600, 128, 2, 2},
+    {"floydwarshall", 0.48, 0.24, 0.10, 0.06, 0.45, 3, 192, 0.70,
+     1100, 128, 2, 3},
+};
+
+} // namespace
+
+const std::vector<KernelProfile> &
+gpuKernels()
+{
+    return kKernels;
+}
+
+const KernelProfile &
+gpuKernel(const std::string &name)
+{
+    for (const KernelProfile &p : kKernels)
+        if (name == p.name)
+            return p;
+    fatal("unknown GPU kernel '%s'", name.c_str());
+}
+
+} // namespace hetsim::workload

@@ -1,0 +1,59 @@
+/**
+ * @file
+ * Per-kernel characterization of the GPU workloads.
+ *
+ * The paper uses the AMD APP SDK samples shipped with Multi2Sim. Each
+ * kernel is replaced by a seeded synthetic generator tuned to the
+ * sample's character: vector-ALU intensity, scalar/LDS/memory shares,
+ * dependency distance (which sets both latency sensitivity to the
+ * deeper TFET FMA pipeline and the register-file-cache hit rate),
+ * memory coalescing quality, and grid shape.
+ */
+
+#ifndef HETSIM_WORKLOAD_GPU_PROFILES_HH
+#define HETSIM_WORKLOAD_GPU_PROFILES_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hetsim::workload
+{
+
+/** Tunable characteristics of one synthetic GPU kernel. */
+struct KernelProfile
+{
+    const char *name;
+
+    // Wavefront instruction mix (fractions; remainder is scalar ALU).
+    double valuFraction; ///< SIMD FMA ops.
+    double loadFraction; ///< Vector global loads.
+    double storeFraction;
+    double ldsFraction;
+
+    /** P(a source register was written within the last few ops) —
+     *  drives RF-cache hit rate and FMA-latency sensitivity. */
+    double depNearFrac;
+
+    /** Distinct 64B lines per coalesced vector memory op (1..16). */
+    uint32_t avgLines;
+
+    /** Working set per workgroup (drives GPU L1/L2 behaviour). */
+    uint32_t footprintKbPerWg;
+    double spatialLocality;
+
+    uint32_t opsPerWavefront;
+    uint32_t workgroups;
+    uint32_t wavefrontsPerGroup;
+    uint32_t barriers; ///< Workgroup barriers per wavefront program.
+};
+
+/** The evaluated kernels (AMD APP SDK-inspired set). */
+const std::vector<KernelProfile> &gpuKernels();
+
+/** Look up a kernel by name (fatal if unknown). */
+const KernelProfile &gpuKernel(const std::string &name);
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_GPU_PROFILES_HH

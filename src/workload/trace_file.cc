@@ -1,0 +1,158 @@
+#include "workload/trace_file.hh"
+
+#include <cstring>
+
+#include "common/logging.hh"
+
+namespace hetsim::workload
+{
+
+namespace
+{
+
+#pragma pack(push, 1)
+struct TraceHeader
+{
+    uint32_t magic;
+    uint32_t version;
+    uint64_t count;
+};
+
+struct TraceRecord
+{
+    uint8_t cls;
+    uint8_t taken;
+    int16_t src1;
+    int16_t src2;
+    int16_t dst;
+    uint64_t pc;
+    uint64_t addr;
+    uint64_t target;
+};
+#pragma pack(pop)
+
+static_assert(sizeof(TraceHeader) == 16, "header layout drifted");
+static_assert(sizeof(TraceRecord) == 32, "record layout drifted");
+
+TraceRecord
+pack(const cpu::MicroOp &op)
+{
+    TraceRecord r;
+    r.cls = static_cast<uint8_t>(op.cls);
+    r.taken = op.taken ? 1 : 0;
+    r.src1 = op.src1;
+    r.src2 = op.src2;
+    r.dst = op.dst;
+    r.pc = op.pc;
+    r.addr = op.addr;
+    r.target = op.target;
+    return r;
+}
+
+cpu::MicroOp
+unpack(const TraceRecord &r)
+{
+    cpu::MicroOp op;
+    op.cls = static_cast<cpu::OpClass>(r.cls);
+    op.taken = r.taken != 0;
+    op.src1 = r.src1;
+    op.src2 = r.src2;
+    op.dst = r.dst;
+    op.pc = r.pc;
+    op.addr = r.addr;
+    op.target = r.target;
+    return op;
+}
+
+} // namespace
+
+uint64_t
+recordTrace(cpu::TraceSource &source, const std::string &path,
+            uint64_t max_ops)
+{
+    std::FILE *f = std::fopen(path.c_str(), "wb");
+    if (!f)
+        fatal("cannot open trace file '%s' for writing",
+              path.c_str());
+
+    TraceHeader header{kTraceMagic, kTraceVersion, 0};
+    if (std::fwrite(&header, sizeof(header), 1, f) != 1)
+        fatal("cannot write trace header to '%s'", path.c_str());
+
+    uint64_t written = 0;
+    cpu::MicroOp op;
+    // Buffer records for fewer syscalls.
+    constexpr size_t kBatch = 4096;
+    TraceRecord batch[kBatch];
+    size_t in_batch = 0;
+    while (written < max_ops && source.next(op)) {
+        batch[in_batch++] = pack(op);
+        ++written;
+        if (in_batch == kBatch) {
+            if (std::fwrite(batch, sizeof(TraceRecord), in_batch, f)
+                != in_batch)
+                fatal("short write to '%s'", path.c_str());
+            in_batch = 0;
+        }
+    }
+    if (in_batch > 0 &&
+        std::fwrite(batch, sizeof(TraceRecord), in_batch, f)
+            != in_batch)
+        fatal("short write to '%s'", path.c_str());
+
+    // Patch the record count into the header.
+    header.count = written;
+    if (std::fseek(f, 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, f) != 1)
+        fatal("cannot finalize trace header in '%s'", path.c_str());
+    std::fclose(f);
+    return written;
+}
+
+FileTrace::FileTrace(const std::string &path) : path_(path)
+{
+    file_ = std::fopen(path.c_str(), "rb");
+    if (!file_)
+        fatal("cannot open trace file '%s'", path.c_str());
+    TraceHeader header;
+    if (std::fread(&header, sizeof(header), 1, file_) != 1)
+        fatal("trace file '%s' is too short for a header",
+              path.c_str());
+    if (header.magic != kTraceMagic)
+        fatal("'%s' is not a HetSim trace (bad magic)",
+              path.c_str());
+    if (header.version != kTraceVersion)
+        fatal("trace '%s' has unsupported version %u", path.c_str(),
+              header.version);
+    count_ = header.count;
+}
+
+FileTrace::~FileTrace()
+{
+    if (file_)
+        std::fclose(file_);
+}
+
+bool
+FileTrace::next(cpu::MicroOp &op)
+{
+    if (pos_ >= count_)
+        return false;
+    TraceRecord r;
+    if (std::fread(&r, sizeof(r), 1, file_) != 1)
+        fatal("trace '%s' truncated at record %llu", path_.c_str(),
+              static_cast<unsigned long long>(pos_));
+    op = unpack(r);
+    ++pos_;
+    return true;
+}
+
+void
+FileTrace::rewind()
+{
+    if (std::fseek(file_, sizeof(TraceHeader), SEEK_SET) != 0)
+        fatal("cannot rewind trace '%s'", path_.c_str());
+    pos_ = 0;
+}
+
+} // namespace hetsim::workload

@@ -1,0 +1,69 @@
+/**
+ * @file
+ * Binary trace recording and replay.
+ *
+ * Lets users capture any TraceSource (including the synthetic
+ * generators) into a compact binary file and replay it later — the
+ * path for bringing externally collected instruction traces into
+ * HetSim. The format is a fixed-size little-endian record stream:
+ *
+ *   header: magic "HSTR" (4 B), version u32, record count u64
+ *   record: cls u8, taken u8, src1 i16, src2 i16, dst i16,
+ *           pc u64, addr u64, target u64   (32 bytes)
+ *
+ * Replay through FileTrace is bit-identical to the original source,
+ * so a recorded run reproduces the exact same simulation.
+ */
+
+#ifndef HETSIM_WORKLOAD_TRACE_FILE_HH
+#define HETSIM_WORKLOAD_TRACE_FILE_HH
+
+#include <cstdio>
+#include <string>
+
+#include "cpu/microop.hh"
+
+namespace hetsim::workload
+{
+
+/** Magic bytes and current format version. */
+constexpr uint32_t kTraceMagic = 0x52545348; // "HSTR" LE
+constexpr uint32_t kTraceVersion = 1;
+
+/**
+ * Record up to `max_ops` micro-ops from `source` into `path`.
+ * @return the number of ops written. Fatal on I/O errors.
+ */
+uint64_t recordTrace(cpu::TraceSource &source,
+                     const std::string &path,
+                     uint64_t max_ops = ~0ull);
+
+/** Streaming replay of a recorded trace file. */
+class FileTrace : public cpu::TraceSource
+{
+  public:
+    /** Opens and validates the file; fatal on a bad header. */
+    explicit FileTrace(const std::string &path);
+    ~FileTrace() override;
+
+    FileTrace(const FileTrace &) = delete;
+    FileTrace &operator=(const FileTrace &) = delete;
+
+    bool next(cpu::MicroOp &op) override;
+
+    /** Total records in the file. */
+    uint64_t size() const { return count_; }
+
+    /** Rewind to the first record. */
+    void rewind();
+
+  private:
+    std::FILE *file_ = nullptr;
+    std::string path_;
+    uint64_t count_ = 0;
+    uint64_t pos_ = 0;
+};
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_TRACE_FILE_HH

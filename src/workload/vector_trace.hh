@@ -1,0 +1,60 @@
+/**
+ * @file
+ * A TraceSource that replays a pre-built vector of micro-ops.
+ *
+ * Used by tests and small examples to drive the core with exact,
+ * hand-constructed programs.
+ */
+
+#ifndef HETSIM_WORKLOAD_VECTOR_TRACE_HH
+#define HETSIM_WORKLOAD_VECTOR_TRACE_HH
+
+#include <utility>
+#include <vector>
+
+#include "cpu/microop.hh"
+
+namespace hetsim::workload
+{
+
+/** Replays a fixed micro-op sequence. */
+class VectorTrace : public cpu::TraceSource
+{
+  public:
+    VectorTrace() = default;
+
+    explicit VectorTrace(std::vector<cpu::MicroOp> ops)
+        : ops_(std::move(ops))
+    {
+    }
+
+    /** Append one op (builder style). */
+    VectorTrace &
+    add(const cpu::MicroOp &op)
+    {
+        ops_.push_back(op);
+        return *this;
+    }
+
+    bool
+    next(cpu::MicroOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+    /** Rewind for reuse. */
+    void reset() { pos_ = 0; }
+
+    size_t size() const { return ops_.size(); }
+
+  private:
+    std::vector<cpu::MicroOp> ops_;
+    size_t pos_ = 0;
+};
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_VECTOR_TRACE_HH

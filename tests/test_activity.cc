@@ -1,0 +1,83 @@
+/**
+ * @file
+ * Tests for the Figure 2 activity-factor power model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/activity.hh"
+
+using namespace hetsim::device;
+
+class ActivityTest : public ::testing::Test
+{
+  protected:
+    AluActivityModel model;
+};
+
+TEST_F(ActivityTest, PowersPositive)
+{
+    for (double a = 0.0; a <= 1.0; a += 0.1) {
+        EXPECT_GT(model.cmosPowerUw(a), 0.0);
+        EXPECT_GT(model.tfetPowerUw(a), 0.0);
+    }
+}
+
+TEST_F(ActivityTest, CmosAlwaysAboveTfet)
+{
+    for (double a = 0.0; a <= 1.0; a += 0.05)
+        EXPECT_GT(model.cmosPowerUw(a), model.tfetPowerUw(a));
+}
+
+TEST_F(ActivityTest, PowerMonotoneInActivity)
+{
+    for (int i = 0; i < 10; ++i) {
+        const double a = i / 10.0;
+        const double b = (i + 1) / 10.0;
+        EXPECT_LT(model.cmosPowerUw(a), model.cmosPowerUw(b));
+        EXPECT_LT(model.tfetPowerUw(a), model.tfetPowerUw(b));
+    }
+}
+
+/** Figure 2's core message: the ratio grows as activity drops. */
+TEST_F(ActivityTest, RatioGrowsAsActivityFalls)
+{
+    double prev = model.powerRatio(1.0);
+    for (double a = 0.5; a > 1e-4; a *= 0.5) {
+        const double r = model.powerRatio(a);
+        EXPECT_GT(r, prev);
+        prev = r;
+    }
+}
+
+/** At full activity the advantage is a handful (the ~4-8x dynamic
+ *  story); at zero activity it approaches the ~125x leakage gap. */
+TEST_F(ActivityTest, EndpointsMatchPaper)
+{
+    EXPECT_GT(model.powerRatio(1.0), 3.0);
+    EXPECT_LT(model.powerRatio(1.0), 8.0);
+    EXPECT_NEAR(model.leakageRatio(), 125.0, 15.0);
+}
+
+TEST_F(ActivityTest, ZeroActivityIsPureLeakage)
+{
+    EXPECT_DOUBLE_EQ(model.powerRatio(0.0), model.leakageRatio());
+}
+
+TEST_F(ActivityTest, SweepOctaves)
+{
+    const auto pts = sweepActivity(model, 10);
+    ASSERT_EQ(pts.size(), 11u);
+    EXPECT_DOUBLE_EQ(pts.front().activity, 1.0);
+    EXPECT_NEAR(pts.back().activity, 1.0 / 1024.0, 1e-12);
+    for (size_t i = 1; i < pts.size(); ++i) {
+        EXPECT_LT(pts[i].cmosPowerUw, pts[i - 1].cmosPowerUw);
+        EXPECT_GT(pts[i].ratio, pts[i - 1].ratio);
+    }
+}
+
+TEST_F(ActivityTest, SweepRatioConsistent)
+{
+    for (const auto &p : sweepActivity(model, 6))
+        EXPECT_NEAR(p.ratio, p.cmosPowerUw / p.tfetPowerUw, 1e-9);
+}

@@ -1,0 +1,76 @@
+/**
+ * @file
+ * Tests for the Section III-F area model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area.hh"
+
+using namespace hetsim;
+using namespace hetsim::core;
+using power::CpuUnit;
+
+TEST(Area, UnitAreasPositive)
+{
+    for (int i = 0; i < power::kNumCpuUnits; ++i) {
+        const auto u = static_cast<CpuUnit>(i);
+        if (u == CpuUnit::AluFast)
+            continue; // folded into the ALU cluster
+        EXPECT_GT(cpuUnitAreaMm2(u), 0.0);
+    }
+}
+
+TEST(Area, TfetIsAreaNeutral)
+{
+    // Section III-F: at 15nm, TFET cells match FinFET cells, so a
+    // pure-TFET core tile equals a pure-CMOS one.
+    const double cmos =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::BaseCmos));
+    const double tfet =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::BaseTfet));
+    EXPECT_DOUBLE_EQ(cmos, tfet);
+}
+
+TEST(Area, HeteroCorePaysDualRailOverhead)
+{
+    const double cmos =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::BaseCmos));
+    const double het =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::BaseHet));
+    // BaseHet has identical unit sizes but mixed devices: exactly
+    // the 5% dual-rail overhead.
+    EXPECT_NEAR(het / cmos, kDualRailAreaFactor, 1e-9);
+}
+
+TEST(Area, AdvHetLargerThanBaseHet)
+{
+    // Larger ROB/FP-RF plus the 4 KB fast way cost area.
+    const double het =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::BaseHet));
+    const double adv =
+        coreTileAreaMm2(makeCpuConfig(CpuConfig::AdvHet));
+    EXPECT_GT(adv, het);
+    EXPECT_LT(adv, het * 1.1); // but only by a few percent
+}
+
+TEST(Area, ChipAreaScalesWithCores)
+{
+    const double four = chipAreaMm2(CpuConfig::AdvHet);
+    const double eight = chipAreaMm2(CpuConfig::AdvHet2X);
+    EXPECT_NEAR(eight / four, 2.0, 1e-9);
+}
+
+TEST(Area, L3DominatesTile)
+{
+    // A 2 MB L3 slice is bigger than a core's L2.
+    EXPECT_GT(cpuUnitAreaMm2(CpuUnit::L3),
+              cpuUnitAreaMm2(CpuUnit::L2));
+}
+
+TEST(Area, CoresWithinAreaSolver)
+{
+    EXPECT_EQ(coresWithinArea(10.0, 2.0, 2.0), 4u);
+    EXPECT_EQ(coresWithinArea(10.0, 9.5, 2.0), 1u); // floor of one
+    EXPECT_EQ(coresWithinArea(10.0, 0.0, 3.0), 3u);
+}

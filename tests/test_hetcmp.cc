@@ -1,0 +1,169 @@
+/**
+ * @file
+ * Tests for the heterogeneous CMOS+TFET multicore (Section VIII
+ * related-work comparison): per-core tick divisors, per-core memory
+ * latencies, weighted work sharing, iso-area shaping, and the
+ * end-to-end claim.
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/area.hh"
+#include "core/hetcmp.hh"
+#include "cpu/multicore.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/vector_trace.hh"
+
+using namespace hetsim;
+using namespace hetsim::cpu;
+using workload::VectorTrace;
+
+namespace
+{
+
+MicroOp
+aluChainOp(int16_t dst, int16_t src, uint64_t pc)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.dst = dst;
+    op.src1 = src;
+    op.pc = pc;
+    return op;
+}
+
+std::vector<MicroOp>
+chain(int n)
+{
+    std::vector<MicroOp> ops;
+    ops.push_back(aluChainOp(1, -1, 0x1000));
+    for (int i = 0; i < n - 1; ++i)
+        ops.push_back(aluChainOp(1 + ((i + 1) % 8), 1 + (i % 8),
+                                 0x1000 + 4 * (i % 128)));
+    return ops;
+}
+
+} // namespace
+
+TEST(HetCmp, TickDivisorHalvesCoreSpeed)
+{
+    // The same dependent chain on a divisor-2 core takes ~2x the
+    // chip cycles (with doubled per-core latencies).
+    auto run_one = [](uint32_t divisor) {
+        VectorTrace t(chain(2000));
+        MulticoreParams p;
+        p.mem.numCores = 1;
+        CoreSpec spec;
+        if (divisor == 2) {
+            spec.core.fu.timings.aluLat = 2; // 1 core cycle
+            spec.core.frontendDepth = 12;
+            spec.tickDivisor = 2;
+            mem::LevelLatencies l;
+            l.il1Rt = 4;
+            l.dl1Rt = 4;
+            l.l2Rt = 16;
+            l.l3Rt = 64;
+            p.mem.perCoreLat = {l};
+        }
+        p.coreSpecs = {spec};
+        Multicore mc(p, {&t});
+        return mc.run().cycles;
+    };
+    const uint64_t fast = run_one(1);
+    const uint64_t slow = run_one(2);
+    EXPECT_NEAR(static_cast<double>(slow) / fast, 2.0, 0.25);
+}
+
+TEST(HetCmp, PerCoreLatencyOverride)
+{
+    mem::HierarchyParams p;
+    p.numCores = 2;
+    p.prefetchDegree = 0;
+    mem::LevelLatencies slow = p.lat;
+    slow.dl1Rt = 8;
+    p.perCoreLat = {p.lat, slow};
+    mem::MemHierarchy h(p);
+    h.access(0, 0x10000, mem::AccessType::Load, 0);
+    h.access(1, 0x20000, mem::AccessType::Load, 0);
+    EXPECT_EQ(h.access(0, 0x10000, mem::AccessType::Load, 1).latency,
+              2u);
+    EXPECT_EQ(h.access(1, 0x20000, mem::AccessType::Load, 1).latency,
+              8u);
+}
+
+TEST(HetCmp, WeightedWorkloadSplitsProportionally)
+{
+    const auto &app = workload::cpuApp("lu");
+    auto traces = workload::makeWeightedCpuWorkload(
+        app, {2.0, 1.0, 1.0}, 1, 0.1);
+    ASSERT_EQ(traces.size(), 3u);
+    auto count_ops = [](workload::SyntheticCpuTrace &t) {
+        cpu::MicroOp op;
+        uint64_t n = 0;
+        while (t.next(op))
+            n += op.cls != OpClass::Barrier;
+        return n;
+    };
+    const uint64_t n0 = count_ops(*traces[0]);
+    const uint64_t n1 = count_ops(*traces[1]);
+    const uint64_t n2 = count_ops(*traces[2]);
+    // Thread 0 carries double parallel work plus the serial chunks.
+    EXPECT_GT(n0, static_cast<uint64_t>(1.8 * n1));
+    EXPECT_NEAR(static_cast<double>(n1) / n2, 1.0, 0.05);
+}
+
+TEST(HetCmp, IsoAreaShapeFitsBudget)
+{
+    const core::HetCmpShape shape = core::hetCmpIsoAreaShape();
+    EXPECT_EQ(shape.cmosCores, 2u);
+    EXPECT_GE(shape.tfetCores, 2u);
+    EXPECT_LE(shape.chipAreaMm2, shape.budgetAreaMm2 + 1e-9);
+    // Adding one more TFET tile would overflow the budget.
+    const double tfet_tile = core::coreTileAreaMm2(
+        core::makeCpuConfig(core::CpuConfig::BaseTfet));
+    EXPECT_GT(shape.chipAreaMm2 + tfet_tile, shape.budgetAreaMm2);
+}
+
+TEST(HetCmp, RunsAndBeatsNothingForFree)
+{
+    core::ExperimentOptions opts;
+    opts.scale = 0.1;
+    const auto &app = workload::cpuApp("water-sp");
+    const core::HetCmpOutcome out =
+        core::runHetCmpExperiment(app, opts);
+    EXPECT_GT(out.cycles, 0u);
+    EXPECT_GT(out.metrics.energyJ, 0.0);
+    EXPECT_GT(out.committedOps, 0u);
+    EXPECT_EQ(out.shape.cmosCores + out.shape.tfetCores >= 4, true);
+}
+
+TEST(HetCmp, PaperSectionVIIIClaim)
+{
+    // AdvHet outperforms the iso-area CMOS+TFET multicore on both
+    // time and energy (averaged over a few apps).
+    core::ExperimentOptions opts;
+    opts.scale = 0.1;
+    double adv_t = 0, cmp_t = 0, adv_e = 0, cmp_e = 0;
+    for (const char *name : {"water-sp", "fft", "barnes"}) {
+        const auto &app = workload::cpuApp(name);
+        const auto adv = core::runCpuExperiment(
+            core::CpuConfig::AdvHet, app, opts);
+        const auto cmp = core::runHetCmpExperiment(app, opts);
+        adv_t += adv.metrics.seconds;
+        cmp_t += cmp.metrics.seconds;
+        adv_e += adv.metrics.energyJ;
+        cmp_e += cmp.metrics.energyJ;
+    }
+    EXPECT_LT(adv_t, cmp_t * 1.05); // at least comparable speed
+    EXPECT_LT(adv_e, cmp_e);        // and clearly lower energy
+}
+
+TEST(HetCmp, HeterogeneousChipStaysCoherent)
+{
+    core::ExperimentOptions opts;
+    opts.scale = 0.05;
+    const auto &app = workload::cpuApp("canneal");
+    const core::HetCmpOutcome out =
+        core::runHetCmpExperiment(app, opts);
+    EXPECT_GT(out.committedOps, 1000u);
+}

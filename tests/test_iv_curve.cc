@@ -1,0 +1,129 @@
+/**
+ * @file
+ * Tests for the Figure 1 I-V device curves.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "device/iv_curve.hh"
+
+using namespace hetsim::device;
+
+class IvCurveTest : public ::testing::Test
+{
+  protected:
+    IvCurve tfet{IvDevice::NHetJTfet};
+    IvCurve mosfet{IvDevice::NMosfet};
+};
+
+TEST_F(IvCurveTest, CurrentsPositive)
+{
+    for (double v = 0.0; v <= 0.8; v += 0.01) {
+        EXPECT_GT(tfet.current(v), 0.0);
+        EXPECT_GT(mosfet.current(v), 0.0);
+    }
+}
+
+TEST_F(IvCurveTest, MonotonicallyNonDecreasing)
+{
+    for (double v = 0.0; v < 0.8; v += 0.005) {
+        EXPECT_LE(tfet.current(v), tfet.current(v + 0.005) + 1e-18);
+        EXPECT_LE(mosfet.current(v),
+                  mosfet.current(v + 0.005) + 1e-18);
+    }
+}
+
+/** The MOSFET sub-threshold slope cannot beat 60 mV/decade. */
+TEST_F(IvCurveTest, MosfetRespectsThermalLimit)
+{
+    for (double v = 0.05; v < 0.25; v += 0.02) {
+        EXPECT_GE(mosfet.subthresholdSlopeMvPerDecade(v), 59.0);
+    }
+}
+
+/** The HetJTFET is a steep-slope device: well below 60 mV/decade in
+ *  its turn-on region. */
+TEST_F(IvCurveTest, TfetIsSteepSlope)
+{
+    double best = 1e9;
+    for (double v = 0.06; v < 0.3; v += 0.01)
+        best = std::min(best,
+                        tfet.subthresholdSlopeMvPerDecade(v));
+    EXPECT_LT(best, 40.0);
+}
+
+/** Figure 1: the TFET crosses above the MOSFET at low V_G... */
+TEST_F(IvCurveTest, TfetWinsAtLowVoltage)
+{
+    EXPECT_GT(tfet.current(0.40), mosfet.current(0.40));
+}
+
+/** ...but the MOSFET wins at high V_G (TFET saturates). */
+TEST_F(IvCurveTest, MosfetWinsAtHighVoltage)
+{
+    EXPECT_GT(mosfet.current(0.80), tfet.current(0.80));
+}
+
+/** The TFET curve flattens past ~0.6 V. */
+TEST_F(IvCurveTest, TfetSaturates)
+{
+    const double i60 = tfet.current(0.60);
+    const double i80 = tfet.current(0.80);
+    EXPECT_LT(i80 / i60, 1.05);
+    // While the MOSFET keeps scaling appreciably.
+    EXPECT_GT(mosfet.current(0.80) / mosfet.current(0.60), 1.5);
+}
+
+/** Ideal switches need ~4 decades between on and off (Section II-A).
+ *  The TFET manages that at 0.4 V; the MOSFET needs 0.73 V. */
+TEST_F(IvCurveTest, OnOffRatios)
+{
+    EXPECT_GT(tfet.onOffRatio(0.40), 1e4);
+    EXPECT_GT(mosfet.onOffRatio(0.73), 1e4);
+    // At 0.4 V the MOSFET's ratio is much worse than the TFET's.
+    EXPECT_LT(mosfet.onOffRatio(0.40), tfet.onOffRatio(0.40));
+}
+
+TEST_F(IvCurveTest, TfetLeaksLessAtZero)
+{
+    EXPECT_LT(tfet.offCurrent(), mosfet.offCurrent());
+}
+
+TEST_F(IvCurveTest, TurnOnVoltageOrdering)
+{
+    // The TFET reaches half of its 0.6 V current earlier than the
+    // MOSFET reaches half of its own.
+    const double t_on = tfet.turnOnVoltage(0.5, 0.6);
+    const double m_on = mosfet.turnOnVoltage(0.5, 0.6);
+    EXPECT_LT(t_on, m_on);
+}
+
+TEST_F(IvCurveTest, SweepShape)
+{
+    const auto pts = sweepIv(tfet, 0.0, 0.8, 17);
+    ASSERT_EQ(pts.size(), 17u);
+    EXPECT_DOUBLE_EQ(pts.front().vg, 0.0);
+    EXPECT_NEAR(pts.back().vg, 0.8, 1e-12);
+    for (size_t i = 1; i < pts.size(); ++i)
+        EXPECT_GE(pts[i].id, pts[i - 1].id);
+}
+
+/** Property sweep: both devices behave sanely on a fine grid. */
+class IvGridTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(IvGridTest, FiniteAndOrderedSlopes)
+{
+    const double v = GetParam() * 0.05;
+    IvCurve tfet(IvDevice::NHetJTfet);
+    IvCurve mosfet(IvDevice::NMosfet);
+    EXPECT_TRUE(std::isfinite(tfet.current(v)));
+    EXPECT_TRUE(std::isfinite(mosfet.current(v)));
+    EXPECT_GT(tfet.subthresholdSlopeMvPerDecade(v), 0.0);
+    EXPECT_GT(mosfet.subthresholdSlopeMvPerDecade(v), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, IvGridTest, ::testing::Range(0, 16));

@@ -1,0 +1,214 @@
+/**
+ * @file
+ * Tests for the lockstep multicore runner: barrier protocol, activity
+ * aggregation, scaling behaviour, and coherence under real traces.
+ */
+
+#include <gtest/gtest.h>
+
+#include "cpu/multicore.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/vector_trace.hh"
+
+using namespace hetsim;
+using namespace hetsim::cpu;
+using workload::VectorTrace;
+
+namespace
+{
+
+MicroOp
+aluOp(int16_t dst, uint64_t pc)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.dst = dst;
+    op.pc = pc;
+    return op;
+}
+
+MicroOp
+barrierOp()
+{
+    MicroOp op;
+    op.cls = OpClass::Barrier;
+    return op;
+}
+
+MulticoreParams
+params(uint32_t cores)
+{
+    MulticoreParams p;
+    p.mem.numCores = cores;
+    p.maxCycles = 1 << 22;
+    return p;
+}
+
+} // namespace
+
+TEST(Multicore, RunsSingleCoreToCompletion)
+{
+    VectorTrace t;
+    for (int i = 0; i < 50; ++i)
+        t.add(aluOp(1 + (i % 8), 0x1000 + 4 * i));
+    Multicore mc(params(1), {&t});
+    const MulticoreResult res = mc.run();
+    EXPECT_EQ(res.committedOps, 50u);
+    EXPECT_GT(res.cycles, 0u);
+    EXPECT_GT(res.seconds, 0.0);
+}
+
+TEST(Multicore, BarriersSynchronizeUnevenThreads)
+{
+    // Thread 0 does much more work before the barrier; thread 1 must
+    // wait, and both finish.
+    VectorTrace t0, t1;
+    for (int i = 0; i < 500; ++i)
+        t0.add(aluOp(1 + (i % 8), 0x1000 + 4 * i));
+    t0.add(barrierOp());
+    t0.add(aluOp(1, 0x5000));
+
+    t1.add(aluOp(1, 0x1000));
+    t1.add(barrierOp());
+    t1.add(aluOp(2, 0x5000));
+
+    Multicore mc(params(2), {&t0, &t1});
+    const MulticoreResult res = mc.run();
+    EXPECT_EQ(res.committedOps, 503u);
+    EXPECT_EQ(res.barrierReleases, 1u);
+}
+
+TEST(Multicore, MultipleBarrierRounds)
+{
+    VectorTrace t0, t1;
+    for (int round = 0; round < 5; ++round) {
+        for (int i = 0; i < 20; ++i) {
+            t0.add(aluOp(1 + (i % 8), 0x1000 + 4 * i));
+            t1.add(aluOp(1 + (i % 8), 0x2000 + 4 * i));
+        }
+        t0.add(barrierOp());
+        t1.add(barrierOp());
+    }
+    Multicore mc(params(2), {&t0, &t1});
+    const MulticoreResult res = mc.run();
+    EXPECT_EQ(res.barrierReleases, 5u);
+    EXPECT_EQ(res.committedOps, 200u);
+}
+
+TEST(Multicore, FinishedCoreDoesNotBlockBarriers)
+{
+    // Thread 1 ends before thread 0's barriers; the runner must still
+    // release thread 0 (it is the only unfinished core).
+    VectorTrace t0, t1;
+    t0.add(aluOp(1, 0x1000));
+    t0.add(barrierOp());
+    t0.add(aluOp(2, 0x1004));
+    t1.add(aluOp(1, 0x2000));
+
+    Multicore mc(params(2), {&t0, &t1});
+    const MulticoreResult res = mc.run();
+    EXPECT_EQ(res.committedOps, 3u);
+}
+
+TEST(Multicore, SecondsFollowFrequency)
+{
+    VectorTrace t;
+    for (int i = 0; i < 100; ++i)
+        t.add(aluOp(1 + (i % 8), 0x1000 + 4 * i));
+    MulticoreParams p = params(1);
+    p.freqGhz = 2.0;
+    Multicore mc2(p, {&t});
+    const MulticoreResult r2 = mc2.run();
+    EXPECT_NEAR(r2.seconds, r2.cycles / 2e9, 1e-15);
+}
+
+TEST(Multicore, ActivityCountsCoverCommittedOps)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    auto traces = workload::makeCpuWorkload(app, 2, 1, 0.02);
+    std::vector<TraceSource *> ptrs{traces[0].get(),
+                                    traces[1].get()};
+    MulticoreParams p = params(2);
+    Multicore mc(p, ptrs);
+    const MulticoreResult res = mc.run();
+
+    using power::CpuUnit;
+    auto count = [&](CpuUnit u) {
+        return res.activity[static_cast<int>(u)];
+    };
+    // Every committed op passed through rename once and the ROB
+    // twice (dispatch + commit).
+    EXPECT_EQ(count(CpuUnit::Rename), res.committedOps);
+    EXPECT_EQ(count(CpuUnit::Rob), 2 * res.committedOps);
+    EXPECT_EQ(count(CpuUnit::IssueQueue), res.committedOps);
+    // Execution-unit events partition the op classes.
+    EXPECT_GT(count(CpuUnit::Alu), 0u);
+    EXPECT_GT(count(CpuUnit::Fpu), 0u);
+    EXPECT_GT(count(CpuUnit::Lsq), 0u);
+    const uint64_t exec = count(CpuUnit::Alu) +
+        count(CpuUnit::MulDiv) + count(CpuUnit::Fpu) +
+        count(CpuUnit::Lsq);
+    EXPECT_EQ(exec, res.committedOps);
+    // Cache activity was collected.
+    EXPECT_GT(count(CpuUnit::Il1), 0u);
+    EXPECT_GT(count(CpuUnit::Dl1), 0u);
+    EXPECT_GT(count(CpuUnit::L2), 0u);
+    EXPECT_GT(count(CpuUnit::L3), 0u);
+}
+
+TEST(Multicore, EightCoresFasterThanFour)
+{
+    const auto &app = workload::cpuApp("fft");
+    auto t4 = workload::makeCpuWorkload(app, 4, 1, 0.1);
+    auto t8 = workload::makeCpuWorkload(app, 8, 1, 0.1);
+    std::vector<TraceSource *> p4, p8;
+    for (auto &t : t4)
+        p4.push_back(t.get());
+    for (auto &t : t8)
+        p8.push_back(t.get());
+
+    Multicore mc4(params(4), p4);
+    Multicore mc8(params(8), p8);
+    const uint64_t c4 = mc4.run().cycles;
+    const uint64_t c8 = mc8.run().cycles;
+    EXPECT_LT(c8, c4);           // more cores help...
+    EXPECT_GT(c8 * 2, c4);       // ...but not superlinearly.
+}
+
+TEST(Multicore, CoherenceInvariantsAfterRealWorkload)
+{
+    const auto &app = workload::cpuApp("canneal");
+    auto traces = workload::makeCpuWorkload(app, 4, 1, 0.02);
+    std::vector<TraceSource *> ptrs;
+    for (auto &t : traces)
+        ptrs.push_back(t.get());
+    Multicore mc(params(4), ptrs);
+    mc.run();
+    EXPECT_TRUE(mc.hierarchy().checkInclusion());
+    EXPECT_TRUE(mc.hierarchy().checkDirectoryConsistent());
+}
+
+TEST(Multicore, DeterministicAcrossRuns)
+{
+    auto run_once = [] {
+        const auto &app = workload::cpuApp("lu");
+        auto traces = workload::makeCpuWorkload(app, 2, 7, 0.02);
+        std::vector<TraceSource *> ptrs{traces[0].get(),
+                                        traces[1].get()};
+        Multicore mc(params(2), ptrs);
+        return mc.run().cycles;
+    };
+    EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(MulticoreDeath, TraceCountMismatch)
+{
+    VectorTrace t;
+    EXPECT_EXIT(
+        {
+            Multicore mc(params(2), {&t});
+            (void)mc;
+        },
+        ::testing::KilledBySignal(SIGABRT), "one trace per core");
+}

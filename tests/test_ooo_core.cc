@@ -1,0 +1,404 @@
+/**
+ * @file
+ * Unit and property tests for the out-of-order core.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "common/rng.hh"
+#include "cpu/ooo_core.hh"
+#include "mem/hierarchy.hh"
+#include "workload/vector_trace.hh"
+
+using namespace hetsim;
+using namespace hetsim::cpu;
+using workload::VectorTrace;
+
+namespace
+{
+
+MicroOp
+alu(int16_t dst, int16_t src1 = -1, int16_t src2 = -1,
+    uint64_t pc = 0x1000)
+{
+    MicroOp op;
+    op.cls = OpClass::IntAlu;
+    op.dst = dst;
+    op.src1 = src1;
+    op.src2 = src2;
+    op.pc = pc;
+    return op;
+}
+
+MicroOp
+load(int16_t dst, uint64_t addr, int16_t addr_reg = -1)
+{
+    MicroOp op;
+    op.cls = OpClass::Load;
+    op.dst = dst;
+    op.src1 = addr_reg;
+    op.addr = addr;
+    op.pc = 0x1000;
+    return op;
+}
+
+MicroOp
+store(uint64_t addr, int16_t data_reg = -1)
+{
+    MicroOp op;
+    op.cls = OpClass::Store;
+    op.src2 = data_reg;
+    op.addr = addr;
+    op.pc = 0x1000;
+    return op;
+}
+
+mem::HierarchyParams
+memParams()
+{
+    mem::HierarchyParams p;
+    p.numCores = 1;
+    return p; // prefetchers enabled: sequential code stays IL1-hot
+}
+
+/** Run one core until finished; returns the cycle count. */
+uint64_t
+runCore(OooCore &core, uint64_t limit = 1000000)
+{
+    mem::Cycle now = 0;
+    while (!core.finished()) {
+        core.tick(now);
+        ++now;
+        EXPECT_LT(now, limit) << "core did not finish";
+        if (now >= limit)
+            break;
+    }
+    return now;
+}
+
+struct CoreRig
+{
+    explicit CoreRig(std::vector<MicroOp> ops,
+                     CoreParams params = CoreParams{},
+                     mem::HierarchyParams mem_params = memParams())
+        : trace(std::move(ops)), hier(mem_params),
+          core(params, 0, &hier, &trace)
+    {
+    }
+
+    VectorTrace trace;
+    mem::MemHierarchy hier;
+    OooCore core;
+};
+
+} // namespace
+
+TEST(OooCore, CommitsEveryOpExactlyOnce)
+{
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i)
+        ops.push_back(alu(1 + (i % 30), 0, -1, 0x1000 + 4 * i));
+    CoreRig rig(ops);
+    runCore(rig.core);
+    EXPECT_EQ(rig.core.committedOps(), 100u);
+    EXPECT_TRUE(rig.core.finished());
+}
+
+TEST(OooCore, IndependentOpsReachIssueWidth)
+{
+    // 400 independent single-cycle ops on a 4-wide machine should
+    // sustain close to 4 IPC.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 400; ++i)
+        ops.push_back(alu(1 + (i % 30), -1, -1, 0x1000 + 4 * i));
+    CoreRig rig(ops);
+    const uint64_t cycles = runCore(rig.core);
+    // ~100 issue cycles + pipeline fill + one cold IL1 miss.
+    EXPECT_LT(cycles, 300u);
+}
+
+TEST(OooCore, DependentChainBoundByAluLatency)
+{
+    // A strict chain of N dependent 1-cycle ALU ops takes >= N cycles.
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(1, -1));
+    for (int i = 0; i < 199; ++i)
+        ops.push_back(alu(1 + ((i + 1) % 8), 1 + (i % 8), -1,
+                          0x1000 + 4 * i));
+    CoreRig rig(ops);
+    const uint64_t cycles = runCore(rig.core);
+    EXPECT_GE(cycles, 200u);
+    EXPECT_LT(cycles, 400u);
+}
+
+TEST(OooCore, TwoCycleAluDoublesChainTime)
+{
+    auto make_ops = [] {
+        std::vector<MicroOp> ops;
+        ops.push_back(alu(1, -1));
+        for (int i = 0; i < 1999; ++i)
+            ops.push_back(alu(1 + ((i + 1) % 8), 1 + (i % 8), -1,
+                              0x1000 + 4 * (i % 256)));
+        return ops;
+    };
+    CoreParams slow;
+    slow.fu.timings.aluLat = 2;
+    CoreRig fast_rig(make_ops());
+    CoreRig slow_rig(make_ops(), slow);
+    const uint64_t fast_cycles = runCore(fast_rig.core);
+    const uint64_t slow_cycles = runCore(slow_rig.core);
+    EXPECT_NEAR(static_cast<double>(slow_cycles) / fast_cycles, 2.0,
+                0.2);
+}
+
+TEST(OooCore, LoadLatencyOnCriticalPath)
+{
+    // Address-chained loads: each load's address register depends on
+    // the previous load's value, so every DL1 round trip lands on
+    // the critical path.
+    std::vector<MicroOp> ops;
+    ops.push_back(load(1, 0x8000)); // warms the line
+    for (int i = 0; i < 100; ++i) {
+        ops.push_back(load(1, 0x8000, 1));
+        ops.push_back(alu(2, 1));
+    }
+    CoreRig fast_rig(ops); // DL1 RT 2
+    const uint64_t fast_cycles = runCore(fast_rig.core);
+
+    mem::HierarchyParams tfet_mem = memParams();
+    tfet_mem.lat.dl1Rt = 4; // TFET DL1
+    CoreRig slow_rig(ops, CoreParams{}, tfet_mem);
+    const uint64_t slow_cycles = runCore(slow_rig.core);
+    EXPECT_GT(slow_cycles, fast_cycles + 150);
+}
+
+TEST(OooCore, StoreToLoadForwardingIsFast)
+{
+    // A load that hits a pending store forwards in ~2 cycles instead
+    // of paying the memory round trip.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i) {
+        ops.push_back(store(0x9000, -1));
+        ops.push_back(load(1, 0x9000));
+        ops.push_back(alu(2, 1));
+    }
+    CoreRig rig(ops);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("forwarded_loads"), 90u);
+}
+
+TEST(OooCore, MispredictBlocksFetch)
+{
+    // Random branches cause redirects with the frontend penalty.
+    std::vector<MicroOp> ops;
+    Rng rng(3);
+    uint64_t pc = 0x1000;
+    for (int i = 0; i < 50; ++i) {
+        for (int j = 0; j < 3; ++j) {
+            ops.push_back(alu(1 + (j % 8), -1, -1, pc));
+            pc += 4;
+        }
+        MicroOp br;
+        br.cls = OpClass::Branch;
+        br.pc = pc;
+        br.taken = rng.chance(0.5);
+        br.target = br.taken ? 0x1000 : pc + 4;
+        pc = br.taken ? 0x1000 : pc + 4;
+        ops.push_back(br);
+    }
+    CoreRig rig(ops);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("mispredict_redirects"), 5u);
+    EXPECT_EQ(rig.core.committedOps(), ops.size());
+}
+
+TEST(OooCore, RobFullBackpressure)
+{
+    CoreParams params;
+    params.robSize = 8;
+    // A long-latency head (div) blocks commit while independents pile
+    // up: the ROB-full stall counter must fire.
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i) {
+        MicroOp div;
+        div.cls = OpClass::IntDiv;
+        div.dst = 1;
+        div.pc = 0x1000;
+        ops.push_back(div);
+        for (int j = 0; j < 7; ++j)
+            ops.push_back(alu(2 + j, -1, -1, 0x1010 + j * 4));
+    }
+    CoreRig rig(ops, params);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("rob_full_stalls"), 0u);
+    EXPECT_EQ(rig.core.committedOps(), ops.size());
+}
+
+TEST(OooCore, FpRegisterFileBackpressure)
+{
+    CoreParams params;
+    params.fpRegs = 34; // only 2 in-flight FP destinations
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 60; ++i) {
+        MicroOp fp;
+        fp.cls = OpClass::FpMult;
+        fp.dst = kNumIntRegs + (i % 8);
+        fp.pc = 0x1000 + 4 * i;
+        ops.push_back(fp);
+    }
+    CoreRig rig(ops, params);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("fp_rf_stalls"), 0u);
+    EXPECT_EQ(rig.core.committedOps(), ops.size());
+}
+
+TEST(OooCore, LsqBackpressure)
+{
+    CoreParams params;
+    params.lsqSize = 4;
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 100; ++i)
+        ops.push_back(load(1 + (i % 8), 0x100000 + 64 * i));
+    CoreRig rig(ops, params);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("lsq_full_stalls"), 0u);
+    EXPECT_EQ(rig.core.committedOps(), ops.size());
+}
+
+TEST(OooCore, BarrierParksAndReleases)
+{
+    std::vector<MicroOp> ops;
+    ops.push_back(alu(1, -1));
+    MicroOp barrier;
+    barrier.cls = OpClass::Barrier;
+    ops.push_back(barrier);
+    ops.push_back(alu(2, -1));
+
+    CoreRig rig(ops);
+    mem::Cycle now = 0;
+    while (!rig.core.waitingAtBarrier()) {
+        rig.core.tick(now++);
+        ASSERT_LT(now, 1000u);
+    }
+    EXPECT_EQ(rig.core.committedOps(), 1u);
+    EXPECT_FALSE(rig.core.finished());
+    rig.core.releaseBarrier();
+    while (!rig.core.finished()) {
+        rig.core.tick(now++);
+        ASSERT_LT(now, 2000u);
+    }
+    EXPECT_EQ(rig.core.committedOps(), 2u);
+}
+
+TEST(OooCore, SteeringMarksProducersWithNearbyConsumers)
+{
+    CoreParams params;
+    params.steerDependents = true;
+    params.fu.dualSpeedAlu = true;
+    params.fu.numFastAlus = 1;
+    params.fu.timings.aluLat = 2;
+
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i) {
+        ops.push_back(alu(1, -1, -1, 0x1000 + 8 * i));
+        ops.push_back(alu(2, 1, -1, 0x1004 + 8 * i)); // consumer
+    }
+    CoreRig rig(ops, params);
+    runCore(rig.core);
+    EXPECT_GT(rig.core.stats().value("steered_fast"), 25u);
+    uint64_t fast = rig.core.fuPool().stats().value("fast_alu_ops");
+    EXPECT_GE(fast, 20u);
+}
+
+TEST(OooCore, NoSteeringWithoutConsumers)
+{
+    CoreParams params;
+    params.steerDependents = true;
+    params.fu.dualSpeedAlu = true;
+    params.fu.numFastAlus = 1;
+
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 50; ++i)
+        ops.push_back(alu(1 + (i % 20), -1, -1, 0x1000 + 4 * i));
+    CoreRig rig(ops, params);
+    runCore(rig.core);
+    EXPECT_EQ(rig.core.stats().value("steered_fast"), 0u);
+}
+
+// ------------------------- Property tests -------------------------
+
+class OooCorePropertyTest : public ::testing::TestWithParam<uint64_t>
+{
+};
+
+TEST_P(OooCorePropertyTest, RandomProgramsCommitCompletely)
+{
+    Rng rng(GetParam());
+    std::vector<MicroOp> ops;
+    uint64_t pc = 0x1000;
+    const int n = 3000;
+    for (int i = 0; i < n; ++i) {
+        const double r = rng.uniform();
+        MicroOp op;
+        op.pc = pc;
+        pc += 4;
+        if (r < 0.2) {
+            op.cls = OpClass::Load;
+            op.addr = 0x100000 + rng.range(4096) * 8;
+            op.dst = static_cast<int16_t>(1 + rng.range(60));
+            op.src1 = static_cast<int16_t>(rng.range(31));
+        } else if (r < 0.3) {
+            op.cls = OpClass::Store;
+            op.addr = 0x100000 + rng.range(4096) * 8;
+            op.src1 = static_cast<int16_t>(rng.range(31));
+            op.src2 = static_cast<int16_t>(rng.range(62));
+        } else if (r < 0.4) {
+            op.cls = rng.chance(0.5) ? OpClass::FpAdd
+                                     : OpClass::FpMult;
+            op.dst = static_cast<int16_t>(
+                kNumIntRegs + 1 + rng.range(30));
+            op.src1 = static_cast<int16_t>(
+                kNumIntRegs + rng.range(31));
+            op.src2 = static_cast<int16_t>(
+                kNumIntRegs + rng.range(31));
+        } else if (r < 0.5) {
+            op.cls = OpClass::Branch;
+            op.taken = rng.chance(0.5);
+            op.target = op.taken
+                ? 0x1000 + rng.range(512) * 4
+                : op.pc + 4;
+        } else if (r < 0.53) {
+            op.cls = rng.chance(0.5) ? OpClass::IntMult
+                                     : OpClass::IntDiv;
+            op.dst = static_cast<int16_t>(1 + rng.range(30));
+            op.src1 = static_cast<int16_t>(rng.range(31));
+        } else {
+            op.cls = OpClass::IntAlu;
+            op.dst = static_cast<int16_t>(1 + rng.range(30));
+            op.src1 = static_cast<int16_t>(rng.range(31));
+            if (rng.chance(0.6))
+                op.src2 = static_cast<int16_t>(rng.range(31));
+        }
+        ops.push_back(op);
+    }
+
+    CoreRig rig(ops);
+    mem::Cycle now = 0;
+    while (!rig.core.finished() && now < 1000000) {
+        rig.core.tick(now);
+        ++now;
+        if (now % 512 == 0) {
+            ASSERT_TRUE(rig.core.checkDependencyOrder());
+            ASSERT_TRUE(rig.core.checkOccupancyBounds());
+        }
+    }
+    EXPECT_TRUE(rig.core.finished());
+    EXPECT_EQ(rig.core.committedOps(), ops.size());
+    // IPC can never exceed the machine width.
+    EXPECT_GE(now * 4, ops.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, OooCorePropertyTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));

@@ -1,0 +1,133 @@
+/**
+ * @file
+ * Tests for the chip planner (frequency selection and iso-power
+ * chip sizing).
+ */
+
+#include <gtest/gtest.h>
+
+#include "core/planner.hh"
+
+using namespace hetsim;
+using namespace hetsim::core;
+
+namespace
+{
+
+ExperimentOptions
+quick()
+{
+    ExperimentOptions o;
+    o.scale = 0.08;
+    return o;
+}
+
+} // namespace
+
+TEST(Planner, SweepCoversRange)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    const FreqPlan plan =
+        chooseFrequency(CpuConfig::AdvHet, app,
+                        FreqObjective::MinEd2, 0.0, quick(), 1.5,
+                        2.5, 0.5);
+    ASSERT_EQ(plan.sweep.size(), 3u);
+    EXPECT_DOUBLE_EQ(plan.sweep.front().freqGhz, 1.5);
+    EXPECT_DOUBLE_EQ(plan.sweep.back().freqGhz, 2.5);
+}
+
+TEST(Planner, MinEd2PicksTheMinimum)
+{
+    const auto &app = workload::cpuApp("lu");
+    const FreqPlan plan =
+        chooseFrequency(CpuConfig::AdvHet, app,
+                        FreqObjective::MinEd2, 0.0, quick(), 1.5,
+                        2.5, 0.5);
+    for (const auto &p : plan.sweep)
+        EXPECT_LE(plan.best.metrics.ed2Js2(),
+                  p.metrics.ed2Js2() + 1e-18);
+}
+
+TEST(Planner, DeadlineObjectiveRespectsFeasibility)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    // First find the fastest achievable time, then set a deadline
+    // between the fastest and slowest points.
+    const FreqPlan probe =
+        chooseFrequency(CpuConfig::AdvHet, app,
+                        FreqObjective::MinEd2, 0.0, quick(), 1.5,
+                        2.5, 0.5);
+    const double fast = probe.sweep.back().metrics.seconds;
+    const double slow = probe.sweep.front().metrics.seconds;
+    ASSERT_LT(fast, slow);
+    const double deadline = 0.5 * (fast + slow);
+
+    const FreqPlan plan = chooseFrequency(
+        CpuConfig::AdvHet, app, FreqObjective::MinEnergyDeadline,
+        deadline, quick(), 1.5, 2.5, 0.5);
+    EXPECT_TRUE(plan.best.feasible);
+    EXPECT_LE(plan.best.metrics.seconds, deadline);
+    // Among feasible points it minimizes energy.
+    for (const auto &p : plan.sweep) {
+        if (p.feasible) {
+            EXPECT_LE(plan.best.metrics.energyJ,
+                      p.metrics.energyJ + 1e-18);
+        }
+    }
+}
+
+TEST(Planner, PowerCapObjective)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    const FreqPlan probe =
+        chooseFrequency(CpuConfig::BaseCmos, app,
+                        FreqObjective::MinEd2, 0.0, quick(), 1.5,
+                        2.5, 0.5);
+    const double mid_power =
+        0.5 * (probe.sweep.front().metrics.powerW() +
+               probe.sweep.back().metrics.powerW());
+    const FreqPlan plan = chooseFrequency(
+        CpuConfig::BaseCmos, app, FreqObjective::MaxPerfPowerCap,
+        mid_power, quick(), 1.5, 2.5, 0.5);
+    EXPECT_TRUE(plan.best.feasible);
+    EXPECT_LE(plan.best.metrics.powerW(), mid_power);
+}
+
+TEST(Planner, IsoPowerReproducesAdvHet2X)
+{
+    // The planner should discover the paper's construction: an
+    // AdvHet core uses about half the BaseCMOS power, so ~8 cores
+    // fit the 4-core BaseCMOS budget.
+    const auto &app = workload::cpuApp("fft");
+    const auto plans = planIsoPower(
+        CpuConfig::BaseCmos, {CpuConfig::AdvHet}, app, quick());
+    ASSERT_EQ(plans.size(), 1u);
+    EXPECT_GE(plans[0].cores, 6u);
+    EXPECT_LE(plans[0].cores, 10u);
+}
+
+TEST(Planner, IsoPowerRanksByEd2)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    const auto plans = planIsoPower(
+        CpuConfig::BaseCmos,
+        {CpuConfig::BaseCmos, CpuConfig::AdvHet}, app, quick());
+    ASSERT_EQ(plans.size(), 2u);
+    EXPECT_LE(plans[0].metrics.ed2Js2(), plans[1].metrics.ed2Js2());
+    // The AdvHet chip should win the budgeted comparison.
+    EXPECT_EQ(plans[0].config, "AdvHet");
+}
+
+TEST(Planner, CoresOverridePlumbs)
+{
+    const auto &app = workload::cpuApp("water-sp");
+    ExperimentOptions o = quick();
+    o.coresOverride = 2;
+    const CpuOutcome out =
+        runCpuExperiment(CpuConfig::BaseCmos, app, o);
+    EXPECT_GT(out.cycles, 0u);
+    // Two cores doing the same total work take longer than four.
+    const CpuOutcome four =
+        runCpuExperiment(CpuConfig::BaseCmos, app, quick());
+    EXPECT_GT(out.metrics.seconds, four.metrics.seconds);
+}

@@ -1,0 +1,202 @@
+/**
+ * @file
+ * Tests for the unit catalog, energy accountant, and metrics.
+ */
+
+#include <gtest/gtest.h>
+
+#include "power/accountant.hh"
+#include "power/metrics.hh"
+#include "power/unit_catalog.hh"
+
+using namespace hetsim::power;
+
+TEST(UnitCatalog, AllCpuUnitsNamed)
+{
+    for (int i = 0; i < kNumCpuUnits; ++i) {
+        const UnitPower &p = cpuUnitPower(static_cast<CpuUnit>(i));
+        EXPECT_NE(p.name, nullptr);
+        EXPECT_GT(p.dynPjPerAccess, 0.0);
+        EXPECT_GT(p.leakMw, 0.0);
+    }
+}
+
+TEST(UnitCatalog, AllGpuUnitsNamed)
+{
+    for (int i = 0; i < kNumGpuUnits; ++i) {
+        const UnitPower &p = gpuUnitPower(static_cast<GpuUnit>(i));
+        EXPECT_NE(p.name, nullptr);
+        EXPECT_GT(p.dynPjPerAccess, 0.0);
+    }
+}
+
+TEST(UnitCatalog, DeviceFactorsMatchEvaluationRules)
+{
+    // Section VI: TFET = 4x lower dynamic, 10x lower leakage;
+    // high-V_t = same dynamic, 10x lower leakage.
+    EXPECT_DOUBLE_EQ(dynamicFactor(DeviceClass::Tfet), 0.25);
+    EXPECT_DOUBLE_EQ(dynamicFactor(DeviceClass::Cmos), 1.0);
+    EXPECT_DOUBLE_EQ(dynamicFactor(DeviceClass::HighVt), 1.0);
+    EXPECT_DOUBLE_EQ(leakageFactor(DeviceClass::Tfet), 0.10);
+    EXPECT_DOUBLE_EQ(leakageFactor(DeviceClass::HighVt), 0.10);
+    EXPECT_DOUBLE_EQ(leakageFactor(DeviceClass::Cmos), 1.0);
+}
+
+TEST(UnitCatalog, SizeScalingAffectsLeakageOnly)
+{
+    const UnitPower &rob = cpuUnitPower(CpuUnit::Rob);
+    UnitConfig big;
+    big.sizeScale = 1.2;
+    EXPECT_DOUBLE_EQ(unitDynPj(rob, big), rob.dynPjPerAccess);
+    EXPECT_NEAR(unitLeakMw(rob, big), rob.leakMw * 1.2, 1e-12);
+}
+
+TEST(UnitCatalog, LeakOnlyScaleSplitsClusters)
+{
+    const UnitPower &alu = cpuUnitPower(CpuUnit::Alu);
+    UnitConfig slow;
+    slow.dev = DeviceClass::Tfet;
+    slow.leakOnlyScale = 0.75;
+    EXPECT_NEAR(unitLeakMw(alu, slow), alu.leakMw * 0.75 * 0.1,
+                1e-12);
+    EXPECT_NEAR(unitDynPj(alu, slow), alu.dynPjPerAccess * 0.25,
+                1e-12);
+}
+
+TEST(Accountant, ZeroActivityLeavesOnlyLeakage)
+{
+    CpuActivity activity{};
+    CpuUnitConfigs configs{};
+    const EnergyBreakdown e =
+        computeCpuEnergy(activity, configs, 1.0, 1);
+    EXPECT_DOUBLE_EQ(e.totalDynamicJ(), 0.0);
+    EXPECT_GT(e.totalLeakageJ(), 0.0);
+}
+
+TEST(Accountant, DynamicScalesWithCounts)
+{
+    CpuActivity a1{}, a2{};
+    a1[static_cast<int>(CpuUnit::Alu)] = 1000;
+    a2[static_cast<int>(CpuUnit::Alu)] = 2000;
+    CpuUnitConfigs configs{};
+    const double d1 =
+        computeCpuEnergy(a1, configs, 0.0, 1).totalDynamicJ();
+    const double d2 =
+        computeCpuEnergy(a2, configs, 0.0, 1).totalDynamicJ();
+    EXPECT_NEAR(d2, 2 * d1, 1e-18);
+}
+
+TEST(Accountant, LeakageScalesWithTimeAndCores)
+{
+    CpuActivity activity{};
+    CpuUnitConfigs configs{};
+    const double l1 =
+        computeCpuEnergy(activity, configs, 1.0, 1).totalLeakageJ();
+    const double l2 =
+        computeCpuEnergy(activity, configs, 2.0, 1).totalLeakageJ();
+    const double l4 =
+        computeCpuEnergy(activity, configs, 1.0, 4).totalLeakageJ();
+    EXPECT_NEAR(l2, 2 * l1, 1e-12);
+    EXPECT_NEAR(l4, 4 * l1, 1e-12);
+}
+
+TEST(Accountant, GroupsPartitionTotal)
+{
+    CpuActivity activity{};
+    for (int i = 0; i < kNumCpuUnits; ++i)
+        activity[i] = 1000 + i;
+    CpuUnitConfigs configs{};
+    const EnergyBreakdown e =
+        computeCpuEnergy(activity, configs, 0.5, 4);
+    double group_sum = 0.0;
+    for (int g = 0; g < kNumEnergyGroups; ++g)
+        group_sum += e.groupDynamicJ[g] + e.groupLeakageJ[g];
+    EXPECT_NEAR(group_sum, e.totalJ(), 1e-12);
+}
+
+TEST(Accountant, GroupMapping)
+{
+    EXPECT_EQ(cpuUnitGroup(CpuUnit::L2), EnergyGroup::L2);
+    EXPECT_EQ(cpuUnitGroup(CpuUnit::L3), EnergyGroup::L3);
+    EXPECT_EQ(cpuUnitGroup(CpuUnit::Noc), EnergyGroup::L3);
+    EXPECT_EQ(cpuUnitGroup(CpuUnit::Dl1), EnergyGroup::Core);
+    EXPECT_EQ(cpuUnitGroup(CpuUnit::Fpu), EnergyGroup::Core);
+}
+
+TEST(Accountant, TfetCutsDynamicFourfold)
+{
+    CpuActivity activity{};
+    activity[static_cast<int>(CpuUnit::Fpu)] = 10000;
+    CpuUnitConfigs cmos{};
+    CpuUnitConfigs tfet{};
+    tfet[static_cast<int>(CpuUnit::Fpu)].dev = DeviceClass::Tfet;
+    const double dc =
+        computeCpuEnergy(activity, cmos, 0.0, 1).totalDynamicJ();
+    const double dt =
+        computeCpuEnergy(activity, tfet, 0.0, 1).totalDynamicJ();
+    EXPECT_NEAR(dc / dt, 4.0, 1e-9);
+}
+
+TEST(Accountant, VoltageScalesApplyPerDomain)
+{
+    CpuActivity activity{};
+    activity[static_cast<int>(CpuUnit::Alu)] = 1000;
+    activity[static_cast<int>(CpuUnit::Frontend)] = 1000;
+    CpuUnitConfigs configs{};
+    configs[static_cast<int>(CpuUnit::Alu)].dev = DeviceClass::Tfet;
+
+    VoltageScales scales;
+    scales.tfetDynamic = 2.0;
+    scales.cmosDynamic = 1.0;
+    const EnergyBreakdown base =
+        computeCpuEnergy(activity, configs, 0.0, 1);
+    const EnergyBreakdown scaled =
+        computeCpuEnergy(activity, configs, 0.0, 1, scales);
+    const int alu = static_cast<int>(CpuUnit::Alu);
+    const int fe = static_cast<int>(CpuUnit::Frontend);
+    EXPECT_NEAR(scaled.dynamicJ[alu], 2 * base.dynamicJ[alu], 1e-18);
+    EXPECT_DOUBLE_EQ(scaled.dynamicJ[fe], base.dynamicJ[fe]);
+}
+
+TEST(Accountant, GpuEnergyComputes)
+{
+    GpuActivity activity{};
+    activity[static_cast<int>(GpuUnit::SimdFma)] = 5000;
+    GpuUnitConfigs configs{};
+    const EnergyBreakdown e =
+        computeGpuEnergy(activity, configs, 1e-3, 8);
+    EXPECT_GT(e.totalDynamicJ(), 0.0);
+    EXPECT_GT(e.totalLeakageJ(), 0.0);
+}
+
+TEST(Metrics, DerivedQuantities)
+{
+    RunMetrics m;
+    m.seconds = 2.0;
+    m.energyJ = 3.0;
+    EXPECT_DOUBLE_EQ(m.powerW(), 1.5);
+    EXPECT_DOUBLE_EQ(m.edJs(), 6.0);
+    EXPECT_DOUBLE_EQ(m.ed2Js2(), 12.0);
+}
+
+TEST(Metrics, NormalizeAgainstBaseline)
+{
+    RunMetrics base{2.0, 4.0};
+    RunMetrics run{1.0, 2.0};
+    const NormalizedMetrics n = normalize(run, base);
+    EXPECT_DOUBLE_EQ(n.time, 0.5);
+    EXPECT_DOUBLE_EQ(n.energy, 0.5);
+    EXPECT_DOUBLE_EQ(n.ed, 0.25);
+    EXPECT_DOUBLE_EQ(n.ed2, 0.125);
+}
+
+TEST(Metrics, CoresWithinBudget)
+{
+    // An AdvHet core at half the BaseCMOS power fits twice as many
+    // cores in the same budget (the AdvHet-2X construction).
+    EXPECT_EQ(coresWithinBudget(10.0, 4, 5.0), 8u);
+    EXPECT_EQ(coresWithinBudget(10.0, 4, 10.0), 4u);
+    EXPECT_EQ(coresWithinBudget(10.0, 4, 7.0), 5u);
+    // Never below one core.
+    EXPECT_EQ(coresWithinBudget(1.0, 1, 100.0), 1u);
+}

@@ -1,0 +1,109 @@
+/**
+ * @file
+ * Tests for the GPU register-file cache (6-entry write-allocated
+ * FIFO, Section IV-C3).
+ */
+
+#include <gtest/gtest.h>
+
+#include "gpu/rf_cache.hh"
+
+using hetsim::gpu::RfCache;
+
+TEST(RfCache, EmptyMissesEverything)
+{
+    RfCache c(6);
+    for (int16_t r = 0; r < 16; ++r)
+        EXPECT_FALSE(c.readHit(r));
+}
+
+TEST(RfCache, WriteAllocates)
+{
+    RfCache c(6);
+    c.write(5);
+    EXPECT_TRUE(c.readHit(5));
+    EXPECT_FALSE(c.readHit(6));
+}
+
+TEST(RfCache, ReadsDoNotAllocate)
+{
+    RfCache c(6);
+    c.readHit(3);
+    EXPECT_FALSE(c.readHit(3));
+    EXPECT_EQ(c.entries(), 0u);
+}
+
+TEST(RfCache, FifoEviction)
+{
+    RfCache c(3);
+    c.write(1);
+    c.write(2);
+    c.write(3);
+    c.write(4); // evicts 1 (oldest)
+    EXPECT_FALSE(c.readHit(1));
+    EXPECT_TRUE(c.readHit(2));
+    EXPECT_TRUE(c.readHit(3));
+    EXPECT_TRUE(c.readHit(4));
+}
+
+TEST(RfCache, RewriteKeepsFifoPosition)
+{
+    RfCache c(3);
+    c.write(1);
+    c.write(2);
+    c.write(3);
+    c.write(1); // rewrite: position unchanged, no eviction
+    c.write(4); // still evicts 1 (oldest)
+    EXPECT_FALSE(c.readHit(1));
+    EXPECT_TRUE(c.readHit(2));
+}
+
+TEST(RfCache, CapacityRespected)
+{
+    RfCache c(6);
+    for (int16_t r = 0; r < 20; ++r)
+        c.write(r);
+    EXPECT_EQ(c.entries(), 6u);
+    // Exactly the last 6 writes are resident.
+    for (int16_t r = 0; r < 14; ++r)
+        EXPECT_FALSE(c.readHit(r));
+    for (int16_t r = 14; r < 20; ++r)
+        EXPECT_TRUE(c.readHit(r));
+}
+
+TEST(RfCache, NegativeRegistersIgnored)
+{
+    RfCache c(6);
+    c.write(-1);
+    EXPECT_EQ(c.entries(), 0u);
+    EXPECT_FALSE(c.readHit(-1));
+}
+
+TEST(RfCache, ResetClears)
+{
+    RfCache c(6);
+    c.write(1);
+    c.write(2);
+    c.reset();
+    EXPECT_EQ(c.entries(), 0u);
+    EXPECT_FALSE(c.readHit(1));
+}
+
+TEST(RfCache, CapturesShortDistanceReuse)
+{
+    // ~40% of writes are consumed by reads within a few instructions
+    // (the paper's motivation): writes followed by near reads hit.
+    RfCache c(6);
+    int hits = 0;
+    for (int16_t i = 0; i < 100; ++i) {
+        c.write(i);
+        hits += c.readHit(i);          // distance 1
+        hits += c.readHit(i - 3);      // distance 3
+    }
+    EXPECT_GT(hits, 180); // nearly all short-distance reads hit
+}
+
+TEST(RfCacheDeath, ZeroCapacityPanics)
+{
+    EXPECT_DEATH(RfCache c(0), "at least one entry");
+}

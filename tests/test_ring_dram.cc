@@ -1,0 +1,100 @@
+/**
+ * @file
+ * Tests for the ring interconnect and the DRAM channel model.
+ */
+
+#include <gtest/gtest.h>
+
+#include "mem/dram.hh"
+#include "mem/ring.hh"
+
+using namespace hetsim::mem;
+
+TEST(Ring, HopsShortestDirection)
+{
+    RingNetwork ring(8);
+    EXPECT_EQ(ring.hops(0, 0), 0u);
+    EXPECT_EQ(ring.hops(0, 1), 1u);
+    EXPECT_EQ(ring.hops(0, 4), 4u);
+    EXPECT_EQ(ring.hops(0, 7), 1u); // wraps the other way
+    EXPECT_EQ(ring.hops(2, 6), 4u);
+    EXPECT_EQ(ring.hops(6, 2), 4u);
+}
+
+TEST(Ring, HopsSymmetric)
+{
+    RingNetwork ring(12);
+    for (uint32_t a = 0; a < 12; ++a)
+        for (uint32_t b = 0; b < 12; ++b)
+            EXPECT_EQ(ring.hops(a, b), ring.hops(b, a));
+}
+
+TEST(Ring, LatencyFormula)
+{
+    RingNetwork ring(8, 2, 3);
+    EXPECT_EQ(ring.latency(0, 3), 3u + 3u * 2u);
+    EXPECT_EQ(ring.latency(1, 1), 3u);
+}
+
+TEST(Ring, TrafficAccounting)
+{
+    RingNetwork ring(4);
+    ring.latency(0, 2);
+    ring.latency(1, 2);
+    EXPECT_EQ(ring.stats().value("messages"), 2u);
+    EXPECT_EQ(ring.stats().value("hop_traversals"), 3u);
+}
+
+TEST(Ring, SingleNode)
+{
+    RingNetwork ring(1);
+    EXPECT_EQ(ring.hops(0, 0), 0u);
+}
+
+TEST(Dram, UncontendedLatency)
+{
+    Dram dram(100, 4, 2);
+    EXPECT_EQ(dram.access(0x0, 1000), 100u);
+}
+
+TEST(Dram, QueueingDelayWhenBusy)
+{
+    Dram dram(100, 4, 1);
+    EXPECT_EQ(dram.access(0x0, 0), 100u);
+    // Second access to the same channel 1 cycle later waits 3 more.
+    EXPECT_EQ(dram.access(0x40, 1), 100u + 3u);
+}
+
+TEST(Dram, ChannelsIndependent)
+{
+    Dram dram(100, 4, 2);
+    // Lines 0 and 1 interleave across the two channels.
+    EXPECT_EQ(dram.access(0x00, 0), 100u);
+    EXPECT_EQ(dram.access(0x40, 0), 100u);
+}
+
+TEST(Dram, BandwidthRecovers)
+{
+    Dram dram(100, 4, 1);
+    dram.access(0x0, 0);
+    // After the service window passes, no queueing delay remains.
+    EXPECT_EQ(dram.access(0x40, 50), 100u);
+}
+
+TEST(Dram, WritebacksConsumeBandwidth)
+{
+    Dram dram(100, 4, 1);
+    dram.writeback(0x0, 0);
+    EXPECT_EQ(dram.access(0x40, 0), 100u + 4u);
+    EXPECT_EQ(dram.stats().value("writes"), 1u);
+    EXPECT_EQ(dram.stats().value("reads"), 1u);
+}
+
+TEST(Dram, QueueCyclesCounted)
+{
+    Dram dram(100, 4, 1);
+    dram.access(0x0, 0);
+    dram.access(0x40, 0);
+    dram.access(0x80, 0);
+    EXPECT_EQ(dram.stats().value("queue_cycles"), 4u + 8u);
+}

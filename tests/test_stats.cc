@@ -1,0 +1,161 @@
+/**
+ * @file
+ * Unit tests for counters, distributions, stat groups, and means.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hh"
+#include "common/stats.hh"
+
+using namespace hetsim;
+
+TEST(Counter, StartsAtZero)
+{
+    Counter c;
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Counter, IncrementAndAdd)
+{
+    Counter c;
+    ++c;
+    ++c;
+    c += 5;
+    EXPECT_EQ(c.value(), 7u);
+    c.reset();
+    EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(Distribution, Empty)
+{
+    Distribution d;
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, SingleSample)
+{
+    Distribution d;
+    d.sample(3.5);
+    EXPECT_EQ(d.count(), 1u);
+    EXPECT_DOUBLE_EQ(d.min(), 3.5);
+    EXPECT_DOUBLE_EQ(d.max(), 3.5);
+    EXPECT_DOUBLE_EQ(d.mean(), 3.5);
+    EXPECT_DOUBLE_EQ(d.variance(), 0.0);
+}
+
+TEST(Distribution, MatchesNaiveComputation)
+{
+    Rng rng(5);
+    std::vector<double> xs;
+    Distribution d;
+    for (int i = 0; i < 5000; ++i) {
+        const double x = rng.uniform() * 100 - 50;
+        xs.push_back(x);
+        d.sample(x);
+    }
+    double mean = 0;
+    for (double x : xs)
+        mean += x;
+    mean /= xs.size();
+    double var = 0;
+    for (double x : xs)
+        var += (x - mean) * (x - mean);
+    var /= xs.size();
+
+    EXPECT_NEAR(d.mean(), mean, 1e-9);
+    EXPECT_NEAR(d.variance(), var, 1e-6);
+    EXPECT_NEAR(d.stddev(), std::sqrt(var), 1e-6);
+}
+
+TEST(Distribution, MinMaxTracking)
+{
+    Distribution d;
+    for (double x : {5.0, -2.0, 9.0, 0.0})
+        d.sample(x);
+    EXPECT_DOUBLE_EQ(d.min(), -2.0);
+    EXPECT_DOUBLE_EQ(d.max(), 9.0);
+}
+
+TEST(Distribution, Reset)
+{
+    Distribution d;
+    d.sample(1.0);
+    d.sample(2.0);
+    d.reset();
+    EXPECT_EQ(d.count(), 0u);
+    EXPECT_DOUBLE_EQ(d.mean(), 0.0);
+}
+
+TEST(StatGroup, CreatesCountersOnDemand)
+{
+    StatGroup g("test");
+    EXPECT_EQ(g.value("missing"), 0u);
+    ++g.counter("hits");
+    g.counter("hits") += 2;
+    EXPECT_EQ(g.value("hits"), 3u);
+}
+
+TEST(StatGroup, SnapshotSorted)
+{
+    StatGroup g("test");
+    ++g.counter("zebra");
+    ++g.counter("apple");
+    ++g.counter("mango");
+    const auto snap = g.snapshot();
+    ASSERT_EQ(snap.size(), 3u);
+    EXPECT_EQ(snap[0].first, "apple");
+    EXPECT_EQ(snap[1].first, "mango");
+    EXPECT_EQ(snap[2].first, "zebra");
+}
+
+TEST(StatGroup, ResetClearsAll)
+{
+    StatGroup g("test");
+    g.counter("a") += 10;
+    g.counter("b") += 20;
+    g.reset();
+    EXPECT_EQ(g.value("a"), 0u);
+    EXPECT_EQ(g.value("b"), 0u);
+}
+
+TEST(StatGroup, DumpPrintsEveryCounter)
+{
+    StatGroup g("dumped");
+    g.counter("alpha") += 3;
+    g.counter("beta") += 7;
+    ::testing::internal::CaptureStdout();
+    g.dump();
+    const std::string out =
+        ::testing::internal::GetCapturedStdout();
+    EXPECT_NE(out.find("dumped:"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_NE(out.find("7"), std::string::npos);
+}
+
+TEST(Means, Arithmetic)
+{
+    EXPECT_DOUBLE_EQ(arithmeticMean({}), 0.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({2.0}), 2.0);
+    EXPECT_DOUBLE_EQ(arithmeticMean({1.0, 2.0, 3.0}), 2.0);
+}
+
+TEST(Means, Geometric)
+{
+    EXPECT_DOUBLE_EQ(geometricMean({}), 0.0);
+    EXPECT_NEAR(geometricMean({4.0, 9.0}), 6.0, 1e-12);
+    EXPECT_NEAR(geometricMean({1.0, 1.0, 8.0}), 2.0, 1e-12);
+}
+
+TEST(Means, GeometricBelowArithmetic)
+{
+    Rng rng(3);
+    std::vector<double> xs;
+    for (int i = 0; i < 100; ++i)
+        xs.push_back(0.1 + rng.uniform() * 5);
+    EXPECT_LE(geometricMean(xs), arithmeticMean(xs) + 1e-12);
+}

@@ -1,0 +1,108 @@
+/**
+ * @file
+ * Tests of the Table I device database and the Section III ratios.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/technology.hh"
+
+using namespace hetsim::device;
+
+TEST(Technology, Names)
+{
+    EXPECT_STREQ(techName(Tech::SiCmos), "Si-CMOS");
+    EXPECT_STREQ(techName(Tech::HetJTfet), "HetJTFET");
+    EXPECT_STREQ(techName(Tech::InAsCmos), "InAs-CMOS");
+    EXPECT_STREQ(techName(Tech::HomJTfet), "HomJTFET");
+}
+
+TEST(Technology, Table1SupplyVoltages)
+{
+    EXPECT_DOUBLE_EQ(techParams(Tech::SiCmos).supplyVoltage, 0.73);
+    EXPECT_DOUBLE_EQ(techParams(Tech::HetJTfet).supplyVoltage, 0.40);
+    EXPECT_DOUBLE_EQ(techParams(Tech::InAsCmos).supplyVoltage, 0.30);
+    EXPECT_DOUBLE_EQ(techParams(Tech::HomJTfet).supplyVoltage, 0.20);
+}
+
+TEST(Technology, Table1SiCmosRow)
+{
+    const TechParams &p = techParams(Tech::SiCmos);
+    EXPECT_DOUBLE_EQ(p.switchingDelayPs, 0.41);
+    EXPECT_DOUBLE_EQ(p.interconnectDelayPs, 0.18);
+    EXPECT_DOUBLE_EQ(p.aluDelayPs, 939.0);
+    EXPECT_DOUBLE_EQ(p.switchingEnergyAj, 32.71);
+    EXPECT_DOUBLE_EQ(p.interconnectEnergyAj, 10.08);
+    EXPECT_DOUBLE_EQ(p.aluDynamicEnergyFj, 170.1);
+    EXPECT_DOUBLE_EQ(p.aluLeakagePowerUw, 90.2);
+    EXPECT_DOUBLE_EQ(p.aluPowerDensity, 50.4);
+}
+
+TEST(Technology, Table1HetJTfetRow)
+{
+    const TechParams &p = techParams(Tech::HetJTfet);
+    EXPECT_DOUBLE_EQ(p.switchingDelayPs, 0.79);
+    EXPECT_DOUBLE_EQ(p.aluDelayPs, 1881.0);
+    EXPECT_DOUBLE_EQ(p.aluDynamicEnergyFj, 43.4);
+    EXPECT_DOUBLE_EQ(p.aluLeakagePowerUw, 0.30);
+}
+
+/**
+ * Section III-A: switching delays of HetJTFET, InAs-CMOS, HomJTFET
+ * are about 2x, 10x, 16x the Si-CMOS delay.
+ */
+TEST(Technology, DelayRatiosMatchPaper)
+{
+    EXPECT_NEAR(techRatios(Tech::HetJTfet).delayVsCmos, 2.0, 0.1);
+    EXPECT_NEAR(techRatios(Tech::InAsCmos).delayVsCmos, 10.0, 1.0);
+    EXPECT_NEAR(techRatios(Tech::HomJTfet).delayVsCmos, 16.0, 0.5);
+}
+
+/**
+ * Section III-B: a Si-CMOS 32-bit ALU op consumes about 4x, 8x, 16x
+ * the energy of HetJTFET, InAs-CMOS, HomJTFET respectively.
+ */
+TEST(Technology, EnergyRatiosMatchPaper)
+{
+    EXPECT_NEAR(1.0 / techRatios(Tech::HetJTfet).aluEnergyVsCmos,
+                4.0, 0.3);
+    EXPECT_NEAR(1.0 / techRatios(Tech::InAsCmos).aluEnergyVsCmos,
+                8.0, 0.5);
+    EXPECT_NEAR(1.0 / techRatios(Tech::HomJTfet).aluEnergyVsCmos,
+                16.0, 0.5);
+}
+
+/** Section III-B: ~300x lower leakage for the HetJTFET ALU. */
+TEST(Technology, LeakageRatioMatchesPaper)
+{
+    EXPECT_NEAR(1.0 / techRatios(Tech::HetJTfet).aluLeakageVsCmos,
+                300.0, 5.0);
+}
+
+/** Section III-B: ~10x lower power density for HetJTFET. */
+TEST(Technology, PowerDensityRatioMatchesPaper)
+{
+    EXPECT_NEAR(1.0 / techRatios(Tech::HetJTfet).powerDensityVsCmos,
+                10.0, 0.2);
+}
+
+TEST(Technology, CmosRatiosAreUnity)
+{
+    const TechRatios r = techRatios(Tech::SiCmos);
+    EXPECT_DOUBLE_EQ(r.delayVsCmos, 1.0);
+    EXPECT_DOUBLE_EQ(r.aluEnergyVsCmos, 1.0);
+    EXPECT_DOUBLE_EQ(r.aluLeakageVsCmos, 1.0);
+    EXPECT_DOUBLE_EQ(r.powerDensityVsCmos, 1.0);
+}
+
+/** HetJTFET is 2x slower but ~8x lower power (the paper's headline
+ *  device tradeoff): energy/op 4x lower at half the speed. */
+TEST(Technology, HeadlinePowerTradeoff)
+{
+    const TechParams &c = techParams(Tech::SiCmos);
+    const TechParams &t = techParams(Tech::HetJTfet);
+    const double power_ratio =
+        (c.aluDynamicEnergyFj / c.aluDelayPs) /
+        (t.aluDynamicEnergyFj / t.aluDelayPs);
+    EXPECT_NEAR(power_ratio, 8.0, 0.5);
+}

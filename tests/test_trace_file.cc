@@ -1,0 +1,177 @@
+/**
+ * @file
+ * Tests for binary trace recording and replay.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "cpu/multicore.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/trace_file.hh"
+#include "workload/vector_trace.hh"
+
+using namespace hetsim;
+using namespace hetsim::workload;
+
+namespace
+{
+
+std::string
+tmpPath(const char *name)
+{
+    return std::string("/tmp/hetsim_") + name + ".trace";
+}
+
+} // namespace
+
+TEST(TraceFile, RoundTripIsBitIdentical)
+{
+    const AppProfile &app = cpuApp("lu");
+    const std::string path = tmpPath("roundtrip");
+
+    SyntheticCpuTrace writer_src(app, 0, 4, 7, 0.05);
+    const uint64_t written = recordTrace(writer_src, path);
+    EXPECT_GT(written, 1000u);
+
+    SyntheticCpuTrace ref(app, 0, 4, 7, 0.05);
+    FileTrace replay(path);
+    EXPECT_EQ(replay.size(), written);
+
+    cpu::MicroOp a, b;
+    uint64_t n = 0;
+    while (true) {
+        const bool ra = ref.next(a);
+        const bool rb = replay.next(b);
+        ASSERT_EQ(ra, rb) << "at record " << n;
+        if (!ra)
+            break;
+        ASSERT_EQ(a.cls, b.cls) << n;
+        ASSERT_EQ(a.src1, b.src1) << n;
+        ASSERT_EQ(a.src2, b.src2) << n;
+        ASSERT_EQ(a.dst, b.dst) << n;
+        ASSERT_EQ(a.pc, b.pc) << n;
+        ASSERT_EQ(a.addr, b.addr) << n;
+        ASSERT_EQ(a.target, b.target) << n;
+        ASSERT_EQ(a.taken, b.taken) << n;
+        ++n;
+    }
+    EXPECT_EQ(n, written);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, ReplayReproducesSimulationExactly)
+{
+    const AppProfile &app = cpuApp("water-sp");
+    const std::string path = tmpPath("sim");
+
+    // Record thread 0's trace, then simulate one core from the
+    // generator and from the file: identical cycle counts.
+    {
+        SyntheticCpuTrace src(app, 0, 1, 3, 0.05);
+        recordTrace(src, path);
+    }
+
+    auto run = [](cpu::TraceSource &t) {
+        cpu::MulticoreParams p;
+        p.mem.numCores = 1;
+        cpu::Multicore mc(p, {&t});
+        return mc.run().cycles;
+    };
+    SyntheticCpuTrace live(app, 0, 1, 3, 0.05);
+    FileTrace replay(path);
+    EXPECT_EQ(run(live), run(replay));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, MaxOpsTruncates)
+{
+    const AppProfile &app = cpuApp("fft");
+    const std::string path = tmpPath("truncated");
+    SyntheticCpuTrace src(app, 0, 4, 1, 0.05);
+    const uint64_t written = recordTrace(src, path, 500);
+    EXPECT_EQ(written, 500u);
+    FileTrace replay(path);
+    EXPECT_EQ(replay.size(), 500u);
+    cpu::MicroOp op;
+    uint64_t n = 0;
+    while (replay.next(op))
+        ++n;
+    EXPECT_EQ(n, 500u);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, RewindRestartsReplay)
+{
+    const std::string path = tmpPath("rewind");
+    VectorTrace v;
+    cpu::MicroOp op;
+    op.cls = cpu::OpClass::IntAlu;
+    op.dst = 5;
+    op.pc = 0x1234;
+    v.add(op);
+    op.dst = 6;
+    v.add(op);
+    recordTrace(v, path);
+
+    FileTrace replay(path);
+    cpu::MicroOp first, again;
+    ASSERT_TRUE(replay.next(first));
+    replay.rewind();
+    ASSERT_TRUE(replay.next(again));
+    EXPECT_EQ(first.dst, again.dst);
+    EXPECT_EQ(first.pc, again.pc);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFile, EmptySourceYieldsEmptyTrace)
+{
+    const std::string path = tmpPath("empty");
+    VectorTrace v;
+    EXPECT_EQ(recordTrace(v, path), 0u);
+    FileTrace replay(path);
+    EXPECT_EQ(replay.size(), 0u);
+    cpu::MicroOp op;
+    EXPECT_FALSE(replay.next(op));
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, MissingFileIsFatal)
+{
+    EXPECT_EXIT(FileTrace t("/nonexistent/hetsim.trace"),
+                ::testing::ExitedWithCode(1), "cannot open");
+}
+
+TEST(TraceFileDeath, BadMagicIsFatal)
+{
+    const std::string path = tmpPath("badmagic");
+    {
+        std::ofstream out(path, std::ios::binary);
+        out << "this is not a trace file at all.............";
+    }
+    EXPECT_EXIT(FileTrace t(path), ::testing::ExitedWithCode(1),
+                "bad magic");
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileDeath, TruncatedBodyIsFatal)
+{
+    const std::string path = tmpPath("shortbody");
+    // Valid header claiming 100 records, but no body.
+    {
+        std::ofstream out(path, std::ios::binary);
+        const uint32_t magic = kTraceMagic, version = kTraceVersion;
+        const uint64_t count = 100;
+        out.write(reinterpret_cast<const char *>(&magic), 4);
+        out.write(reinterpret_cast<const char *>(&version), 4);
+        out.write(reinterpret_cast<const char *>(&count), 8);
+    }
+    FileTrace t(path);
+    cpu::MicroOp op;
+    EXPECT_EXIT(t.next(op), ::testing::ExitedWithCode(1),
+                "truncated");
+    std::remove(path.c_str());
+}

@@ -1,0 +1,120 @@
+/**
+ * @file
+ * Tests for the Figure 3 V-f curves and the DVFS pair solver.
+ */
+
+#include <gtest/gtest.h>
+
+#include "device/overheads.hh"
+#include "device/vf_curve.hh"
+
+using namespace hetsim::device;
+
+TEST(VfCurve, NominalDesignPoint)
+{
+    // 0.73 V -> 2 GHz CMOS; 0.40 V -> 2 GHz effective TFET.
+    EXPECT_NEAR(cmosVfCurve().freqAt(0.73), 2.0, 1e-9);
+    EXPECT_NEAR(tfetVfCurve().freqAt(0.40), 2.0, 1e-9);
+}
+
+TEST(VfCurve, PaperBoostPoint)
+{
+    // Turbo to 2.5 GHz: +75 mV CMOS, +90 mV TFET (Section III-D).
+    const DvfsPoint p = dvfsPointFor(2.5);
+    EXPECT_NEAR(p.vCmos - 0.73, 0.075, 1e-6);
+    EXPECT_NEAR(p.vTfet - 0.40, 0.090, 1e-6);
+}
+
+TEST(VfCurve, PaperSlowPoint)
+{
+    // Slow to 1.5 GHz: -70 mV CMOS, -80 mV TFET (Section VII-D).
+    const DvfsPoint p = dvfsPointFor(1.5);
+    EXPECT_NEAR(p.vCmos - 0.73, -0.070, 1e-6);
+    EXPECT_NEAR(p.vTfet - 0.40, -0.080, 1e-6);
+}
+
+TEST(VfCurve, TfetCurveIsLessSteep)
+{
+    // Around the operating point, the TFET needs a larger dV for the
+    // same df (the curve is flatter).
+    const DvfsPoint lo = dvfsPointFor(2.0);
+    const DvfsPoint hi = dvfsPointFor(2.5);
+    EXPECT_GT(hi.vTfet - lo.vTfet, hi.vCmos - lo.vCmos);
+}
+
+TEST(VfCurve, TfetSaturatesBelowCmos)
+{
+    EXPECT_LT(tfetVfCurve().maxFreq(), cmosVfCurve().maxFreq());
+}
+
+TEST(VfCurve, FreqMonotoneInVoltage)
+{
+    for (const VfCurve *c : {&cmosVfCurve(), &tfetVfCurve()}) {
+        double prev = -1.0;
+        for (double v = c->minVoltage(); v <= c->maxVoltage();
+             v += 0.01) {
+            const double f = c->freqAt(v);
+            EXPECT_GE(f, prev);
+            prev = f;
+        }
+    }
+}
+
+TEST(VfCurve, ClampsOutsideRange)
+{
+    const VfCurve &c = cmosVfCurve();
+    EXPECT_DOUBLE_EQ(c.freqAt(0.0), c.freqAt(c.minVoltage()));
+    EXPECT_DOUBLE_EQ(c.freqAt(2.0), c.maxFreq());
+}
+
+TEST(VfCurveDeath, UnreachableFrequencyIsFatal)
+{
+    EXPECT_EXIT(tfetVfCurve().voltageFor(5.0),
+                ::testing::ExitedWithCode(1), "exceeds");
+}
+
+TEST(VfCurveDeath, BadAnchorsPanic)
+{
+    EXPECT_DEATH(VfCurve({{0.5, 1.0}, {0.4, 2.0}}), "anchors");
+    EXPECT_DEATH(VfCurve({{0.4, 2.0}, {0.5, 1.0}}), "anchors");
+    EXPECT_DEATH(VfCurve({{0.4, 2.0}}), "2 anchors");
+}
+
+TEST(VfCurve, DynamicScalingLaws)
+{
+    // P ~ f V^2; E ~ V^2.
+    EXPECT_DOUBLE_EQ(dynamicPowerScale(1.0, 1.0, 1.0, 2.0), 2.0);
+    EXPECT_DOUBLE_EQ(dynamicPowerScale(1.0, 1.0, 2.0, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(dynamicEnergyScale(0.5, 1.0), 4.0);
+    EXPECT_DOUBLE_EQ(dynamicEnergyScale(1.0, 1.0), 1.0);
+}
+
+TEST(VfCurve, OperatingVddConstants)
+{
+    // Section V-B: V_TFET operating point is 0.40 V + 40 mV guardband.
+    EXPECT_DOUBLE_EQ(kTfetOperatingVdd, 0.44);
+    EXPECT_DOUBLE_EQ(kCmosOperatingVdd, 0.73);
+}
+
+/** Property: voltageFor inverts freqAt across the whole curve. */
+class VfInverseTest
+    : public ::testing::TestWithParam<std::tuple<int, int>>
+{
+};
+
+TEST_P(VfInverseTest, RoundTrip)
+{
+    const bool use_tfet = std::get<0>(GetParam()) == 1;
+    const VfCurve &c = use_tfet ? tfetVfCurve() : cmosVfCurve();
+    const int step = std::get<1>(GetParam());
+    const double f_lo = c.freqAt(c.minVoltage());
+    const double f_hi = c.maxFreq();
+    const double f = f_lo + (f_hi - f_lo) * step / 20.0;
+    const double v = c.voltageFor(f);
+    EXPECT_NEAR(c.freqAt(v), f, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, VfInverseTest,
+    ::testing::Combine(::testing::Values(0, 1),
+                       ::testing::Range(0, 21)));

@@ -1,0 +1,186 @@
+/**
+ * @file
+ * Tests for the wavefront state machine.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "gpu/wavefront.hh"
+
+using namespace hetsim::gpu;
+
+namespace
+{
+
+/** Program from an explicit op vector. */
+class VecProgram : public WavefrontProgram
+{
+  public:
+    explicit VecProgram(std::vector<GpuOp> ops) : ops_(std::move(ops))
+    {
+    }
+
+    bool
+    next(GpuOp &op) override
+    {
+        if (pos_ >= ops_.size())
+            return false;
+        op = ops_[pos_++];
+        return true;
+    }
+
+  private:
+    std::vector<GpuOp> ops_;
+    size_t pos_ = 0;
+};
+
+GpuOp
+valu(int16_t dst, int16_t s0 = -1, int16_t s1 = -1)
+{
+    GpuOp op;
+    op.cls = GpuOpClass::VAlu;
+    op.dst = dst;
+    op.src[0] = s0;
+    op.src[1] = s1;
+    op.numSrcs = 2;
+    return op;
+}
+
+GpuOp
+sbarrier()
+{
+    GpuOp op;
+    op.cls = GpuOpClass::SBarrier;
+    return op;
+}
+
+} // namespace
+
+TEST(Wavefront, LifecycleIdleActiveDone)
+{
+    Wavefront wf(6);
+    EXPECT_EQ(wf.state(), WavefrontState::Idle);
+    wf.assign(std::make_unique<VecProgram>(
+                  std::vector<GpuOp>{valu(10)}),
+              0);
+    EXPECT_EQ(wf.state(), WavefrontState::Active);
+    EXPECT_TRUE(wf.canIssue(0));
+    wf.completeIssue(0, 5);
+    EXPECT_EQ(wf.state(), WavefrontState::Done);
+    wf.release();
+    EXPECT_EQ(wf.state(), WavefrontState::Idle);
+}
+
+TEST(Wavefront, SourceDependencyBlocksIssue)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10), valu(11, 10)}),
+              0);
+    wf.completeIssue(0, 8); // reg 10 ready at cycle 8
+    EXPECT_FALSE(wf.canIssue(1));
+    EXPECT_FALSE(wf.canIssue(7));
+    EXPECT_TRUE(wf.canIssue(8));
+}
+
+TEST(Wavefront, OneIssuePerCycle)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10), valu(11)}),
+              0);
+    EXPECT_TRUE(wf.canIssue(5));
+    wf.completeIssue(5, 6);
+    EXPECT_FALSE(wf.canIssue(5)); // next op must wait a cycle
+    EXPECT_TRUE(wf.canIssue(6));
+}
+
+TEST(Wavefront, IndependentOpProceedsPastOutstandingLoad)
+{
+    Wavefront wf(6);
+    GpuOp load;
+    load.cls = GpuOpClass::VLoad;
+    load.dst = 20;
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  load, valu(11, 5), valu(12, 20)}),
+              0);
+    wf.completeIssue(0, 100); // load returns at cycle 100
+    // The independent VAlu can issue immediately...
+    EXPECT_TRUE(wf.canIssue(1));
+    wf.completeIssue(1, 4);
+    // ...but the dependent one waits for the load.
+    EXPECT_FALSE(wf.canIssue(2));
+    EXPECT_TRUE(wf.canIssue(100));
+}
+
+TEST(Wavefront, BarrierParksUntilRelease)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10), sbarrier(), valu(11)}),
+              3);
+    EXPECT_EQ(wf.workgroupSlot(), 3u);
+    wf.completeIssue(0, 1);
+    EXPECT_EQ(wf.state(), WavefrontState::AtBarrier);
+    EXPECT_FALSE(wf.canIssue(10));
+    wf.releaseBarrier();
+    EXPECT_EQ(wf.state(), WavefrontState::Active);
+    EXPECT_TRUE(wf.canIssue(10));
+}
+
+TEST(Wavefront, BarrierAsFirstOpParksImmediately)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  sbarrier(), valu(10)}),
+              0);
+    EXPECT_EQ(wf.state(), WavefrontState::AtBarrier);
+}
+
+TEST(Wavefront, RegReadyTracking)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10), valu(10)}),
+              0);
+    EXPECT_EQ(wf.regReadyAt(10), 0u);
+    wf.completeIssue(0, 7);
+    EXPECT_EQ(wf.regReadyAt(10), 7u);
+    // A later write overwrites the readiness.
+    wf.completeIssue(7, 12);
+    EXPECT_EQ(wf.regReadyAt(10), 12u);
+    EXPECT_EQ(wf.regReadyAt(-1), 0u);
+}
+
+TEST(Wavefront, ReassignmentResetsState)
+{
+    Wavefront wf(4);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10)}),
+              0);
+    wf.rfCache().write(10);
+    wf.completeIssue(0, 50);
+    wf.release();
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(11, 10)}),
+              1);
+    // Fresh slot: old register readiness and RF cache are gone.
+    EXPECT_EQ(wf.regReadyAt(10), 0u);
+    EXPECT_FALSE(wf.rfCache().readHit(10));
+    EXPECT_TRUE(wf.canIssue(0));
+}
+
+TEST(WavefrontDeath, DoubleAssignPanics)
+{
+    Wavefront wf(6);
+    wf.assign(std::make_unique<VecProgram>(std::vector<GpuOp>{
+                  valu(10)}),
+              0);
+    EXPECT_DEATH(wf.assign(std::make_unique<VecProgram>(
+                               std::vector<GpuOp>{valu(1)}),
+                           0),
+                 "busy");
+}

@@ -1,0 +1,211 @@
+/**
+ * @file
+ * Tests for the synthetic GPU kernel generators.
+ */
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "workload/gpu_kernel_gen.hh"
+#include "workload/gpu_profiles.hh"
+
+using namespace hetsim;
+using namespace hetsim::workload;
+using gpu::GpuOp;
+using gpu::GpuOpClass;
+
+namespace
+{
+
+struct KernelSummary
+{
+    uint64_t total = 0;
+    uint64_t barriers = 0;
+    uint64_t valu = 0, loads = 0, stores = 0, lds = 0, salu = 0;
+};
+
+KernelSummary
+summarize(gpu::WavefrontProgram &prog)
+{
+    KernelSummary s;
+    GpuOp op;
+    while (prog.next(op)) {
+        if (op.cls == GpuOpClass::SBarrier) {
+            ++s.barriers;
+            continue;
+        }
+        ++s.total;
+        s.valu += op.cls == GpuOpClass::VAlu;
+        s.loads += op.cls == GpuOpClass::VLoad;
+        s.stores += op.cls == GpuOpClass::VStore;
+        s.lds += op.cls == GpuOpClass::LdsOp;
+        s.salu += op.cls == GpuOpClass::SAlu;
+    }
+    return s;
+}
+
+} // namespace
+
+TEST(GpuWorkload, SuiteHasTenKernels)
+{
+    EXPECT_EQ(gpuKernels().size(), 10u);
+}
+
+TEST(GpuWorkload, LookupByName)
+{
+    EXPECT_STREQ(gpuKernel("matrixmul").name, "matrixmul");
+}
+
+TEST(GpuWorkloadDeath, UnknownKernelIsFatal)
+{
+    EXPECT_EXIT(gpuKernel("quake"), ::testing::ExitedWithCode(1),
+                "unknown GPU kernel");
+}
+
+TEST(GpuWorkload, Deterministic)
+{
+    SyntheticKernel k(gpuKernel("dct"), 9, 0.2);
+    auto p1 = k.makeWavefront(3, 1);
+    auto p2 = k.makeWavefront(3, 1);
+    GpuOp a, b;
+    while (true) {
+        const bool ra = p1->next(a);
+        const bool rb = p2->next(b);
+        ASSERT_EQ(ra, rb);
+        if (!ra)
+            break;
+        ASSERT_EQ(a.cls, b.cls);
+        ASSERT_EQ(a.addr, b.addr);
+        ASSERT_EQ(a.dst, b.dst);
+    }
+}
+
+TEST(GpuWorkload, WavefrontsDiffer)
+{
+    SyntheticKernel k(gpuKernel("dct"), 9, 0.2);
+    auto p1 = k.makeWavefront(0, 0);
+    auto p2 = k.makeWavefront(0, 1);
+    GpuOp a, b;
+    int diff = 0;
+    for (int i = 0; i < 200; ++i) {
+        if (!p1->next(a) || !p2->next(b))
+            break;
+        diff += a.cls != b.cls || a.addr != b.addr;
+    }
+    EXPECT_GT(diff, 20);
+}
+
+TEST(GpuWorkload, BarriersAtIdenticalPositions)
+{
+    // Each wavefront of a workgroup must hit barriers at the same op
+    // index or the workgroup deadlocks.
+    SyntheticKernel k(gpuKernel("reduction"), 1, 0.5);
+    auto barrier_positions = [&](uint32_t wf) {
+        auto p = k.makeWavefront(0, wf);
+        std::vector<uint64_t> pos;
+        uint64_t idx = 0;
+        GpuOp op;
+        while (p->next(op)) {
+            if (op.cls == GpuOpClass::SBarrier)
+                pos.push_back(idx);
+            else
+                ++idx;
+        }
+        return pos;
+    };
+    const auto p0 = barrier_positions(0);
+    const auto p1 = barrier_positions(1);
+    EXPECT_FALSE(p0.empty());
+    EXPECT_EQ(p0, p1);
+}
+
+TEST(GpuWorkload, BarrierCountMatchesProfile)
+{
+    const KernelProfile &prof = gpuKernel("bitonicsort");
+    SyntheticKernel k(prof, 1, 1.0);
+    auto p = k.makeWavefront(0, 0);
+    EXPECT_EQ(summarize(*p).barriers, prof.barriers);
+}
+
+TEST(GpuWorkload, AddressesWithinWorkgroupRegion)
+{
+    const KernelProfile &prof = gpuKernel("histogram");
+    SyntheticKernel k(prof, 1, 0.5);
+    auto p = k.makeWavefront(5, 1);
+    GpuOp op;
+    const uint64_t base = (1ull << 34) + (5ull << 22);
+    while (p->next(op)) {
+        if (op.cls != GpuOpClass::VLoad &&
+            op.cls != GpuOpClass::VStore)
+            continue;
+        EXPECT_GE(op.addr, base);
+        EXPECT_LT(op.addr, base + (1ull << 22));
+        EXPECT_GE(op.numLines, 1u);
+        EXPECT_LE(op.numLines, 16u);
+    }
+}
+
+TEST(GpuWorkload, GridShape)
+{
+    const KernelProfile &prof = gpuKernel("matrixmul");
+    SyntheticKernel k(prof, 1, 1.0);
+    EXPECT_EQ(k.numWorkgroups(), prof.workgroups);
+    EXPECT_EQ(k.wavefrontsPerGroup(), prof.wavefrontsPerGroup);
+}
+
+TEST(GpuWorkload, ScaleShrinksWorkgroups)
+{
+    const KernelProfile &prof = gpuKernel("matrixmul");
+    SyntheticKernel small(prof, 1, 0.1);
+    EXPECT_LT(small.numWorkgroups(), prof.workgroups);
+    EXPECT_GE(small.numWorkgroups(), 1u);
+}
+
+// ---- Mix fidelity across every kernel ----------------------------
+
+class GpuMixTest : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(GpuMixTest, OpMixTracksProfile)
+{
+    const KernelProfile &prof = gpuKernels()[GetParam()];
+    SyntheticKernel k(prof, 1, 1.0);
+    // Aggregate a few wavefronts for statistical stability.
+    KernelSummary s;
+    for (uint32_t wf = 0; wf < 8; ++wf) {
+        auto p = k.makeWavefront(wf / 2, wf % 2);
+        const KernelSummary one = summarize(*p);
+        s.total += one.total;
+        s.valu += one.valu;
+        s.loads += one.loads;
+        s.stores += one.stores;
+        s.lds += one.lds;
+        s.salu += one.salu;
+    }
+    ASSERT_GT(s.total, 2000u);
+    const double n = static_cast<double>(s.total);
+    EXPECT_NEAR(s.valu / n, prof.valuFraction, 0.03) << prof.name;
+    EXPECT_NEAR(s.loads / n, prof.loadFraction, 0.03) << prof.name;
+    EXPECT_NEAR(s.stores / n, prof.storeFraction, 0.03) << prof.name;
+    EXPECT_NEAR(s.lds / n, prof.ldsFraction, 0.03) << prof.name;
+}
+
+TEST_P(GpuMixTest, RegistersInBounds)
+{
+    const KernelProfile &prof = gpuKernels()[GetParam()];
+    SyntheticKernel k(prof, 1, 0.3);
+    auto p = k.makeWavefront(0, 0);
+    GpuOp op;
+    while (p->next(op)) {
+        EXPECT_LT(op.dst,
+                  static_cast<int16_t>(gpu::kVectorRegsPerThread));
+        for (int i = 0; i < op.numSrcs; ++i)
+            EXPECT_LT(op.src[i], static_cast<int16_t>(
+                                     gpu::kVectorRegsPerThread));
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllKernels, GpuMixTest,
+                         ::testing::Range(0, 10));
