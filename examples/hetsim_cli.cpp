@@ -14,6 +14,21 @@
  *       Record a synthetic trace to a binary file.
  *   hetsim_cli replay --trace trace.bin [--config BaseCMOS]
  *       Replay a recorded trace through a single core.
+ *   hetsim_cli sweep [--configs all|A,B] [--workloads w1,w2]
+ *                    [--scale S] [--seed K] [--freq F]
+ *                    [--timeout-ms T] [--watchdog-cycles N]
+ *                    [--no-isolate 1] [--csv out.csv]
+ *       Run a batch (config x workload) sweep; each cell executes in
+ *       an isolated child process with watchdogs, so corrupt traces,
+ *       crashes, and runaway cells are recorded per cell while the
+ *       rest of the sweep completes. Workload specs: "fft",
+ *       "app:fft@scale=2", "trace:file.bin", "kernel:dct" (kernel
+ *       cells use GPU configs named via --gpu-configs).
+ *       Exits 0 as long as the sweep itself ran; per-cell failures
+ *       are reported in the summary, not via the exit code.
+ *
+ * The library reports input errors as Status values; this front end
+ * is where they become messages and a nonzero process exit.
  */
 
 #include <cstdio>
@@ -21,10 +36,13 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <vector>
 
 #include "common/logging.hh"
+#include "common/status.hh"
 #include "common/table.hh"
 #include "core/experiment.hh"
+#include "core/sweep.hh"
 #include "cpu/multicore.hh"
 #include "workload/cpu_trace_gen.hh"
 #include "workload/trace_file.hh"
@@ -34,6 +52,36 @@ using namespace hetsim;
 namespace
 {
 
+/** CLI-layer fatal: print and exit(1). Library code returns Status
+ *  instead; only the front end may terminate the process. */
+[[noreturn]] void
+die(const char *fmt, ...) __attribute__((format(printf, 1, 2)));
+
+void
+vdie(const char *fmt, va_list ap)
+{
+    std::fprintf(stderr, "error: ");
+    std::vfprintf(stderr, fmt, ap);
+    std::fprintf(stderr, "\n");
+    std::exit(1);
+}
+
+[[noreturn]] void
+die(const char *fmt, ...)
+{
+    va_list ap;
+    va_start(ap, fmt);
+    vdie(fmt, ap);
+    va_end(ap);
+    std::abort(); // Unreachable; vdie exits.
+}
+
+[[noreturn]] void
+dieOn(const Status &status)
+{
+    die("%s", status.toString().c_str());
+}
+
 /** Minimal --key value argument parser. */
 class Args
 {
@@ -42,7 +90,7 @@ class Args
     {
         for (int i = first; i + 1 < argc; i += 2) {
             if (std::strncmp(argv[i], "--", 2) != 0)
-                fatal("expected --option, got '%s'", argv[i]);
+                die("expected --option, got '%s'", argv[i]);
             kv_[argv[i] + 2] = argv[i + 1];
         }
     }
@@ -77,25 +125,37 @@ class Args
 core::CpuConfig
 cpuConfigByName(const std::string &name)
 {
-    for (int i = 0; i < core::kNumCpuConfigs; ++i) {
-        const auto c = static_cast<core::CpuConfig>(i);
-        if (name == core::cpuConfigName(c))
-            return c;
-    }
-    fatal("unknown CPU config '%s' (try 'hetsim_cli list')",
-          name.c_str());
+    Result<core::CpuConfig> r = core::cpuConfigFromName(name);
+    if (!r.ok())
+        dieOn(r.status());
+    return r.value();
 }
 
 core::GpuConfig
 gpuConfigByName(const std::string &name)
 {
-    for (int i = 0; i < core::kNumGpuConfigs; ++i) {
-        const auto c = static_cast<core::GpuConfig>(i);
-        if (name == core::gpuConfigName(c))
-            return c;
+    Result<core::GpuConfig> r = core::gpuConfigFromName(name);
+    if (!r.ok())
+        dieOn(r.status());
+    return r.value();
+}
+
+std::vector<std::string>
+splitCsvList(const std::string &list)
+{
+    std::vector<std::string> out;
+    size_t start = 0;
+    while (start <= list.size()) {
+        const size_t comma = list.find(',', start);
+        const size_t end =
+            comma == std::string::npos ? list.size() : comma;
+        if (end > start)
+            out.push_back(list.substr(start, end - start));
+        if (comma == std::string::npos)
+            break;
+        start = comma + 1;
     }
-    fatal("unknown GPU config '%s' (try 'hetsim_cli list')",
-          name.c_str());
+    return out;
 }
 
 int
@@ -123,7 +183,9 @@ int
 cmdRun(const Args &args)
 {
     const auto cfg = cpuConfigByName(args.get("config", "BaseCMOS"));
-    const auto &app = workload::cpuApp(args.get("app", "fft"));
+    const auto app = workload::findCpuApp(args.get("app", "fft"));
+    if (!app.ok())
+        dieOn(app.status());
     core::ExperimentOptions opts;
     opts.scale = args.getD("scale", 1.0);
     opts.freqGhz = args.getD("freq", 2.0);
@@ -132,7 +194,7 @@ cmdRun(const Args &args)
         static_cast<uint32_t>(args.getU("cores", 0));
 
     const core::CpuOutcome out =
-        core::runCpuExperiment(cfg, app, opts);
+        core::runCpuExperiment(cfg, *app.value(), opts);
     TablePrinter t("hetsim run: " + out.config + " / " + out.app,
                    {"metric", "value"});
     t.addRow({"cycles", std::to_string(out.cycles)});
@@ -148,7 +210,7 @@ cmdRun(const Args &args)
     t.print();
     const std::string csv = args.get("csv");
     if (!csv.empty() && !t.writeCsv(csv))
-        fatal("cannot write '%s'", csv.c_str());
+        die("cannot write '%s'", csv.c_str());
     return 0;
 }
 
@@ -156,14 +218,16 @@ int
 cmdGpu(const Args &args)
 {
     const auto cfg = gpuConfigByName(args.get("config", "BaseCMOS"));
-    const auto &kernel =
-        workload::gpuKernel(args.get("kernel", "matrixmul"));
+    const auto kernel =
+        workload::findGpuKernel(args.get("kernel", "matrixmul"));
+    if (!kernel.ok())
+        dieOn(kernel.status());
     core::ExperimentOptions opts;
     opts.scale = args.getD("scale", 1.0);
     opts.seed = args.getU("seed", 1);
 
     const core::GpuOutcome out =
-        core::runGpuExperiment(cfg, kernel, opts);
+        core::runGpuExperiment(cfg, *kernel.value(), opts);
     TablePrinter t("hetsim gpu: " + out.config + " / " + out.kernel,
                    {"metric", "value"});
     t.addRow({"cycles", std::to_string(out.cycles)});
@@ -180,22 +244,27 @@ cmdGpu(const Args &args)
 int
 cmdRecord(const Args &args)
 {
-    const auto &app = workload::cpuApp(args.get("app", "fft"));
+    const auto app = workload::findCpuApp(args.get("app", "fft"));
+    if (!app.ok())
+        dieOn(app.status());
     const std::string out_path = args.get("out");
     if (out_path.empty())
-        fatal("record needs --out <file>");
+        die("record needs --out <file>");
     const uint32_t threads =
         static_cast<uint32_t>(args.getU("threads", 4));
     const uint32_t thread =
         static_cast<uint32_t>(args.getU("thread", 0));
-    workload::SyntheticCpuTrace src(app, thread, threads,
+    workload::SyntheticCpuTrace src(*app.value(), thread, threads,
                                     args.getU("seed", 1),
                                     args.getD("scale", 1.0));
-    const uint64_t n = workload::recordTrace(
+    const Result<uint64_t> n = workload::recordTrace(
         src, out_path, args.getU("max", ~0ull));
+    if (!n.ok())
+        dieOn(n.status());
     std::printf("recorded %llu ops of %s (thread %u/%u) to %s\n",
-                static_cast<unsigned long long>(n), app.name, thread,
-                threads, out_path.c_str());
+                static_cast<unsigned long long>(n.value()),
+                app.value()->name, thread, threads,
+                out_path.c_str());
     return 0;
 }
 
@@ -204,15 +273,19 @@ cmdReplay(const Args &args)
 {
     const std::string path = args.get("trace");
     if (path.empty())
-        fatal("replay needs --trace <file>");
+        die("replay needs --trace <file>");
     const auto cfg = cpuConfigByName(args.get("config", "BaseCMOS"));
     const core::CpuConfigBundle bundle = core::makeCpuConfig(cfg);
 
-    workload::FileTrace trace(path);
+    auto trace = workload::FileTrace::open(path);
+    if (!trace.ok())
+        dieOn(trace.status());
     cpu::MulticoreParams sim = bundle.sim;
     sim.mem.numCores = 1;
-    cpu::Multicore mc(sim, {&trace});
+    cpu::Multicore mc(sim, {trace.value().get()});
     const cpu::MulticoreResult run = mc.run();
+    if (!trace.value()->status().ok())
+        dieOn(trace.value()->status());
     std::printf("replayed %llu ops from %s on one %s core: "
                 "%llu cycles (%.4f ms, IPC %.2f)\n",
                 static_cast<unsigned long long>(run.committedOps),
@@ -220,6 +293,83 @@ cmdReplay(const Args &args)
                 static_cast<unsigned long long>(run.cycles),
                 run.seconds * 1e3,
                 static_cast<double>(run.committedOps) / run.cycles);
+    return 0;
+}
+
+int
+cmdSweep(const Args &args)
+{
+    // Configurations: every CPU config by default.
+    std::vector<core::CpuConfig> cfgs;
+    const std::string cfg_list = args.get("configs", "all");
+    if (cfg_list == "all") {
+        for (int i = 0; i < core::kNumCpuConfigs; ++i)
+            cfgs.push_back(static_cast<core::CpuConfig>(i));
+    } else {
+        for (const std::string &name : splitCsvList(cfg_list))
+            cfgs.push_back(cpuConfigByName(name));
+    }
+
+    // Workload specs crossed with the CPU configs.
+    std::vector<std::string> specs =
+        splitCsvList(args.get("workloads", ""));
+    std::vector<core::SweepCell> cells;
+    if (!specs.empty()) {
+        auto crossed = core::crossCpuCells(cfgs, specs);
+        if (!crossed.ok())
+            dieOn(crossed.status());
+        cells = std::move(crossed.value());
+    }
+
+    // GPU cells: every named GPU config x every kernel spec.
+    const auto gpu_cfg_list =
+        splitCsvList(args.get("gpu-configs", ""));
+    const auto kernel_list = splitCsvList(args.get("kernels", ""));
+    for (const std::string &name : gpu_cfg_list) {
+        const core::GpuConfig gcfg = gpuConfigByName(name);
+        for (const std::string &k : kernel_list)
+            cells.push_back(core::gpuKernelCell(gcfg, k));
+    }
+
+    // Individually added cells: "Config/spec" entries.
+    for (const std::string &entry :
+         splitCsvList(args.get("cells", ""))) {
+        const size_t slash = entry.find('/');
+        if (slash == std::string::npos)
+            die("bad --cells entry '%s' (expected Config/workload)",
+                entry.c_str());
+        auto cell =
+            core::parseWorkloadSpec(entry.substr(slash + 1));
+        if (!cell.ok())
+            dieOn(cell.status());
+        if (cell.value().kind == core::SweepCell::Kind::GpuKernel)
+            cell.value().gpuCfg =
+                gpuConfigByName(entry.substr(0, slash));
+        else
+            cell.value().cpuCfg =
+                cpuConfigByName(entry.substr(0, slash));
+        cells.push_back(std::move(cell.value()));
+    }
+
+    if (cells.empty())
+        die("sweep needs --workloads, --kernels, or --cells");
+
+    core::SweepOptions opts;
+    opts.exp.scale = args.getD("scale", 1.0);
+    opts.exp.freqGhz = args.getD("freq", 2.0);
+    opts.exp.seed = args.getU("seed", 1);
+    opts.exp.watchdogCycles = args.getU("watchdog-cycles", 0);
+    opts.wallLimitMs = args.getD("timeout-ms", 0.0);
+    opts.isolate = args.getU("no-isolate", 0) == 0;
+    opts.verbose = true;
+
+    const core::SweepReport report = core::runSweep(cells, opts);
+    const Status printed =
+        printSweepReport(report, args.get("csv"));
+    if (!printed.ok())
+        dieOn(printed);
+    // Per-cell failures are data, not a process failure: a sweep
+    // that completes exits 0 so batch drivers keep their results.
     return 0;
 }
 
@@ -231,7 +381,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: hetsim_cli "
-                     "{list|run|gpu|record|replay} [--opt value]...\n"
+                     "{list|run|gpu|record|replay|sweep} "
+                     "[--opt value]...\n"
                      "see the file header for details\n");
         return 1;
     }
@@ -247,5 +398,7 @@ main(int argc, char **argv)
         return cmdRecord(args);
     if (cmd == "replay")
         return cmdReplay(args);
-    fatal("unknown command '%s'", cmd.c_str());
+    if (cmd == "sweep")
+        return cmdSweep(args);
+    die("unknown command '%s'", cmd.c_str());
 }

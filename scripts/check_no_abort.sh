@@ -1,0 +1,29 @@
+#!/bin/sh
+# Lint: library code under src/ must not terminate the process.
+# Recoverable (input) errors return a Status; only the panic()
+# implementation in common/logging.cc may abort. POSIX _exit() is
+# allowed: the sweep runner's forked children must leave without
+# running parent atexit hooks.
+#
+# Usage: scripts/check_no_abort.sh <repo-root>
+set -e
+root=${1:?usage: check_no_abort.sh <repo-root>}
+
+# std::abort / abort / std::exit / exit calls, excluding _exit and
+# identifiers merely ending in ...exit/...abort. Comments are
+# stripped so prose about abort() stays legal.
+bad=$(grep -rnE '(^|[^_[:alnum:]])(std::)?(abort|exit)[[:space:]]*\(' \
+          "$root/src" \
+          --include='*.cc' --include='*.hh' \
+      | grep -v ':[0-9]*: *\(//\|\*\|/\*\)' \
+      | grep -v 'src/common/logging\.cc' \
+      || true)
+
+if [ -n "$bad" ]; then
+    echo "error: process-terminating calls in library code:" >&2
+    echo "$bad" >&2
+    echo "return a Status (see src/common/status.hh) instead," >&2
+    echo "or use panic() for internal invariants." >&2
+    exit 1
+fi
+echo "ok: src/ is free of abort()/exit() outside panic()"

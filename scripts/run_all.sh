@@ -6,6 +6,16 @@ SCALE=${1:-1.0}
 cmake -B build -G Ninja
 cmake --build build
 ctest --test-dir build --output-on-failure
+
+# Robustness pass: the fault-injection / recoverable-error tests again
+# under AddressSanitizer + UBSan, so a recovered error path that leaks
+# or trips UB fails the run.
+cmake -B build-asan -G Ninja -DHETSIM_SANITIZE="address;undefined"
+cmake --build build-asan --target test_status test_trace_file \
+      test_fault_inject test_sweep
+ctest --test-dir build-asan --output-on-failure \
+      -R 'test_status|test_trace_file|test_fault_inject|test_sweep'
+
 for b in build/bench/bench_table* build/bench/bench_fig* \
          build/bench/bench_ext*; do
     echo "##### $(basename "$b")"

@@ -1,0 +1,78 @@
+/**
+ * @file
+ * RAII ownership of a C stdio stream.
+ *
+ * Trace I/O moved from fatal-on-error to recoverable Status returns;
+ * once an error path can return, a raw FILE* leaks unless every exit
+ * closes it. FileHandle closes on destruction, so error returns are
+ * leak-free by construction.
+ */
+
+#ifndef HETSIM_COMMON_FILE_HH
+#define HETSIM_COMMON_FILE_HH
+
+#include <cstdio>
+#include <string>
+#include <utility>
+
+namespace hetsim
+{
+
+/** Owning wrapper around std::FILE with fopen/fclose lifetime. */
+class FileHandle
+{
+  public:
+    FileHandle() = default;
+
+    /** Takes ownership of an already-open stream (may be null). */
+    explicit FileHandle(std::FILE *file) : file_(file) {}
+
+    /** fopen() the path; get() is null on failure (check errno). */
+    FileHandle(const std::string &path, const char *mode)
+        : file_(std::fopen(path.c_str(), mode))
+    {
+    }
+
+    ~FileHandle() { reset(); }
+
+    FileHandle(const FileHandle &) = delete;
+    FileHandle &operator=(const FileHandle &) = delete;
+
+    FileHandle(FileHandle &&other) noexcept
+        : file_(std::exchange(other.file_, nullptr))
+    {
+    }
+
+    FileHandle &
+    operator=(FileHandle &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            file_ = std::exchange(other.file_, nullptr);
+        }
+        return *this;
+    }
+
+    std::FILE *get() const { return file_; }
+    explicit operator bool() const { return file_ != nullptr; }
+
+    /** Close now (also called by the destructor). */
+    void
+    reset()
+    {
+        if (file_) {
+            std::fclose(file_);
+            file_ = nullptr;
+        }
+    }
+
+    /** Release ownership without closing. */
+    std::FILE *release() { return std::exchange(file_, nullptr); }
+
+  private:
+    std::FILE *file_ = nullptr;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_FILE_HH

@@ -21,16 +21,6 @@ vreport(const char *prefix, const char *fmt, va_list ap)
 } // namespace
 
 void
-fatal(const char *fmt, ...)
-{
-    va_list ap;
-    va_start(ap, fmt);
-    vreport("fatal", fmt, ap);
-    va_end(ap);
-    std::exit(1);
-}
-
-void
 panic(const char *fmt, ...)
 {
     va_list ap;

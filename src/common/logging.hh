@@ -2,10 +2,14 @@
  * @file
  * Error and status reporting, modeled on gem5's logging conventions.
  *
- * fatal()  — the run cannot continue because of a user/config error.
  * panic()  — an internal invariant was violated (a hetsim bug); aborts.
  * warn()   — something questionable happened but the run continues.
  * inform() — plain status output.
+ *
+ * User/config/input errors are NOT reported here: library code returns
+ * a Status/Result<T> (common/status.hh) so batch drivers can continue
+ * past a poisoned input. Only front ends (examples/, bench/) may turn
+ * a Status into a process exit.
  */
 
 #ifndef HETSIM_COMMON_LOGGING_HH
@@ -16,10 +20,6 @@
 
 namespace hetsim
 {
-
-/** Print an error message and exit(1). For configuration/user errors. */
-[[noreturn]] void fatal(const char *fmt, ...)
-    __attribute__((format(printf, 1, 2)));
 
 /** Print an error message and abort(). For internal invariant failures. */
 [[noreturn]] void panic(const char *fmt, ...)

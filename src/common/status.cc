@@ -1,0 +1,73 @@
+#include "common/status.hh"
+
+#include <cstdarg>
+#include <cstdio>
+
+namespace hetsim
+{
+
+const char *
+errorCodeName(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::Ok:
+        return "ok";
+      case ErrorCode::InvalidArgument:
+        return "invalid-argument";
+      case ErrorCode::NotFound:
+        return "not-found";
+      case ErrorCode::IoError:
+        return "io-error";
+      case ErrorCode::BadMagic:
+        return "bad-magic";
+      case ErrorCode::UnsupportedVersion:
+        return "unsupported-version";
+      case ErrorCode::TruncatedHeader:
+        return "truncated-header";
+      case ErrorCode::TruncatedStream:
+        return "truncated-stream";
+      case ErrorCode::SizeMismatch:
+        return "size-mismatch";
+      case ErrorCode::CorruptRecord:
+        return "corrupt-record";
+      case ErrorCode::Timeout:
+        return "timeout";
+      case ErrorCode::Crashed:
+        return "crashed";
+      case ErrorCode::Internal:
+        return "internal";
+      default:
+        return "?";
+    }
+}
+
+Status
+Status::error(ErrorCode code, const char *fmt, ...)
+{
+    hetsim_assert(code != ErrorCode::Ok,
+                  "Status::error() needs a failure code");
+    va_list ap;
+    va_start(ap, fmt);
+    va_list ap2;
+    va_copy(ap2, ap);
+    const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+    va_end(ap);
+    std::string message;
+    if (n > 0) {
+        message.resize(static_cast<size_t>(n) + 1);
+        std::vsnprintf(message.data(), message.size(), fmt, ap2);
+        message.resize(static_cast<size_t>(n));
+    }
+    va_end(ap2);
+    return Status(code, std::move(message));
+}
+
+std::string
+Status::toString() const
+{
+    if (ok())
+        return "ok";
+    return std::string(errorCodeName(code_)) + ": " + message_;
+}
+
+} // namespace hetsim

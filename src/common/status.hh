@@ -1,0 +1,146 @@
+/**
+ * @file
+ * Recoverable-error types: Status and Result<T>.
+ *
+ * HetSim distinguishes two failure families:
+ *
+ *  - *Input errors* (a truncated trace, an unknown profile name, a bad
+ *    CLI flag): these are expected in a batch/service setting and must
+ *    never kill the process. Library code reports them by returning a
+ *    Status (or a Result<T> when a value is produced on success).
+ *  - *Internal invariant violations* (a hetsim bug): panic() aborts.
+ *
+ * Library code under src/ must not call exit()/abort() outside the
+ * panic() implementation — scripts/check_no_abort.sh enforces this as
+ * a ctest lint check.
+ */
+
+#ifndef HETSIM_COMMON_STATUS_HH
+#define HETSIM_COMMON_STATUS_HH
+
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/logging.hh"
+
+namespace hetsim
+{
+
+/**
+ * Machine-checkable error categories. Trace parsing deliberately gets
+ * one code per corruption class so tests (and sweep summaries) can
+ * tell a bad magic from a truncated stream.
+ */
+enum class ErrorCode
+{
+    Ok = 0,
+    InvalidArgument,    ///< Malformed option or parameter value.
+    NotFound,           ///< Unknown name (profile, config, file).
+    IoError,            ///< open/read/write/seek failure.
+    BadMagic,           ///< Trace file lacks the HSTR magic.
+    UnsupportedVersion, ///< Trace format version not understood.
+    TruncatedHeader,    ///< File too short for a trace header.
+    TruncatedStream,    ///< Record stream cut mid-record.
+    SizeMismatch,       ///< Header record count disagrees with size.
+    CorruptRecord,      ///< Record content fails validation.
+    Timeout,            ///< Watchdog (cycle or wall-clock) expired.
+    Crashed,            ///< Isolated child process died abnormally.
+    Internal,           ///< Unexpected condition; likely a bug.
+};
+
+/** Stable lowercase name for summaries and test matching. */
+const char *errorCodeName(ErrorCode code);
+
+/** An error code plus a human-readable formatted message. */
+class [[nodiscard]] Status
+{
+  public:
+    /** Default-constructed Status is success. */
+    Status() = default;
+
+    /** Build a failure Status with a printf-formatted message. */
+    static Status error(ErrorCode code, const char *fmt, ...)
+        __attribute__((format(printf, 2, 3)));
+
+    bool ok() const { return code_ == ErrorCode::Ok; }
+    ErrorCode code() const { return code_; }
+    const std::string &message() const { return message_; }
+
+    /** "truncated-stream: trace 'x' cut at record 12". */
+    std::string toString() const;
+
+  private:
+    Status(ErrorCode code, std::string message)
+        : code_(code), message_(std::move(message))
+    {
+    }
+
+    ErrorCode code_ = ErrorCode::Ok;
+    std::string message_;
+};
+
+/**
+ * Either a value of T or a failure Status — an expected-style sum
+ * type. Accessing value() on a failed Result panics (that is an
+ * unchecked-caller bug, not an input error).
+ */
+template <typename T>
+class [[nodiscard]] Result
+{
+  public:
+    Result(T value) : value_(std::move(value)) {}
+
+    Result(Status status) : status_(std::move(status))
+    {
+        hetsim_assert(!status_.ok(),
+                      "Result constructed from an ok Status "
+                      "without a value");
+    }
+
+    bool ok() const { return value_.has_value(); }
+    const Status &status() const { return status_; }
+
+    T &value() &
+    {
+        checkOk();
+        return *value_;
+    }
+
+    const T &value() const &
+    {
+        checkOk();
+        return *value_;
+    }
+
+    T &&value() &&
+    {
+        checkOk();
+        return std::move(*value_);
+    }
+
+    T *operator->() { return &value(); }
+    const T *operator->() const { return &value(); }
+    T &operator*() & { return value(); }
+    const T &operator*() const & { return value(); }
+
+    /** The value, or `dflt` when this Result holds an error. */
+    T valueOr(T dflt) const
+    {
+        return ok() ? *value_ : std::move(dflt);
+    }
+
+  private:
+    void checkOk() const
+    {
+        hetsim_assert(ok(), "value() on failed Result: %s",
+                      status_.toString().c_str());
+    }
+
+    std::optional<T> value_;
+    Status status_;
+};
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_STATUS_HH

@@ -159,6 +159,40 @@ gpuConfigName(GpuConfig c)
     }
 }
 
+Result<CpuConfig>
+cpuConfigFromName(const std::string &name)
+{
+    std::string known;
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        const auto c = static_cast<CpuConfig>(i);
+        if (name == cpuConfigName(c))
+            return c;
+        if (!known.empty())
+            known += ", ";
+        known += cpuConfigName(c);
+    }
+    return Status::error(ErrorCode::NotFound,
+                         "unknown CPU config '%s' (valid: %s)",
+                         name.c_str(), known.c_str());
+}
+
+Result<GpuConfig>
+gpuConfigFromName(const std::string &name)
+{
+    std::string known;
+    for (int i = 0; i < kNumGpuConfigs; ++i) {
+        const auto c = static_cast<GpuConfig>(i);
+        if (name == gpuConfigName(c))
+            return c;
+        if (!known.empty())
+            known += ", ";
+        known += gpuConfigName(c);
+    }
+    return Status::error(ErrorCode::NotFound,
+                         "unknown GPU config '%s' (valid: %s)",
+                         name.c_str(), known.c_str());
+}
+
 CpuConfigBundle
 makeCpuConfig(CpuConfig cfg, double freq_ghz)
 {
@@ -261,7 +295,7 @@ makeCpuConfig(CpuConfig cfg, double freq_ghz)
         break;
 
       default:
-        fatal("unknown CPU config %d", static_cast<int>(cfg));
+        panic("unknown CPU config %d", static_cast<int>(cfg));
     }
 
     b.sim.mem.numCores = b.numCores;
@@ -327,7 +361,7 @@ makeGpuConfig(GpuConfig cfg, double freq_ghz)
         break;
 
       default:
-        fatal("unknown GPU config %d", static_cast<int>(cfg));
+        panic("unknown GPU config %d", static_cast<int>(cfg));
     }
 
     b.sim.numCus = b.numCus;

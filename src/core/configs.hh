@@ -18,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
 #include "cpu/multicore.hh"
 #include "gpu/gpu.hh"
 #include "power/accountant.hh"
@@ -60,6 +61,13 @@ constexpr int kNumGpuConfigs = static_cast<int>(GpuConfig::NumConfigs);
 /** Display name as used in the paper's figures. */
 const char *cpuConfigName(CpuConfig c);
 const char *gpuConfigName(GpuConfig c);
+
+/**
+ * Resolve a display name back to its configuration. On failure the
+ * NotFound message lists every valid name.
+ */
+Result<CpuConfig> cpuConfigFromName(const std::string &name);
+Result<GpuConfig> gpuConfigFromName(const std::string &name);
 
 /** Everything needed to simulate and account one CPU configuration. */
 struct CpuConfigBundle

@@ -22,6 +22,7 @@ runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
         bundle.numCores = opts.coresOverride;
         bundle.sim.mem.numCores = opts.coresOverride;
     }
+    bundle.sim.watchdogCycles = opts.watchdogCycles;
 
     auto traces = workload::makeCpuWorkload(app, bundle.numCores,
                                             opts.seed, opts.scale);
@@ -59,6 +60,7 @@ runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
     out.app = app.name;
     out.cycles = run.cycles;
     out.committedOps = run.committedOps;
+    out.timedOut = run.timedOut;
     out.energy = power::computeCpuEnergy(activity, bundle.units,
                                          run.seconds, bundle.numCores,
                                          op.scales);
@@ -74,6 +76,7 @@ runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
     // The GPU design point is half the CPU frequency (1 GHz at the
     // paper's 2 GHz CPU point).
     GpuConfigBundle bundle = makeGpuConfig(cfg, opts.freqGhz / 2.0);
+    bundle.sim.watchdogCycles = opts.watchdogCycles;
 
     workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
     gpu::Gpu gpu(bundle.sim);
@@ -84,6 +87,7 @@ runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
     out.kernel = kernel.name;
     out.cycles = run.cycles;
     out.issuedOps = run.issuedOps;
+    out.timedOut = run.timedOut;
     out.energy = power::computeGpuEnergy(run.activity, bundle.units,
                                          run.seconds, bundle.numCus);
     out.metrics.seconds = run.seconds;

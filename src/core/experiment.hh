@@ -29,6 +29,9 @@ struct ExperimentOptions
     /** Override the configuration's core count (0 = default); used
      *  by the iso-power planner. */
     uint32_t coresOverride = 0;
+    /** Recoverable cycle watchdog (0 = off): the simulation stops at
+     *  this many cycles and the outcome reports timedOut. */
+    uint64_t watchdogCycles = 0;
 };
 
 /** Outcome of one (config, app) run. */
@@ -38,6 +41,7 @@ struct CpuOutcome
     std::string app;
     uint64_t cycles = 0;
     uint64_t committedOps = 0;
+    bool timedOut = false; ///< Cut short by opts.watchdogCycles.
     power::RunMetrics metrics;
     power::EnergyBreakdown energy;
 };
@@ -49,6 +53,7 @@ struct GpuOutcome
     std::string kernel;
     uint64_t cycles = 0;
     uint64_t issuedOps = 0;
+    bool timedOut = false; ///< Cut short by opts.watchdogCycles.
     power::RunMetrics metrics;
     power::EnergyBreakdown energy;
 };

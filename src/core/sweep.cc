@@ -1,0 +1,542 @@
+#include "core/sweep.hh"
+
+#include <poll.h>
+#include <signal.h>
+#include <sys/types.h>
+#include <sys/wait.h>
+#include <time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/logging.hh"
+#include "common/table.hh"
+#include "cpu/multicore.hh"
+#include "workload/trace_file.hh"
+
+namespace hetsim::core
+{
+
+namespace
+{
+
+double
+monotonicMs()
+{
+    struct timespec ts;
+    clock_gettime(CLOCK_MONOTONIC, &ts);
+    return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
+}
+
+/** Fixed-size prefix of the result a child sends up its pipe. */
+#pragma pack(push, 1)
+struct WireResult
+{
+    uint8_t outcome;
+    uint8_t code;
+    uint64_t cycles;
+    uint64_t ops;
+    double seconds;
+    double energyJ;
+    uint32_t msgLen;
+};
+#pragma pack(pop)
+
+double
+effectiveScale(const SweepCell &cell, const SweepOptions &opts)
+{
+    return cell.scaleOverride > 0.0 ? cell.scaleOverride
+                                    : opts.exp.scale;
+}
+
+uint64_t
+effectiveWatchdog(const SweepCell &cell, const SweepOptions &opts)
+{
+    return cell.watchdogCycles != ~0ull ? cell.watchdogCycles
+                                        : opts.exp.watchdogCycles;
+}
+
+/** Execute one cell in this process. Input errors come back as a
+ *  Failed result; internal invariants still panic (isolation turns
+ *  that into a contained child death). */
+CellResult
+runCellInProcess(const SweepCell &cell, const SweepOptions &opts)
+{
+    CellResult res;
+    ExperimentOptions exp = opts.exp;
+    exp.scale = effectiveScale(cell, opts);
+    exp.watchdogCycles = effectiveWatchdog(cell, opts);
+
+    switch (cell.kind) {
+      case SweepCell::Kind::CpuApp:
+      {
+        const auto app = workload::findCpuApp(cell.workload);
+        if (!app.ok()) {
+            res.status = app.status();
+            return res;
+        }
+        const CpuOutcome out =
+            runCpuExperiment(cell.cpuCfg, *app.value(), exp);
+        res.outcome = out.timedOut ? CellOutcome::TimedOut
+                                   : CellOutcome::Ok;
+        if (out.timedOut)
+            res.status = Status::error(
+                ErrorCode::Timeout,
+                "cycle watchdog fired at %llu cycles",
+                static_cast<unsigned long long>(out.cycles));
+        res.cycles = out.cycles;
+        res.ops = out.committedOps;
+        res.seconds = out.metrics.seconds;
+        res.energyJ = out.metrics.energyJ;
+        return res;
+      }
+
+      case SweepCell::Kind::CpuTrace:
+      {
+        auto trace = workload::FileTrace::open(cell.workload);
+        if (!trace.ok()) {
+            res.status = trace.status();
+            return res;
+        }
+        CpuConfigBundle bundle =
+            makeCpuConfig(cell.cpuCfg, exp.freqGhz);
+        cpu::MulticoreParams sim = bundle.sim;
+        sim.mem.numCores = 1;
+        sim.watchdogCycles = exp.watchdogCycles;
+        cpu::Multicore mc(sim, {trace.value().get()});
+        const cpu::MulticoreResult run = mc.run();
+        if (!trace.value()->status().ok()) {
+            res.status = trace.value()->status();
+            return res;
+        }
+        res.outcome = run.timedOut ? CellOutcome::TimedOut
+                                   : CellOutcome::Ok;
+        if (run.timedOut)
+            res.status = Status::error(
+                ErrorCode::Timeout,
+                "cycle watchdog fired at %llu cycles",
+                static_cast<unsigned long long>(run.cycles));
+        res.cycles = run.cycles;
+        res.ops = run.committedOps;
+        res.seconds = run.seconds;
+        return res;
+      }
+
+      case SweepCell::Kind::GpuKernel:
+      {
+        const auto kernel = workload::findGpuKernel(cell.workload);
+        if (!kernel.ok()) {
+            res.status = kernel.status();
+            return res;
+        }
+        const GpuOutcome out =
+            runGpuExperiment(cell.gpuCfg, *kernel.value(), exp);
+        res.outcome = out.timedOut ? CellOutcome::TimedOut
+                                   : CellOutcome::Ok;
+        if (out.timedOut)
+            res.status = Status::error(
+                ErrorCode::Timeout,
+                "cycle watchdog fired at %llu cycles",
+                static_cast<unsigned long long>(out.cycles));
+        res.cycles = out.cycles;
+        res.ops = out.issuedOps;
+        res.seconds = out.metrics.seconds;
+        res.energyJ = out.metrics.energyJ;
+        return res;
+      }
+    }
+    res.status = Status::error(ErrorCode::Internal,
+                               "unhandled cell kind %d",
+                               static_cast<int>(cell.kind));
+    return res;
+}
+
+void
+writeAll(int fd, const void *data, size_t n)
+{
+    const char *p = static_cast<const char *>(data);
+    while (n > 0) {
+        const ssize_t w = ::write(fd, p, n);
+        if (w <= 0) {
+            if (errno == EINTR)
+                continue;
+            return; // Parent will see a short payload.
+        }
+        p += w;
+        n -= static_cast<size_t>(w);
+    }
+}
+
+/** Child side: run the cell and ship the result up the pipe. */
+[[noreturn]] void
+childRunCell(int fd, const SweepCell &cell, const SweepOptions &opts)
+{
+    const CellResult res = runCellInProcess(cell, opts);
+    WireResult wire;
+    wire.outcome = static_cast<uint8_t>(res.outcome);
+    wire.code = static_cast<uint8_t>(res.status.code());
+    wire.cycles = res.cycles;
+    wire.ops = res.ops;
+    wire.seconds = res.seconds;
+    wire.energyJ = res.energyJ;
+    const std::string &msg = res.status.message();
+    wire.msgLen = static_cast<uint32_t>(msg.size());
+    writeAll(fd, &wire, sizeof(wire));
+    writeAll(fd, msg.data(), msg.size());
+    // _exit keeps the child from re-running parent atexit hooks.
+    ::_exit(0);
+}
+
+CellResult
+decodeWire(const WireResult &wire, const std::string &msg)
+{
+    CellResult res;
+    res.outcome = static_cast<CellOutcome>(wire.outcome);
+    const auto code = static_cast<ErrorCode>(wire.code);
+    res.status = code == ErrorCode::Ok
+        ? Status()
+        : Status::error(code, "%s", msg.c_str());
+    res.cycles = wire.cycles;
+    res.ops = wire.ops;
+    res.seconds = wire.seconds;
+    res.energyJ = wire.energyJ;
+    return res;
+}
+
+std::string
+describeChildDeath(int wstatus)
+{
+    if (WIFSIGNALED(wstatus))
+        return std::string("killed by signal ") +
+            strsignal(WTERMSIG(wstatus));
+    if (WIFEXITED(wstatus))
+        return "exited with code " +
+            std::to_string(WEXITSTATUS(wstatus));
+    return "died abnormally";
+}
+
+/** Parent side: fork, read the pipe under the wall-clock watchdog. */
+CellResult
+runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
+{
+    int fds[2];
+    if (::pipe(fds) != 0) {
+        CellResult res;
+        res.status = Status::error(ErrorCode::Internal,
+                                   "pipe() failed: %s",
+                                   std::strerror(errno));
+        return res;
+    }
+    const pid_t pid = ::fork();
+    if (pid < 0) {
+        ::close(fds[0]);
+        ::close(fds[1]);
+        warn("fork() failed (%s); running cell in-process",
+             std::strerror(errno));
+        return runCellInProcess(cell, opts);
+    }
+    if (pid == 0) {
+        ::close(fds[0]);
+        childRunCell(fds[1], cell, opts);
+    }
+    ::close(fds[1]);
+
+    const double deadline = opts.wallLimitMs > 0.0
+        ? monotonicMs() + opts.wallLimitMs : 0.0;
+    std::string buf;
+    bool timed_out = false;
+    bool eof = false;
+    while (true) {
+        if (buf.size() >= sizeof(WireResult)) {
+            WireResult wire;
+            std::memcpy(&wire, buf.data(), sizeof(wire));
+            if (buf.size() >= sizeof(wire) + wire.msgLen)
+                break; // Full payload in hand.
+        }
+        if (eof)
+            break;
+        int wait_ms = -1;
+        if (deadline > 0.0) {
+            const double remaining = deadline - monotonicMs();
+            if (remaining <= 0.0) {
+                timed_out = true;
+                break;
+            }
+            wait_ms = static_cast<int>(remaining) + 1;
+        }
+        struct pollfd pfd{fds[0], POLLIN, 0};
+        const int ready = ::poll(&pfd, 1, wait_ms);
+        if (ready < 0 && errno == EINTR)
+            continue;
+        if (ready == 0) {
+            timed_out = true;
+            break;
+        }
+        char chunk[4096];
+        const ssize_t r = ::read(fds[0], chunk, sizeof(chunk));
+        if (r < 0) {
+            if (errno == EINTR)
+                continue;
+            eof = true;
+        } else if (r == 0) {
+            eof = true;
+        } else {
+            buf.append(chunk, static_cast<size_t>(r));
+        }
+    }
+    ::close(fds[0]);
+
+    CellResult res;
+    if (timed_out) {
+        ::kill(pid, SIGKILL);
+        int wstatus = 0;
+        ::waitpid(pid, &wstatus, 0);
+        res.outcome = CellOutcome::TimedOut;
+        res.status = Status::error(
+            ErrorCode::Timeout,
+            "wall-clock watchdog fired after %.0f ms",
+            opts.wallLimitMs);
+        return res;
+    }
+
+    int wstatus = 0;
+    ::waitpid(pid, &wstatus, 0);
+
+    WireResult wire;
+    if (buf.size() >= sizeof(wire)) {
+        std::memcpy(&wire, buf.data(), sizeof(wire));
+        if (buf.size() >= sizeof(wire) + wire.msgLen) {
+            const std::string msg =
+                buf.substr(sizeof(wire), wire.msgLen);
+            return decodeWire(wire, msg);
+        }
+    }
+    // The child died before delivering a result: crash, contained.
+    res.outcome = CellOutcome::Failed;
+    res.status = Status::error(ErrorCode::Crashed, "cell process %s",
+                               describeChildDeath(wstatus).c_str());
+    return res;
+}
+
+} // namespace
+
+const char *
+cellOutcomeName(CellOutcome outcome)
+{
+    switch (outcome) {
+      case CellOutcome::Ok:
+        return "ok";
+      case CellOutcome::Failed:
+        return "failed";
+      case CellOutcome::TimedOut:
+        return "timeout";
+      default:
+        return "?";
+    }
+}
+
+SweepCell
+cpuAppCell(CpuConfig cfg, const std::string &app, double scale)
+{
+    SweepCell c;
+    c.kind = SweepCell::Kind::CpuApp;
+    c.cpuCfg = cfg;
+    c.workload = app;
+    c.scaleOverride = scale;
+    return c;
+}
+
+SweepCell
+cpuTraceCell(CpuConfig cfg, const std::string &path)
+{
+    SweepCell c;
+    c.kind = SweepCell::Kind::CpuTrace;
+    c.cpuCfg = cfg;
+    c.workload = path;
+    return c;
+}
+
+SweepCell
+gpuKernelCell(GpuConfig cfg, const std::string &kernel, double scale)
+{
+    SweepCell c;
+    c.kind = SweepCell::Kind::GpuKernel;
+    c.gpuCfg = cfg;
+    c.workload = kernel;
+    c.scaleOverride = scale;
+    return c;
+}
+
+Result<SweepCell>
+parseWorkloadSpec(const std::string &spec)
+{
+    SweepCell cell;
+    std::string body = spec;
+
+    if (body.rfind("trace:", 0) == 0) {
+        cell.kind = SweepCell::Kind::CpuTrace;
+        cell.workload = body.substr(6);
+        if (cell.workload.empty())
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "empty trace path in spec '%s'",
+                                 spec.c_str());
+        return cell;
+    }
+
+    if (body.rfind("kernel:", 0) == 0) {
+        cell.kind = SweepCell::Kind::GpuKernel;
+        body = body.substr(7);
+    } else if (body.rfind("app:", 0) == 0) {
+        cell.kind = SweepCell::Kind::CpuApp;
+        body = body.substr(4);
+    } else {
+        cell.kind = SweepCell::Kind::CpuApp;
+    }
+
+    const size_t at = body.find('@');
+    if (at != std::string::npos) {
+        const std::string opt = body.substr(at + 1);
+        body = body.substr(0, at);
+        if (opt.rfind("scale=", 0) != 0)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "bad workload option '%s' in '%s' "
+                                 "(expected scale=<x>)",
+                                 opt.c_str(), spec.c_str());
+        char *end = nullptr;
+        const double scale =
+            std::strtod(opt.c_str() + 6, &end);
+        if (end == opt.c_str() + 6 || *end != '\0' || scale <= 0.0)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "bad scale value in spec '%s'",
+                                 spec.c_str());
+        cell.scaleOverride = scale;
+    }
+    if (body.empty())
+        return Status::error(ErrorCode::InvalidArgument,
+                             "empty workload name in spec '%s'",
+                             spec.c_str());
+    cell.workload = body;
+    return cell;
+}
+
+Result<std::vector<SweepCell>>
+crossCpuCells(const std::vector<CpuConfig> &cfgs,
+              const std::vector<std::string> &specs)
+{
+    std::vector<SweepCell> cells;
+    cells.reserve(cfgs.size() * specs.size());
+    for (CpuConfig cfg : cfgs) {
+        for (const std::string &spec : specs) {
+            Result<SweepCell> cell = parseWorkloadSpec(spec);
+            if (!cell.ok())
+                return cell.status();
+            if (cell.value().kind == SweepCell::Kind::GpuKernel)
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "GPU kernel spec '%s' in a CPU config cross",
+                    spec.c_str());
+            cell.value().cpuCfg = cfg;
+            cells.push_back(std::move(cell.value()));
+        }
+    }
+    return cells;
+}
+
+size_t
+SweepReport::count(CellOutcome outcome) const
+{
+    size_t n = 0;
+    for (const CellResult &r : results)
+        if (r.outcome == outcome)
+            ++n;
+    return n;
+}
+
+std::string
+cellConfigName(const SweepCell &cell)
+{
+    return cell.kind == SweepCell::Kind::GpuKernel
+        ? gpuConfigName(cell.gpuCfg)
+        : cpuConfigName(cell.cpuCfg);
+}
+
+std::string
+cellWorkloadName(const SweepCell &cell)
+{
+    switch (cell.kind) {
+      case SweepCell::Kind::CpuTrace:
+        return "trace:" + cell.workload;
+      case SweepCell::Kind::GpuKernel:
+        return "kernel:" + cell.workload;
+      default:
+        return cell.workload;
+    }
+}
+
+SweepReport
+runSweep(const std::vector<SweepCell> &cells,
+         const SweepOptions &opts)
+{
+    SweepReport report;
+    report.cells = cells;
+    report.results.reserve(cells.size());
+    for (size_t i = 0; i < cells.size(); ++i) {
+        const SweepCell &cell = cells[i];
+        const double start = monotonicMs();
+        CellResult res = opts.isolate
+            ? runCellIsolated(cell, opts)
+            : runCellInProcess(cell, opts);
+        res.wallMs = monotonicMs() - start;
+        if (opts.verbose)
+            inform("sweep [%zu/%zu] %s / %s: %s%s%s", i + 1,
+                   cells.size(), cellConfigName(cell).c_str(),
+                   cellWorkloadName(cell).c_str(),
+                   cellOutcomeName(res.outcome),
+                   res.status.ok() ? "" : " - ",
+                   res.status.ok() ? ""
+                                   : res.status.toString().c_str());
+        report.results.push_back(std::move(res));
+    }
+    return report;
+}
+
+Status
+printSweepReport(const SweepReport &report,
+                 const std::string &csv_path)
+{
+    TablePrinter t("sweep summary",
+                   {"config", "workload", "outcome", "cycles",
+                    "sim ms", "energy mJ", "wall ms", "detail"});
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+        const SweepCell &cell = report.cells[i];
+        const CellResult &res = report.results[i];
+        std::string detail =
+            res.status.ok() ? "" : res.status.toString();
+        if (detail.size() > 72)
+            detail = detail.substr(0, 69) + "...";
+        // The table doubles as a CSV; keep the cell delimiter out
+        // of the free-text column.
+        for (char &c : detail)
+            if (c == ',')
+                c = ';';
+        t.addRow({cellConfigName(cell), cellWorkloadName(cell),
+                  cellOutcomeName(res.outcome),
+                  std::to_string(res.cycles),
+                  formatDouble(res.seconds * 1e3, 4),
+                  formatDouble(res.energyJ * 1e3, 4),
+                  formatDouble(res.wallMs, 1), detail});
+    }
+    t.print();
+    std::printf("cells: %zu ok, %zu failed, %zu timed out "
+                "(of %zu)\n",
+                report.okCount(), report.failedCount(),
+                report.timedOutCount(), report.results.size());
+    if (!csv_path.empty() && !t.writeCsv(csv_path))
+        return Status::error(ErrorCode::IoError,
+                             "cannot write '%s'", csv_path.c_str());
+    return Status();
+}
+
+} // namespace hetsim::core

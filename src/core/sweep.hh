@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Crash-isolating batch sweep runner.
+ *
+ * The paper's evaluation (Figs. 7-14) is a matrix of configurations x
+ * workloads; losing a whole sweep to one poisoned input is the failure
+ * mode this runner exists to remove. Every (config, workload) cell
+ * runs in its own forked child process, so a corrupt trace, an
+ * internal panic, or even a SIGSEGV in one cell is recorded as that
+ * cell's failure while the rest of the sweep proceeds. Two watchdogs
+ * bound runaway cells:
+ *
+ *  - a *cycle* watchdog (in-simulator, deterministic): the cell stops
+ *    at N simulated cycles and reports TimedOut;
+ *  - a *wall-clock* watchdog (in the parent): a cell that does not
+ *    deliver its result within the limit is killed with SIGKILL.
+ *
+ * The summary records one row per cell (ok / failed / timed-out plus
+ * metrics), printable as a table or CSV.
+ */
+
+#ifndef HETSIM_CORE_SWEEP_HH
+#define HETSIM_CORE_SWEEP_HH
+
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+#include "core/experiment.hh"
+
+namespace hetsim::core
+{
+
+/** Terminal state of one sweep cell. */
+enum class CellOutcome
+{
+    Ok,       ///< Completed; metrics are valid.
+    Failed,   ///< Input error or child crash; see status.
+    TimedOut, ///< Cycle or wall-clock watchdog fired.
+};
+
+const char *cellOutcomeName(CellOutcome outcome);
+
+/** One (configuration, workload) point of a sweep. */
+struct SweepCell
+{
+    enum class Kind
+    {
+        CpuApp,    ///< Synthetic CPU application by profile name.
+        CpuTrace,  ///< Recorded trace file replayed on one core.
+        GpuKernel, ///< Synthetic GPU kernel by profile name.
+    };
+
+    Kind kind = Kind::CpuApp;
+    CpuConfig cpuCfg = CpuConfig::BaseCmos;
+    GpuConfig gpuCfg = GpuConfig::BaseCmos;
+    std::string workload; ///< Profile name or trace path.
+    /** Per-cell workload scale (0 = inherit the sweep's scale). */
+    double scaleOverride = 0.0;
+    /** Per-cell cycle watchdog (~0 = inherit the sweep's). */
+    uint64_t watchdogCycles = ~0ull;
+};
+
+/** Cell constructors (kept free so plans read declaratively). */
+SweepCell cpuAppCell(CpuConfig cfg, const std::string &app,
+                     double scale = 0.0);
+SweepCell cpuTraceCell(CpuConfig cfg, const std::string &path);
+SweepCell gpuKernelCell(GpuConfig cfg, const std::string &kernel,
+                        double scale = 0.0);
+
+/** Every config crossed with every workload spec (see below). */
+Result<std::vector<SweepCell>>
+crossCpuCells(const std::vector<CpuConfig> &cfgs,
+              const std::vector<std::string> &specs);
+
+/**
+ * Parse a workload spec string:
+ *   "app:fft", "app:fft@scale=2.5", "trace:/path/to/file",
+ *   "kernel:dct" (GPU; uses the cell's gpuCfg), bare "fft" = app.
+ * Validation of the *name* happens at run time inside the cell, so a
+ * typo poisons one cell, not the sweep.
+ */
+Result<SweepCell> parseWorkloadSpec(const std::string &spec);
+
+/** What happened in one cell. */
+struct CellResult
+{
+    CellOutcome outcome = CellOutcome::Failed;
+    Status status;         ///< Failure detail (ok when outcome==Ok).
+    uint64_t cycles = 0;
+    uint64_t ops = 0;      ///< Committed (CPU) or issued (GPU) ops.
+    double seconds = 0.0;  ///< Simulated time.
+    double energyJ = 0.0;
+    double wallMs = 0.0;   ///< Host wall-clock spent on the cell.
+};
+
+/** Sweep-wide knobs. */
+struct SweepOptions
+{
+    /** Seed/scale/frequency/cycle-watchdog for every cell. */
+    ExperimentOptions exp;
+    /** Per-cell wall-clock limit in ms (0 = none). Needs isolate. */
+    double wallLimitMs = 0.0;
+    /** Fork one child per cell so crashes/kills stay contained.
+     *  When false everything runs in-process (no wall-clock guard,
+     *  no crash isolation; cycle watchdog still applies). */
+    bool isolate = true;
+    /** inform() one line per cell as the sweep progresses. */
+    bool verbose = false;
+};
+
+/** All cells plus their results, in plan order. */
+struct SweepReport
+{
+    std::vector<SweepCell> cells;
+    std::vector<CellResult> results;
+
+    size_t count(CellOutcome outcome) const;
+    size_t okCount() const { return count(CellOutcome::Ok); }
+    size_t failedCount() const { return count(CellOutcome::Failed); }
+    size_t timedOutCount() const
+    {
+        return count(CellOutcome::TimedOut);
+    }
+    bool allOk() const { return okCount() == results.size(); }
+};
+
+/** Display helpers for summaries. */
+std::string cellConfigName(const SweepCell &cell);
+std::string cellWorkloadName(const SweepCell &cell);
+
+/**
+ * Run every cell, isolating and watchdogging per SweepOptions. Never
+ * aborts on a bad cell: the worst a cell can do is mark itself
+ * Failed/TimedOut.
+ */
+SweepReport runSweep(const std::vector<SweepCell> &cells,
+                     const SweepOptions &opts = {});
+
+/**
+ * Print the per-cell summary table (and optionally a CSV mirror).
+ * @return ok unless the CSV could not be written.
+ */
+Status printSweepReport(const SweepReport &report,
+                        const std::string &csv_path = "");
+
+} // namespace hetsim::core
+
+#endif // HETSIM_CORE_SWEEP_HH

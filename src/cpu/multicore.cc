@@ -45,6 +45,11 @@ Multicore::run()
     uint64_t running = cores_.size();
 
     while (running > 0) {
+        if (params_.watchdogCycles > 0 &&
+            now >= params_.watchdogCycles) {
+            res.timedOut = true;
+            break;
+        }
         hetsim_assert(now < params_.maxCycles,
                       "exceeded cycle budget; deadlock?");
         for (uint32_t c = 0; c < cores_.size(); ++c) {

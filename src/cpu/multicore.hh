@@ -37,7 +37,11 @@ struct MulticoreParams
     CoreParams core;
     mem::HierarchyParams mem;
     double freqGhz = 2.0;
-    uint64_t maxCycles = 1ull << 33; ///< Deadlock safety net.
+    uint64_t maxCycles = 1ull << 33; ///< Deadlock safety net (panics).
+    /** Recoverable cycle watchdog: when non-zero, run() stops at this
+     *  many cycles and reports timedOut instead of panicking — the
+     *  sweep runner's defense against runaway workloads. */
+    uint64_t watchdogCycles = 0;
     /** Optional per-core heterogeneity; when non-empty it must have
      *  one entry per core and overrides `core`. */
     std::vector<CoreSpec> coreSpecs;
@@ -53,6 +57,8 @@ struct MulticoreResult
     power::CpuActivity activity{};
     /** Barrier releases performed (for test introspection). */
     uint64_t barrierReleases = 0;
+    /** True when the run was cut short by watchdogCycles. */
+    bool timedOut = false;
 };
 
 /** N cores + shared hierarchy, run to completion. */

@@ -42,7 +42,7 @@ double
 VfCurve::voltageFor(double freq_ghz) const
 {
     if (freq_ghz > maxFreq()) {
-        fatal("requested %.3f GHz exceeds curve maximum %.3f GHz",
+        panic("requested %.3f GHz exceeds curve maximum %.3f GHz",
               freq_ghz, maxFreq());
     }
     if (freq_ghz <= anchors_.front().freqGhz)

@@ -80,7 +80,13 @@ Gpu::run(GpuKernel &kernel)
     const uint32_t total_groups = kernel.numWorkgroups();
     Cycle now = 0;
 
+    bool timed_out = false;
     while (true) {
+        if (params_.watchdogCycles > 0 &&
+            now >= params_.watchdogCycles) {
+            timed_out = true;
+            break;
+        }
         hetsim_assert(now < params_.maxCycles,
                       "GPU exceeded cycle budget; deadlock?");
 
@@ -106,6 +112,7 @@ Gpu::run(GpuKernel &kernel)
     }
 
     GpuResult res;
+    res.timedOut = timed_out;
     res.cycles = now;
     res.seconds = static_cast<double>(now) / (params_.freqGhz * 1e9);
     for (auto &cu : cus_) {

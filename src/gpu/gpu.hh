@@ -36,7 +36,10 @@ struct GpuParams
     uint32_t l1Rt = 4;     ///< Vector L1 hit round trip (cycles).
     uint32_t l2Rt = 20;    ///< Shared L2 hit round trip.
     uint32_t dramRt = 100; ///< DRAM round trip at 1 GHz.
-    uint64_t maxCycles = 1ull << 33;
+    uint64_t maxCycles = 1ull << 33; ///< Deadlock safety net (panics).
+    /** Recoverable cycle watchdog: when non-zero, run() stops at this
+     *  many cycles and reports timedOut instead of panicking. */
+    uint64_t watchdogCycles = 0;
 };
 
 /** Aggregate outcome of one kernel launch. */
@@ -46,6 +49,8 @@ struct GpuResult
     double seconds = 0.0;
     uint64_t issuedOps = 0;
     power::GpuActivity activity{};
+    /** True when the run was cut short by watchdogCycles. */
+    bool timedOut = false;
 };
 
 /** Per-CU L1s + shared L2 + DRAM. */

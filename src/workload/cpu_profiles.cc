@@ -53,13 +53,29 @@ cpuApps()
     return kApps;
 }
 
+Result<const AppProfile *>
+findCpuApp(const std::string &name)
+{
+    std::string known;
+    for (const AppProfile &p : kApps) {
+        if (name == p.name)
+            return &p;
+        if (!known.empty())
+            known += ", ";
+        known += p.name;
+    }
+    return Status::error(ErrorCode::NotFound,
+                         "unknown CPU application '%s' (valid: %s)",
+                         name.c_str(), known.c_str());
+}
+
 const AppProfile &
 cpuApp(const std::string &name)
 {
-    for (const AppProfile &p : kApps)
-        if (name == p.name)
-            return p;
-    fatal("unknown CPU application '%s'", name.c_str());
+    Result<const AppProfile *> r = findCpuApp(name);
+    if (!r.ok())
+        panic("%s", r.status().toString().c_str());
+    return *r.value();
 }
 
 } // namespace hetsim::workload

@@ -22,6 +22,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace hetsim::workload
 {
 
@@ -69,7 +71,14 @@ struct AppProfile
 /** All 14 applications, in the paper's order. */
 const std::vector<AppProfile> &cpuApps();
 
-/** Look up an application by name (fatal if unknown). */
+/**
+ * Look up an application by untrusted name. On failure the NotFound
+ * message lists every valid name.
+ */
+Result<const AppProfile *> findCpuApp(const std::string &name);
+
+/** Look up a known-valid name (panics if unknown — use findCpuApp
+ *  for user input). */
 const AppProfile &cpuApp(const std::string &name);
 
 } // namespace hetsim::workload

@@ -1,0 +1,134 @@
+#include "workload/fault_inject.hh"
+
+#include <unistd.h>
+
+#include "common/file.hh"
+
+namespace hetsim::workload
+{
+
+Result<uint64_t>
+fileSize(const std::string &path)
+{
+    FileHandle f(path, "rb");
+    if (!f)
+        return Status::error(ErrorCode::IoError, "cannot open '%s'",
+                             path.c_str());
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot seek in '%s'", path.c_str());
+    const long end = std::ftell(f.get());
+    if (end < 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot measure '%s'", path.c_str());
+    return static_cast<uint64_t>(end);
+}
+
+Status
+flipBitInFile(const std::string &path, uint64_t offset, int bit)
+{
+    if (bit < 0 || bit > 7)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "bit index %d out of [0,7]", bit);
+    FileHandle f(path, "r+b");
+    if (!f)
+        return Status::error(ErrorCode::IoError, "cannot open '%s'",
+                             path.c_str());
+    if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot seek to %llu in '%s'",
+                             static_cast<unsigned long long>(offset),
+                             path.c_str());
+    int c = std::fgetc(f.get());
+    if (c == EOF)
+        return Status::error(ErrorCode::IoError,
+                             "offset %llu past end of '%s'",
+                             static_cast<unsigned long long>(offset),
+                             path.c_str());
+    const unsigned char flipped =
+        static_cast<unsigned char>(c) ^
+        static_cast<unsigned char>(1u << bit);
+    if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0
+        || std::fputc(flipped, f.get()) == EOF)
+        return Status::error(ErrorCode::IoError,
+                             "cannot write byte %llu of '%s'",
+                             static_cast<unsigned long long>(offset),
+                             path.c_str());
+    return Status();
+}
+
+Status
+overwriteBytes(const std::string &path, uint64_t offset,
+               const void *bytes, uint64_t n)
+{
+    FileHandle f(path, "r+b");
+    if (!f)
+        return Status::error(ErrorCode::IoError, "cannot open '%s'",
+                             path.c_str());
+    if (std::fseek(f.get(), static_cast<long>(offset), SEEK_SET) != 0
+        || std::fwrite(bytes, 1, n, f.get()) != n)
+        return Status::error(ErrorCode::IoError,
+                             "cannot overwrite %llu bytes at %llu "
+                             "in '%s'",
+                             static_cast<unsigned long long>(n),
+                             static_cast<unsigned long long>(offset),
+                             path.c_str());
+    return Status();
+}
+
+Status
+truncateFile(const std::string &path, uint64_t new_size)
+{
+    const Result<uint64_t> size = fileSize(path);
+    if (!size.ok())
+        return size.status();
+    if (new_size > size.value())
+        return Status::error(
+            ErrorCode::InvalidArgument,
+            "refusing to grow '%s' from %llu to %llu bytes",
+            path.c_str(),
+            static_cast<unsigned long long>(size.value()),
+            static_cast<unsigned long long>(new_size));
+    if (::truncate(path.c_str(), static_cast<off_t>(new_size)) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot truncate '%s' to %llu bytes",
+                             path.c_str(),
+                             static_cast<unsigned long long>(new_size));
+    return Status();
+}
+
+bool
+FaultyTraceSource::next(cpu::MicroOp &op)
+{
+    if (produced_ >= faults_.truncateAfter)
+        return false;
+    if (!inner_.next(op))
+        return false;
+    ++produced_;
+    if (faults_.corruptProb > 0.0 &&
+        rng_.chance(faults_.corruptProb)) {
+        ++corrupted_;
+        // Corrupt one field, chosen uniformly; out-of-range register
+        // ids and op classes are exactly what a buggy producer emits.
+        switch (rng_.range(5)) {
+          case 0:
+            op.cls = static_cast<cpu::OpClass>(rng_.range(256));
+            break;
+          case 1:
+            op.src1 = static_cast<int16_t>(rng_.next());
+            break;
+          case 2:
+            op.dst = static_cast<int16_t>(rng_.next());
+            break;
+          case 3:
+            op.addr = rng_.next();
+            break;
+          default:
+            op.pc = rng_.next();
+            break;
+        }
+    }
+    return true;
+}
+
+} // namespace hetsim::workload

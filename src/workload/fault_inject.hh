@@ -1,0 +1,79 @@
+/**
+ * @file
+ * Fault injection for trace I/O robustness testing.
+ *
+ * Two layers:
+ *
+ *  - On-disk injectors (bit flips, byte overwrites, truncation) that
+ *    corrupt a recorded trace file in place. The fuzzer test uses
+ *    them to prove FileTrace::open/next degrade to a clean Status on
+ *    any corruption instead of aborting the process.
+ *  - FaultyTraceSource, a TraceSource decorator that corrupts or cuts
+ *    the op stream *before* it reaches a consumer (recordTrace, a
+ *    core). It models a misbehaving upstream producer.
+ *
+ * Everything is deterministic given the seed, like the rest of the
+ * workload layer.
+ */
+
+#ifndef HETSIM_WORKLOAD_FAULT_INJECT_HH
+#define HETSIM_WORKLOAD_FAULT_INJECT_HH
+
+#include <cstdint>
+#include <string>
+
+#include "common/rng.hh"
+#include "common/status.hh"
+#include "cpu/microop.hh"
+
+namespace hetsim::workload
+{
+
+/** Size of `path` in bytes. */
+Result<uint64_t> fileSize(const std::string &path);
+
+/** XOR one bit: byte `offset`, bit index 0-7. */
+Status flipBitInFile(const std::string &path, uint64_t offset,
+                     int bit);
+
+/** Overwrite `n` bytes at `offset` with `bytes`. */
+Status overwriteBytes(const std::string &path, uint64_t offset,
+                      const void *bytes, uint64_t n);
+
+/** Cut the file to `new_size` bytes (must not grow it). */
+Status truncateFile(const std::string &path, uint64_t new_size);
+
+/** Decorates a TraceSource with deterministic fault behaviour. */
+class FaultyTraceSource : public cpu::TraceSource
+{
+  public:
+    struct Faults
+    {
+        /** Stop producing after this many ops (~0 = never). */
+        uint64_t truncateAfter = ~0ull;
+        /** Per-op probability of corrupting one field. */
+        double corruptProb = 0.0;
+        uint64_t seed = 1;
+    };
+
+    FaultyTraceSource(cpu::TraceSource &inner, const Faults &faults)
+        : inner_(inner), faults_(faults), rng_(faults.seed)
+    {
+    }
+
+    bool next(cpu::MicroOp &op) override;
+
+    /** Ops corrupted so far (test introspection). */
+    uint64_t corruptedOps() const { return corrupted_; }
+
+  private:
+    cpu::TraceSource &inner_;
+    Faults faults_;
+    Rng rng_;
+    uint64_t produced_ = 0;
+    uint64_t corrupted_ = 0;
+};
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_FAULT_INJECT_HH

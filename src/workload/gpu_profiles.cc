@@ -42,13 +42,29 @@ gpuKernels()
     return kKernels;
 }
 
+Result<const KernelProfile *>
+findGpuKernel(const std::string &name)
+{
+    std::string known;
+    for (const KernelProfile &p : kKernels) {
+        if (name == p.name)
+            return &p;
+        if (!known.empty())
+            known += ", ";
+        known += p.name;
+    }
+    return Status::error(ErrorCode::NotFound,
+                         "unknown GPU kernel '%s' (valid: %s)",
+                         name.c_str(), known.c_str());
+}
+
 const KernelProfile &
 gpuKernel(const std::string &name)
 {
-    for (const KernelProfile &p : kKernels)
-        if (name == p.name)
-            return p;
-    fatal("unknown GPU kernel '%s'", name.c_str());
+    Result<const KernelProfile *> r = findGpuKernel(name);
+    if (!r.ok())
+        panic("%s", r.status().toString().c_str());
+    return *r.value();
 }
 
 } // namespace hetsim::workload

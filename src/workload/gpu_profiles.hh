@@ -17,6 +17,8 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hh"
+
 namespace hetsim::workload
 {
 
@@ -51,7 +53,14 @@ struct KernelProfile
 /** The evaluated kernels (AMD APP SDK-inspired set). */
 const std::vector<KernelProfile> &gpuKernels();
 
-/** Look up a kernel by name (fatal if unknown). */
+/**
+ * Look up a kernel by untrusted name. On failure the NotFound
+ * message lists every valid name.
+ */
+Result<const KernelProfile *> findGpuKernel(const std::string &name);
+
+/** Look up a known-valid name (panics if unknown — use findGpuKernel
+ *  for user input). */
 const KernelProfile &gpuKernel(const std::string &name);
 
 } // namespace hetsim::workload

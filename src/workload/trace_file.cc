@@ -31,8 +31,10 @@ struct TraceRecord
 };
 #pragma pack(pop)
 
-static_assert(sizeof(TraceHeader) == 16, "header layout drifted");
-static_assert(sizeof(TraceRecord) == 32, "record layout drifted");
+static_assert(sizeof(TraceHeader) == kTraceHeaderBytes,
+              "header layout drifted");
+static_assert(sizeof(TraceRecord) == kTraceRecordBytes,
+              "record layout drifted");
 
 TraceRecord
 pack(const cpu::MicroOp &op)
@@ -66,18 +68,21 @@ unpack(const TraceRecord &r)
 
 } // namespace
 
-uint64_t
+Result<uint64_t>
 recordTrace(cpu::TraceSource &source, const std::string &path,
             uint64_t max_ops)
 {
-    std::FILE *f = std::fopen(path.c_str(), "wb");
+    FileHandle f(path, "wb");
     if (!f)
-        fatal("cannot open trace file '%s' for writing",
-              path.c_str());
+        return Status::error(
+            ErrorCode::IoError,
+            "cannot open trace file '%s' for writing", path.c_str());
 
     TraceHeader header{kTraceMagic, kTraceVersion, 0};
-    if (std::fwrite(&header, sizeof(header), 1, f) != 1)
-        fatal("cannot write trace header to '%s'", path.c_str());
+    if (std::fwrite(&header, sizeof(header), 1, f.get()) != 1)
+        return Status::error(ErrorCode::IoError,
+                             "cannot write trace header to '%s'",
+                             path.c_str());
 
     uint64_t written = 0;
     cpu::MicroOp op;
@@ -89,70 +94,134 @@ recordTrace(cpu::TraceSource &source, const std::string &path,
         batch[in_batch++] = pack(op);
         ++written;
         if (in_batch == kBatch) {
-            if (std::fwrite(batch, sizeof(TraceRecord), in_batch, f)
-                != in_batch)
-                fatal("short write to '%s'", path.c_str());
+            if (std::fwrite(batch, sizeof(TraceRecord), in_batch,
+                            f.get()) != in_batch)
+                return Status::error(ErrorCode::IoError,
+                                     "short write to '%s'",
+                                     path.c_str());
             in_batch = 0;
         }
     }
     if (in_batch > 0 &&
-        std::fwrite(batch, sizeof(TraceRecord), in_batch, f)
+        std::fwrite(batch, sizeof(TraceRecord), in_batch, f.get())
             != in_batch)
-        fatal("short write to '%s'", path.c_str());
+        return Status::error(ErrorCode::IoError,
+                             "short write to '%s'", path.c_str());
 
     // Patch the record count into the header.
     header.count = written;
-    if (std::fseek(f, 0, SEEK_SET) != 0 ||
-        std::fwrite(&header, sizeof(header), 1, f) != 1)
-        fatal("cannot finalize trace header in '%s'", path.c_str());
-    std::fclose(f);
+    if (std::fseek(f.get(), 0, SEEK_SET) != 0 ||
+        std::fwrite(&header, sizeof(header), 1, f.get()) != 1)
+        return Status::error(ErrorCode::IoError,
+                             "cannot finalize trace header in '%s'",
+                             path.c_str());
     return written;
 }
 
-FileTrace::FileTrace(const std::string &path) : path_(path)
+Result<std::unique_ptr<FileTrace>>
+FileTrace::open(const std::string &path)
 {
-    file_ = std::fopen(path.c_str(), "rb");
-    if (!file_)
-        fatal("cannot open trace file '%s'", path.c_str());
-    TraceHeader header;
-    if (std::fread(&header, sizeof(header), 1, file_) != 1)
-        fatal("trace file '%s' is too short for a header",
-              path.c_str());
-    if (header.magic != kTraceMagic)
-        fatal("'%s' is not a HetSim trace (bad magic)",
-              path.c_str());
-    if (header.version != kTraceVersion)
-        fatal("trace '%s' has unsupported version %u", path.c_str(),
-              header.version);
-    count_ = header.count;
-}
+    FileHandle f(path, "rb");
+    if (!f)
+        return Status::error(ErrorCode::IoError,
+                             "cannot open trace file '%s'",
+                             path.c_str());
 
-FileTrace::~FileTrace()
-{
-    if (file_)
-        std::fclose(file_);
+    TraceHeader header;
+    if (std::fread(&header, sizeof(header), 1, f.get()) != 1)
+        return Status::error(
+            ErrorCode::TruncatedHeader,
+            "trace file '%s' is too short for a header",
+            path.c_str());
+    if (header.magic != kTraceMagic)
+        return Status::error(ErrorCode::BadMagic,
+                             "'%s' is not a HetSim trace (bad magic)",
+                             path.c_str());
+    if (header.version != kTraceVersion)
+        return Status::error(ErrorCode::UnsupportedVersion,
+                             "trace '%s' has unsupported version %u",
+                             path.c_str(), header.version);
+
+    // The payload must hold whole records, exactly as many as the
+    // header claims; anything else means the file was cut or edited.
+    if (std::fseek(f.get(), 0, SEEK_END) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot seek in trace '%s'",
+                             path.c_str());
+    const long end = std::ftell(f.get());
+    if (end < 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot measure trace '%s'",
+                             path.c_str());
+    const uint64_t payload =
+        static_cast<uint64_t>(end) - kTraceHeaderBytes;
+    if (payload % kTraceRecordBytes != 0)
+        return Status::error(
+            ErrorCode::TruncatedStream,
+            "trace '%s' record stream is cut mid-record "
+            "(%llu stray bytes)",
+            path.c_str(),
+            static_cast<unsigned long long>(payload %
+                                            kTraceRecordBytes));
+    if (payload / kTraceRecordBytes != header.count)
+        return Status::error(
+            ErrorCode::SizeMismatch,
+            "trace '%s' header claims %llu records but the file "
+            "holds %llu",
+            path.c_str(),
+            static_cast<unsigned long long>(header.count),
+            static_cast<unsigned long long>(payload /
+                                            kTraceRecordBytes));
+    if (std::fseek(f.get(), static_cast<long>(kTraceHeaderBytes),
+                   SEEK_SET) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot seek in trace '%s'",
+                             path.c_str());
+
+    return std::unique_ptr<FileTrace>(
+        new FileTrace(std::move(f), path, header.count));
 }
 
 bool
 FileTrace::next(cpu::MicroOp &op)
 {
-    if (pos_ >= count_)
+    if (!status_.ok() || pos_ >= count_)
         return false;
     TraceRecord r;
-    if (std::fread(&r, sizeof(r), 1, file_) != 1)
-        fatal("trace '%s' truncated at record %llu", path_.c_str(),
-              static_cast<unsigned long long>(pos_));
+    if (std::fread(&r, sizeof(r), 1, file_.get()) != 1) {
+        // The open-time size check makes this unreachable unless the
+        // file changed underneath us; degrade to an early end.
+        status_ = Status::error(
+            ErrorCode::TruncatedStream,
+            "trace '%s' truncated at record %llu", path_.c_str(),
+            static_cast<unsigned long long>(pos_));
+        return false;
+    }
+    if (r.cls > static_cast<uint8_t>(cpu::OpClass::Nop)) {
+        status_ = Status::error(
+            ErrorCode::CorruptRecord,
+            "trace '%s' record %llu has invalid op class %u",
+            path_.c_str(), static_cast<unsigned long long>(pos_),
+            r.cls);
+        return false;
+    }
     op = unpack(r);
     ++pos_;
     return true;
 }
 
-void
+Status
 FileTrace::rewind()
 {
-    if (std::fseek(file_, sizeof(TraceHeader), SEEK_SET) != 0)
-        fatal("cannot rewind trace '%s'", path_.c_str());
+    if (std::fseek(file_.get(),
+                   static_cast<long>(kTraceHeaderBytes),
+                   SEEK_SET) != 0)
+        return Status::error(ErrorCode::IoError,
+                             "cannot rewind trace '%s'",
+                             path_.c_str());
     pos_ = 0;
+    status_ = Status();
+    return Status();
 }
 
 } // namespace hetsim::workload

@@ -13,14 +13,24 @@
  *
  * Replay through FileTrace is bit-identical to the original source,
  * so a recorded run reproduces the exact same simulation.
+ *
+ * All I/O and validation failures are recoverable: open() returns a
+ * Result, and mid-stream corruption surfaces through status() instead
+ * of aborting, so a batch sweep survives a poisoned trace. Each
+ * corruption class gets a distinct ErrorCode (bad magic, unsupported
+ * version, truncated header, truncated stream, count/size mismatch,
+ * corrupt record).
  */
 
 #ifndef HETSIM_WORKLOAD_TRACE_FILE_HH
 #define HETSIM_WORKLOAD_TRACE_FILE_HH
 
 #include <cstdio>
+#include <memory>
 #include <string>
 
+#include "common/file.hh"
+#include "common/status.hh"
 #include "cpu/microop.hh"
 
 namespace hetsim::workload
@@ -30,38 +40,61 @@ namespace hetsim::workload
 constexpr uint32_t kTraceMagic = 0x52545348; // "HSTR" LE
 constexpr uint32_t kTraceVersion = 1;
 
+/** On-disk sizes, exposed so fault-injection tests can aim at the
+ *  header/record boundaries. */
+constexpr uint64_t kTraceHeaderBytes = 16;
+constexpr uint64_t kTraceRecordBytes = 32;
+
 /**
  * Record up to `max_ops` micro-ops from `source` into `path`.
- * @return the number of ops written. Fatal on I/O errors.
+ * @return the number of ops written, or an IoError Status.
  */
-uint64_t recordTrace(cpu::TraceSource &source,
-                     const std::string &path,
-                     uint64_t max_ops = ~0ull);
+Result<uint64_t> recordTrace(cpu::TraceSource &source,
+                             const std::string &path,
+                             uint64_t max_ops = ~0ull);
 
 /** Streaming replay of a recorded trace file. */
 class FileTrace : public cpu::TraceSource
 {
   public:
-    /** Opens and validates the file; fatal on a bad header. */
-    explicit FileTrace(const std::string &path);
-    ~FileTrace() override;
+    /**
+     * Open and fully validate `path`: header magic/version, and that
+     * the file size matches the header's record count exactly.
+     */
+    static Result<std::unique_ptr<FileTrace>>
+    open(const std::string &path);
 
     FileTrace(const FileTrace &) = delete;
     FileTrace &operator=(const FileTrace &) = delete;
 
+    /**
+     * Produce the next op. Returns false at end of trace *or* on a
+     * read/validation error; check status() to tell the two apart.
+     * After an error the trace stays exhausted.
+     */
     bool next(cpu::MicroOp &op) override;
+
+    /** Ok unless replay hit an I/O or record-validation error. */
+    const Status &status() const { return status_; }
 
     /** Total records in the file. */
     uint64_t size() const { return count_; }
 
-    /** Rewind to the first record. */
-    void rewind();
+    /** Rewind to the first record (also clears an error status). */
+    Status rewind();
 
   private:
-    std::FILE *file_ = nullptr;
+    FileTrace(FileHandle file, std::string path, uint64_t count)
+        : file_(std::move(file)), path_(std::move(path)),
+          count_(count)
+    {
+    }
+
+    FileHandle file_;
     std::string path_;
     uint64_t count_ = 0;
     uint64_t pos_ = 0;
+    Status status_;
 };
 
 } // namespace hetsim::workload

@@ -1,0 +1,112 @@
+/**
+ * @file
+ * Tests for the Status / Result<T> recoverable-error types.
+ */
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+
+#include "common/status.hh"
+
+using namespace hetsim;
+
+TEST(Status, DefaultIsOk)
+{
+    Status s;
+    EXPECT_TRUE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::Ok);
+    EXPECT_TRUE(s.message().empty());
+    EXPECT_EQ(s.toString(), "ok");
+}
+
+TEST(Status, ErrorFormatsMessage)
+{
+    Status s = Status::error(ErrorCode::NotFound,
+                             "unknown thing '%s' (index %d)",
+                             "widget", 42);
+    EXPECT_FALSE(s.ok());
+    EXPECT_EQ(s.code(), ErrorCode::NotFound);
+    EXPECT_EQ(s.message(), "unknown thing 'widget' (index 42)");
+    EXPECT_EQ(s.toString(),
+              "not-found: unknown thing 'widget' (index 42)");
+}
+
+TEST(Status, LongMessagesAreNotTruncated)
+{
+    const std::string big(500, 'x');
+    Status s = Status::error(ErrorCode::IoError, "%s", big.c_str());
+    EXPECT_EQ(s.message(), big);
+}
+
+TEST(Status, CodeNamesAreStableAndDistinct)
+{
+    EXPECT_STREQ(errorCodeName(ErrorCode::Ok), "ok");
+    EXPECT_STREQ(errorCodeName(ErrorCode::InvalidArgument),
+                 "invalid-argument");
+    EXPECT_STREQ(errorCodeName(ErrorCode::NotFound), "not-found");
+    EXPECT_STREQ(errorCodeName(ErrorCode::IoError), "io-error");
+    EXPECT_STREQ(errorCodeName(ErrorCode::BadMagic), "bad-magic");
+    EXPECT_STREQ(errorCodeName(ErrorCode::UnsupportedVersion),
+                 "unsupported-version");
+    EXPECT_STREQ(errorCodeName(ErrorCode::TruncatedHeader),
+                 "truncated-header");
+    EXPECT_STREQ(errorCodeName(ErrorCode::TruncatedStream),
+                 "truncated-stream");
+    EXPECT_STREQ(errorCodeName(ErrorCode::SizeMismatch),
+                 "size-mismatch");
+    EXPECT_STREQ(errorCodeName(ErrorCode::CorruptRecord),
+                 "corrupt-record");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Timeout), "timeout");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Crashed), "crashed");
+    EXPECT_STREQ(errorCodeName(ErrorCode::Internal), "internal");
+}
+
+TEST(Result, HoldsValue)
+{
+    Result<int> r(7);
+    ASSERT_TRUE(r.ok());
+    EXPECT_TRUE(r.status().ok());
+    EXPECT_EQ(r.value(), 7);
+    EXPECT_EQ(*r, 7);
+    EXPECT_EQ(r.valueOr(9), 7);
+}
+
+TEST(Result, HoldsError)
+{
+    Result<int> r(Status::error(ErrorCode::InvalidArgument, "nope"));
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument);
+    EXPECT_EQ(r.status().message(), "nope");
+    EXPECT_EQ(r.valueOr(9), 9);
+}
+
+TEST(Result, MoveOnlyValue)
+{
+    Result<std::unique_ptr<int>> r(std::make_unique<int>(3));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(*r.value(), 3);
+    std::unique_ptr<int> taken = std::move(r).value();
+    EXPECT_EQ(*taken, 3);
+}
+
+TEST(Result, ArrowOperator)
+{
+    Result<std::string> r(std::string("hetsim"));
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->size(), 6u);
+}
+
+TEST(ResultDeath, ValueOnErrorPanics)
+{
+    Result<int> r(Status::error(ErrorCode::NotFound, "gone"));
+    EXPECT_DEATH((void)r.value(), "failed Result");
+}
+
+TEST(ResultDeath, OkStatusWithoutValuePanics)
+{
+    // A Result must carry either a value or a failure; an ok Status
+    // alone is a caller bug.
+    EXPECT_DEATH(Result<int>{Status()}, "ok Status");
+}

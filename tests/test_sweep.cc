@@ -1,0 +1,275 @@
+/**
+ * @file
+ * Tests for the crash-isolating batch sweep runner, including the
+ * headline robustness scenario: a full config sweep with one poisoned
+ * trace and one runaway cell completes, reporting exactly those two
+ * cells as failed/timed-out.
+ */
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/sweep.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/cpu_trace_gen.hh"
+#include "workload/fault_inject.hh"
+#include "workload/trace_file.hh"
+
+using namespace hetsim;
+using namespace hetsim::core;
+
+namespace
+{
+
+std::vector<CpuConfig>
+allCpuConfigs()
+{
+    std::vector<CpuConfig> cfgs;
+    for (int i = 0; i < kNumCpuConfigs; ++i)
+        cfgs.push_back(static_cast<CpuConfig>(i));
+    return cfgs;
+}
+
+/** Record a valid trace, then corrupt its magic in place. */
+std::string
+makeCorruptTrace(const char *name)
+{
+    const std::string path =
+        std::string("/tmp/hetsim_sweep_") + name + ".trace";
+    workload::SyntheticCpuTrace src(workload::cpuApp("fft"), 0, 1,
+                                    3, 0.02);
+    EXPECT_TRUE(workload::recordTrace(src, path, 100).ok());
+    const uint32_t junk = 0xdeadbeef;
+    EXPECT_TRUE(workload::overwriteBytes(path, 0, &junk, 4).ok());
+    return path;
+}
+
+} // namespace
+
+TEST(ParseWorkloadSpec, Forms)
+{
+    auto bare = parseWorkloadSpec("fft");
+    ASSERT_TRUE(bare.ok());
+    EXPECT_EQ(bare.value().kind, SweepCell::Kind::CpuApp);
+    EXPECT_EQ(bare.value().workload, "fft");
+    EXPECT_EQ(bare.value().scaleOverride, 0.0);
+
+    auto app = parseWorkloadSpec("app:lu@scale=2.5");
+    ASSERT_TRUE(app.ok());
+    EXPECT_EQ(app.value().kind, SweepCell::Kind::CpuApp);
+    EXPECT_EQ(app.value().workload, "lu");
+    EXPECT_DOUBLE_EQ(app.value().scaleOverride, 2.5);
+
+    auto trace = parseWorkloadSpec("trace:/tmp/x.trace");
+    ASSERT_TRUE(trace.ok());
+    EXPECT_EQ(trace.value().kind, SweepCell::Kind::CpuTrace);
+    EXPECT_EQ(trace.value().workload, "/tmp/x.trace");
+
+    auto kernel = parseWorkloadSpec("kernel:dct@scale=0.5");
+    ASSERT_TRUE(kernel.ok());
+    EXPECT_EQ(kernel.value().kind, SweepCell::Kind::GpuKernel);
+    EXPECT_EQ(kernel.value().workload, "dct");
+    EXPECT_DOUBLE_EQ(kernel.value().scaleOverride, 0.5);
+}
+
+TEST(ParseWorkloadSpec, Errors)
+{
+    for (const char *bad :
+         {"", "app:", "trace:", "kernel:@scale=2", "fft@speed=9",
+          "fft@scale=", "fft@scale=zero", "fft@scale=-1"}) {
+        auto r = parseWorkloadSpec(bad);
+        ASSERT_FALSE(r.ok()) << "spec '" << bad << "'";
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument)
+            << "spec '" << bad << "'";
+    }
+}
+
+TEST(CrossCpuCells, CrossesAndRejectsGpuSpecs)
+{
+    auto cells = crossCpuCells(
+        {CpuConfig::BaseCmos, CpuConfig::AdvHet}, {"fft", "lu"});
+    ASSERT_TRUE(cells.ok());
+    ASSERT_EQ(cells.value().size(), 4u);
+    EXPECT_EQ(cells.value()[0].cpuCfg, CpuConfig::BaseCmos);
+    EXPECT_EQ(cells.value()[0].workload, "fft");
+    EXPECT_EQ(cells.value()[3].cpuCfg, CpuConfig::AdvHet);
+    EXPECT_EQ(cells.value()[3].workload, "lu");
+
+    auto bad = crossCpuCells({CpuConfig::BaseCmos}, {"kernel:dct"});
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), ErrorCode::InvalidArgument);
+}
+
+/**
+ * The issue's acceptance scenario: every CPU configuration runs a
+ * good workload, plus one cell replaying a corrupted trace and one
+ * cell whose cycle watchdog trips. The sweep completes and reports
+ * exactly those two cells as failed/timed-out.
+ */
+TEST(Sweep, FullConfigSweepSurvivesPoisonedCells)
+{
+    const std::string bad_trace = makeCorruptTrace("poisoned");
+
+    std::vector<SweepCell> cells;
+    for (CpuConfig cfg : allCpuConfigs())
+        cells.push_back(cpuAppCell(cfg, "fft"));
+    cells.push_back(cpuTraceCell(CpuConfig::BaseCmos, bad_trace));
+    SweepCell runaway = cpuAppCell(CpuConfig::BaseCmos, "fft");
+    runaway.watchdogCycles = 1000; // Trips well before completion.
+    cells.push_back(runaway);
+
+    SweepOptions opts;
+    opts.exp.scale = 0.1;
+    SweepReport report = runSweep(cells, opts);
+
+    ASSERT_EQ(report.results.size(),
+              static_cast<size_t>(kNumCpuConfigs) + 2);
+    EXPECT_EQ(report.okCount(), static_cast<size_t>(kNumCpuConfigs));
+    EXPECT_EQ(report.failedCount(), 1u);
+    EXPECT_EQ(report.timedOutCount(), 1u);
+    EXPECT_FALSE(report.allOk());
+
+    // The failures are the cells we poisoned, not innocent ones.
+    const CellResult &bad = report.results[kNumCpuConfigs];
+    EXPECT_EQ(bad.outcome, CellOutcome::Failed);
+    EXPECT_EQ(bad.status.code(), ErrorCode::BadMagic);
+    const CellResult &slow = report.results[kNumCpuConfigs + 1];
+    EXPECT_EQ(slow.outcome, CellOutcome::TimedOut);
+    EXPECT_EQ(slow.status.code(), ErrorCode::Timeout);
+    EXPECT_GE(slow.cycles, 1000u);
+
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        EXPECT_EQ(report.results[i].outcome, CellOutcome::Ok)
+            << cpuConfigName(static_cast<CpuConfig>(i));
+        EXPECT_TRUE(report.results[i].status.ok());
+        EXPECT_GT(report.results[i].cycles, 0u);
+        EXPECT_GT(report.results[i].energyJ, 0.0);
+    }
+
+    // The summary printer works on the mixed report, CSV included.
+    const std::string csv = "/tmp/hetsim_sweep_report.csv";
+    EXPECT_TRUE(printSweepReport(report, csv).ok());
+    std::FILE *f = std::fopen(csv.c_str(), "r");
+    ASSERT_NE(f, nullptr);
+    std::fclose(f);
+    std::remove(csv.c_str());
+    EXPECT_EQ(printSweepReport(report, "/nonexistent/x.csv").code(),
+              ErrorCode::IoError);
+    std::remove(bad_trace.c_str());
+}
+
+TEST(Sweep, ChildCrashIsContained)
+{
+    // An out-of-range config makes the child panic (abort). With
+    // isolation, the sweep records a Crashed failure for that cell
+    // and keeps going.
+    std::vector<SweepCell> cells;
+    cells.push_back(cpuAppCell(CpuConfig::BaseCmos, "fft"));
+    SweepCell crasher = cpuAppCell(CpuConfig::BaseCmos, "fft");
+    crasher.cpuCfg = static_cast<CpuConfig>(99);
+    cells.push_back(crasher);
+    cells.push_back(cpuAppCell(CpuConfig::AdvHet, "fft"));
+
+    SweepOptions opts;
+    opts.exp.scale = 0.1;
+    SweepReport report = runSweep(cells, opts);
+
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::Ok);
+    EXPECT_EQ(report.results[1].outcome, CellOutcome::Failed);
+    EXPECT_EQ(report.results[1].status.code(), ErrorCode::Crashed);
+    EXPECT_NE(report.results[1].status.message().find("signal"),
+              std::string::npos);
+    EXPECT_EQ(report.results[2].outcome, CellOutcome::Ok);
+}
+
+TEST(Sweep, WallClockWatchdogKillsRunawayCell)
+{
+    // A deliberately huge workload against a wall limit it cannot
+    // meet: the parent kills the child and the sweep moves on. The
+    // limit is generous so the small sibling cell passes it even on
+    // a loaded test machine.
+    std::vector<SweepCell> cells;
+    cells.push_back(cpuAppCell(CpuConfig::BaseCmos, "fft", 5000.0));
+    cells.push_back(cpuAppCell(CpuConfig::BaseCmos, "lu", 0.1));
+
+    SweepOptions opts;
+    opts.wallLimitMs = 1500.0;
+    SweepReport report = runSweep(cells, opts);
+
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::TimedOut);
+    EXPECT_EQ(report.results[0].status.code(), ErrorCode::Timeout);
+    EXPECT_NE(report.results[0].status.message().find("wall-clock"),
+              std::string::npos);
+    EXPECT_EQ(report.results[1].outcome, CellOutcome::Ok);
+}
+
+TEST(Sweep, NonIsolatedModeStillRecoversInputErrors)
+{
+    // Without forking there is no crash containment, but input
+    // errors still come back as per-cell failures.
+    std::vector<SweepCell> cells;
+    cells.push_back(
+        cpuTraceCell(CpuConfig::BaseCmos, "/nonexistent/x.trace"));
+    cells.push_back(cpuAppCell(CpuConfig::BaseCmos, "nosuchapp"));
+    cells.push_back(cpuAppCell(CpuConfig::BaseCmos, "fft", 0.1));
+
+    SweepOptions opts;
+    opts.isolate = false;
+    SweepReport report = runSweep(cells, opts);
+
+    ASSERT_EQ(report.results.size(), 3u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::Failed);
+    EXPECT_EQ(report.results[0].status.code(), ErrorCode::IoError);
+    EXPECT_EQ(report.results[1].outcome, CellOutcome::Failed);
+    EXPECT_EQ(report.results[1].status.code(), ErrorCode::NotFound);
+    EXPECT_NE(report.results[1].status.message().find("valid:"),
+              std::string::npos);
+    EXPECT_EQ(report.results[2].outcome, CellOutcome::Ok);
+}
+
+TEST(Sweep, GoodTraceCellReplays)
+{
+    const std::string path = "/tmp/hetsim_sweep_good.trace";
+    workload::SyntheticCpuTrace src(workload::cpuApp("lu"), 0, 1, 5,
+                                    0.02);
+    ASSERT_TRUE(workload::recordTrace(src, path, 2000).ok());
+
+    SweepReport report =
+        runSweep({cpuTraceCell(CpuConfig::BaseCmos, path)});
+    ASSERT_EQ(report.results.size(), 1u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::Ok);
+    EXPECT_EQ(report.results[0].ops, 2000u);
+    EXPECT_GT(report.results[0].cycles, 0u);
+    std::remove(path.c_str());
+}
+
+TEST(Sweep, GpuKernelCell)
+{
+    SweepReport report = runSweep(
+        {gpuKernelCell(GpuConfig::BaseCmos, "dct", 0.1),
+         gpuKernelCell(GpuConfig::AdvHet, "nosuchkernel")});
+    ASSERT_EQ(report.results.size(), 2u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::Ok);
+    EXPECT_GT(report.results[0].cycles, 0u);
+    EXPECT_EQ(report.results[1].outcome, CellOutcome::Failed);
+    EXPECT_EQ(report.results[1].status.code(), ErrorCode::NotFound);
+}
+
+TEST(Sweep, CycleWatchdogIsDeterministic)
+{
+    SweepCell cell = cpuAppCell(CpuConfig::BaseCmos, "fft");
+    cell.watchdogCycles = 5000;
+    SweepOptions opts;
+    opts.exp.scale = 0.5;
+    const SweepReport a = runSweep({cell}, opts);
+    const SweepReport b = runSweep({cell}, opts);
+    ASSERT_EQ(a.results.size(), 1u);
+    EXPECT_EQ(a.results[0].outcome, CellOutcome::TimedOut);
+    EXPECT_EQ(a.results[0].cycles, b.results[0].cycles);
+    EXPECT_EQ(a.results[0].ops, b.results[0].ops);
+}

@@ -1,6 +1,8 @@
 /**
  * @file
- * Tests for binary trace recording and replay.
+ * Tests for binary trace recording and replay, including the
+ * recoverable-error contract: every malformed-trace class yields its
+ * own ErrorCode and never aborts the process.
  */
 
 #include <gtest/gtest.h>
@@ -11,6 +13,7 @@
 #include "cpu/multicore.hh"
 #include "workload/cpu_profiles.hh"
 #include "workload/cpu_trace_gen.hh"
+#include "workload/fault_inject.hh"
 #include "workload/trace_file.hh"
 #include "workload/vector_trace.hh"
 
@@ -26,6 +29,23 @@ tmpPath(const char *name)
     return std::string("/tmp/hetsim_") + name + ".trace";
 }
 
+/** Record a small two-record trace for corruption tests. */
+std::string
+makeSmallTrace(const char *name)
+{
+    const std::string path = tmpPath(name);
+    VectorTrace v;
+    cpu::MicroOp op;
+    op.cls = cpu::OpClass::IntAlu;
+    op.dst = 5;
+    op.pc = 0x1234;
+    v.add(op);
+    op.dst = 6;
+    v.add(op);
+    EXPECT_TRUE(recordTrace(v, path).ok());
+    return path;
+}
+
 } // namespace
 
 TEST(TraceFile, RoundTripIsBitIdentical)
@@ -34,18 +54,20 @@ TEST(TraceFile, RoundTripIsBitIdentical)
     const std::string path = tmpPath("roundtrip");
 
     SyntheticCpuTrace writer_src(app, 0, 4, 7, 0.05);
-    const uint64_t written = recordTrace(writer_src, path);
-    EXPECT_GT(written, 1000u);
+    Result<uint64_t> written = recordTrace(writer_src, path);
+    ASSERT_TRUE(written.ok());
+    EXPECT_GT(written.value(), 1000u);
 
     SyntheticCpuTrace ref(app, 0, 4, 7, 0.05);
-    FileTrace replay(path);
-    EXPECT_EQ(replay.size(), written);
+    auto replay = FileTrace::open(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value()->size(), written.value());
 
     cpu::MicroOp a, b;
     uint64_t n = 0;
     while (true) {
         const bool ra = ref.next(a);
-        const bool rb = replay.next(b);
+        const bool rb = replay.value()->next(b);
         ASSERT_EQ(ra, rb) << "at record " << n;
         if (!ra)
             break;
@@ -59,7 +81,8 @@ TEST(TraceFile, RoundTripIsBitIdentical)
         ASSERT_EQ(a.taken, b.taken) << n;
         ++n;
     }
-    EXPECT_EQ(n, written);
+    EXPECT_EQ(n, written.value());
+    EXPECT_TRUE(replay.value()->status().ok());
     std::remove(path.c_str());
 }
 
@@ -72,7 +95,7 @@ TEST(TraceFile, ReplayReproducesSimulationExactly)
     // generator and from the file: identical cycle counts.
     {
         SyntheticCpuTrace src(app, 0, 1, 3, 0.05);
-        recordTrace(src, path);
+        ASSERT_TRUE(recordTrace(src, path).ok());
     }
 
     auto run = [](cpu::TraceSource &t) {
@@ -82,8 +105,9 @@ TEST(TraceFile, ReplayReproducesSimulationExactly)
         return mc.run().cycles;
     };
     SyntheticCpuTrace live(app, 0, 1, 3, 0.05);
-    FileTrace replay(path);
-    EXPECT_EQ(run(live), run(replay));
+    auto replay = FileTrace::open(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(run(live), run(*replay.value()));
     std::remove(path.c_str());
 }
 
@@ -92,13 +116,15 @@ TEST(TraceFile, MaxOpsTruncates)
     const AppProfile &app = cpuApp("fft");
     const std::string path = tmpPath("truncated");
     SyntheticCpuTrace src(app, 0, 4, 1, 0.05);
-    const uint64_t written = recordTrace(src, path, 500);
-    EXPECT_EQ(written, 500u);
-    FileTrace replay(path);
-    EXPECT_EQ(replay.size(), 500u);
+    Result<uint64_t> written = recordTrace(src, path, 500);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(written.value(), 500u);
+    auto replay = FileTrace::open(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value()->size(), 500u);
     cpu::MicroOp op;
     uint64_t n = 0;
-    while (replay.next(op))
+    while (replay.value()->next(op))
         ++n;
     EXPECT_EQ(n, 500u);
     std::remove(path.c_str());
@@ -106,22 +132,14 @@ TEST(TraceFile, MaxOpsTruncates)
 
 TEST(TraceFile, RewindRestartsReplay)
 {
-    const std::string path = tmpPath("rewind");
-    VectorTrace v;
-    cpu::MicroOp op;
-    op.cls = cpu::OpClass::IntAlu;
-    op.dst = 5;
-    op.pc = 0x1234;
-    v.add(op);
-    op.dst = 6;
-    v.add(op);
-    recordTrace(v, path);
+    const std::string path = makeSmallTrace("rewind");
 
-    FileTrace replay(path);
+    auto replay = FileTrace::open(path);
+    ASSERT_TRUE(replay.ok());
     cpu::MicroOp first, again;
-    ASSERT_TRUE(replay.next(first));
-    replay.rewind();
-    ASSERT_TRUE(replay.next(again));
+    ASSERT_TRUE(replay.value()->next(first));
+    ASSERT_TRUE(replay.value()->rewind().ok());
+    ASSERT_TRUE(replay.value()->next(again));
     EXPECT_EQ(first.dst, again.dst);
     EXPECT_EQ(first.pc, again.pc);
     std::remove(path.c_str());
@@ -131,47 +149,133 @@ TEST(TraceFile, EmptySourceYieldsEmptyTrace)
 {
     const std::string path = tmpPath("empty");
     VectorTrace v;
-    EXPECT_EQ(recordTrace(v, path), 0u);
-    FileTrace replay(path);
-    EXPECT_EQ(replay.size(), 0u);
+    Result<uint64_t> written = recordTrace(v, path);
+    ASSERT_TRUE(written.ok());
+    EXPECT_EQ(written.value(), 0u);
+    auto replay = FileTrace::open(path);
+    ASSERT_TRUE(replay.ok());
+    EXPECT_EQ(replay.value()->size(), 0u);
     cpu::MicroOp op;
-    EXPECT_FALSE(replay.next(op));
+    EXPECT_FALSE(replay.value()->next(op));
+    EXPECT_TRUE(replay.value()->status().ok());
     std::remove(path.c_str());
 }
 
-TEST(TraceFileDeath, MissingFileIsFatal)
+TEST(TraceFile, RecordToUnwritablePathIsIoError)
 {
-    EXPECT_EXIT(FileTrace t("/nonexistent/hetsim.trace"),
-                ::testing::ExitedWithCode(1), "cannot open");
+    VectorTrace v;
+    Result<uint64_t> r =
+        recordTrace(v, "/nonexistent/dir/hetsim.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
 }
 
-TEST(TraceFileDeath, BadMagicIsFatal)
+// Every malformed-trace class gets its own error code, and none of
+// them aborts the process.
+
+TEST(TraceFileMalformed, MissingFileIsIoError)
+{
+    auto r = FileTrace::open("/nonexistent/hetsim.trace");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::IoError);
+    EXPECT_NE(r.status().message().find("cannot open"),
+              std::string::npos);
+}
+
+TEST(TraceFileMalformed, BadMagic)
 {
     const std::string path = tmpPath("badmagic");
     {
         std::ofstream out(path, std::ios::binary);
         out << "this is not a trace file at all.............";
     }
-    EXPECT_EXIT(FileTrace t(path), ::testing::ExitedWithCode(1),
-                "bad magic");
+    auto r = FileTrace::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::BadMagic);
+    EXPECT_NE(r.status().message().find("bad magic"),
+              std::string::npos);
     std::remove(path.c_str());
 }
 
-TEST(TraceFileDeath, TruncatedBodyIsFatal)
+TEST(TraceFileMalformed, UnsupportedVersion)
 {
-    const std::string path = tmpPath("shortbody");
-    // Valid header claiming 100 records, but no body.
-    {
-        std::ofstream out(path, std::ios::binary);
-        const uint32_t magic = kTraceMagic, version = kTraceVersion;
-        const uint64_t count = 100;
-        out.write(reinterpret_cast<const char *>(&magic), 4);
-        out.write(reinterpret_cast<const char *>(&version), 4);
-        out.write(reinterpret_cast<const char *>(&count), 8);
-    }
-    FileTrace t(path);
-    cpu::MicroOp op;
-    EXPECT_EXIT(t.next(op), ::testing::ExitedWithCode(1),
-                "truncated");
+    const std::string path = makeSmallTrace("version");
+    const uint32_t future_version = kTraceVersion + 9;
+    ASSERT_TRUE(
+        overwriteBytes(path, 4, &future_version, 4).ok());
+    auto r = FileTrace::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::UnsupportedVersion);
     std::remove(path.c_str());
+}
+
+TEST(TraceFileMalformed, TruncatedHeader)
+{
+    const std::string path = makeSmallTrace("shorthdr");
+    ASSERT_TRUE(truncateFile(path, kTraceHeaderBytes - 3).ok());
+    auto r = FileTrace::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::TruncatedHeader);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileMalformed, TruncatedRecordStream)
+{
+    const std::string path = makeSmallTrace("shortrec");
+    // Cut the second record in half: stray bytes after the last
+    // whole record.
+    ASSERT_TRUE(truncateFile(path, kTraceHeaderBytes +
+                                       kTraceRecordBytes +
+                                       kTraceRecordBytes / 2)
+                    .ok());
+    auto r = FileTrace::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::TruncatedStream);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileMalformed, RecordCountSizeMismatch)
+{
+    const std::string path = makeSmallTrace("countmismatch");
+    // Drop exactly one whole record; header still claims two.
+    ASSERT_TRUE(
+        truncateFile(path, kTraceHeaderBytes + kTraceRecordBytes)
+            .ok());
+    auto r = FileTrace::open(path);
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::SizeMismatch);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileMalformed, CorruptOpClassIsRecoverable)
+{
+    const std::string path = makeSmallTrace("badclass");
+    // First byte of the first record is the op class; 0xFF is far
+    // outside the OpClass range.
+    const uint8_t bad_cls = 0xFF;
+    ASSERT_TRUE(
+        overwriteBytes(path, kTraceHeaderBytes, &bad_cls, 1).ok());
+    auto r = FileTrace::open(path);
+    ASSERT_TRUE(r.ok()); // Header and sizes are intact.
+    cpu::MicroOp op;
+    EXPECT_FALSE(r.value()->next(op));
+    EXPECT_EQ(r.value()->status().code(), ErrorCode::CorruptRecord);
+    // rewind clears the error; the same record fails again.
+    ASSERT_TRUE(r.value()->rewind().ok());
+    EXPECT_TRUE(r.value()->status().ok());
+    EXPECT_FALSE(r.value()->next(op));
+    EXPECT_EQ(r.value()->status().code(), ErrorCode::CorruptRecord);
+    std::remove(path.c_str());
+}
+
+TEST(TraceFileMalformed, DistinctCodesPerCorruptionClass)
+{
+    // The five corruption classes of the format must stay
+    // distinguishable for sweep summaries and triage.
+    EXPECT_NE(ErrorCode::BadMagic, ErrorCode::UnsupportedVersion);
+    EXPECT_NE(ErrorCode::TruncatedHeader,
+              ErrorCode::TruncatedStream);
+    EXPECT_NE(ErrorCode::TruncatedStream, ErrorCode::SizeMismatch);
+    EXPECT_NE(ErrorCode::SizeMismatch, ErrorCode::CorruptRecord);
+    EXPECT_NE(ErrorCode::BadMagic, ErrorCode::TruncatedHeader);
 }

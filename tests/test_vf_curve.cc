@@ -69,8 +69,9 @@ TEST(VfCurve, ClampsOutsideRange)
 
 TEST(VfCurveDeath, UnreachableFrequencyIsFatal)
 {
-    EXPECT_EXIT(tfetVfCurve().voltageFor(5.0),
-                ::testing::ExitedWithCode(1), "exceeds");
+    // DVFS planners must clamp before asking; exceeding the curve is
+    // an internal invariant violation, so it panics.
+    EXPECT_DEATH(tfetVfCurve().voltageFor(5.0), "exceeds");
 }
 
 TEST(VfCurveDeath, BadAnchorsPanic)

@@ -65,10 +65,32 @@ TEST(CpuWorkload, LookupByName)
     EXPECT_STREQ(cpuApp("canneal").suite, "parsec");
 }
 
-TEST(CpuWorkloadDeath, UnknownAppIsFatal)
+TEST(CpuWorkload, FindUnknownAppIsRecoverable)
 {
-    EXPECT_EXIT(cpuApp("doom"), ::testing::ExitedWithCode(1),
-                "unknown CPU application");
+    Result<const AppProfile *> r = findCpuApp("doom");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    // The error lists the valid names so a user can self-correct.
+    EXPECT_NE(r.status().message().find("unknown CPU application"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("valid:"), std::string::npos);
+    EXPECT_NE(r.status().message().find("fft"), std::string::npos);
+    EXPECT_NE(r.status().message().find("canneal"),
+              std::string::npos);
+}
+
+TEST(CpuWorkload, FindKnownAppReturnsProfile)
+{
+    Result<const AppProfile *> r = findCpuApp("fft");
+    ASSERT_TRUE(r.ok());
+    EXPECT_STREQ(r.value()->name, "fft");
+}
+
+TEST(CpuWorkloadDeath, UnknownAppPanicsInTrustedLookup)
+{
+    // cpuApp() is the trusted-caller wrapper: unknown names are an
+    // internal bug there, so it panics (aborts) rather than returning.
+    EXPECT_DEATH(cpuApp("doom"), "unknown CPU application");
 }
 
 TEST(CpuWorkload, Deterministic)

@@ -57,10 +57,28 @@ TEST(GpuWorkload, LookupByName)
     EXPECT_STREQ(gpuKernel("matrixmul").name, "matrixmul");
 }
 
-TEST(GpuWorkloadDeath, UnknownKernelIsFatal)
+TEST(GpuWorkload, FindUnknownKernelIsRecoverable)
 {
-    EXPECT_EXIT(gpuKernel("quake"), ::testing::ExitedWithCode(1),
-                "unknown GPU kernel");
+    Result<const KernelProfile *> r = findGpuKernel("quake");
+    ASSERT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), ErrorCode::NotFound);
+    EXPECT_NE(r.status().message().find("unknown GPU kernel"),
+              std::string::npos);
+    EXPECT_NE(r.status().message().find("valid:"), std::string::npos);
+    EXPECT_NE(r.status().message().find("matrixmul"),
+              std::string::npos);
+}
+
+TEST(GpuWorkload, FindKnownKernelReturnsProfile)
+{
+    Result<const KernelProfile *> r = findGpuKernel("dct");
+    ASSERT_TRUE(r.ok());
+    EXPECT_STREQ(r.value()->name, "dct");
+}
+
+TEST(GpuWorkloadDeath, UnknownKernelPanicsInTrustedLookup)
+{
+    EXPECT_DEATH(gpuKernel("quake"), "unknown GPU kernel");
 }
 
 TEST(GpuWorkload, Deterministic)
