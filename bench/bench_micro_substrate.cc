@@ -82,7 +82,12 @@ void
 BM_OooCoreSimulation(benchmark::State &state)
 {
     // Simulated instructions per second of the full 4-core model.
-    const auto &app = workload::cpuApp("water-sp");
+    const auto found = workload::findCpuApp("water-sp");
+    if (!found.ok()) {
+        state.SkipWithError(found.status().toString().c_str());
+        return;
+    }
+    const auto &app = *found.value();
     for (auto _ : state) {
         auto bundle = core::makeCpuConfig(core::CpuConfig::BaseCmos);
         auto traces = workload::makeCpuWorkload(
@@ -102,7 +107,12 @@ BENCHMARK(BM_OooCoreSimulation)->Unit(benchmark::kMillisecond);
 void
 BM_GpuSimulation(benchmark::State &state)
 {
-    const auto &prof = workload::gpuKernel("matrixmul");
+    const auto found = workload::findGpuKernel("matrixmul");
+    if (!found.ok()) {
+        state.SkipWithError(found.status().toString().c_str());
+        return;
+    }
+    const auto &prof = *found.value();
     for (auto _ : state) {
         auto bundle = core::makeGpuConfig(core::GpuConfig::BaseCmos);
         workload::SyntheticKernel kernel(prof, 1, 0.05);

@@ -22,7 +22,13 @@ main(int argc, char **argv)
 {
     const char *app_name = argc > 1 ? argv[1] : "fmm";
     const double scale = argc > 2 ? std::atof(argv[2]) : 0.25;
-    const workload::AppProfile &app = workload::cpuApp(app_name);
+    const auto found = workload::findCpuApp(app_name);
+    if (!found.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     found.status().toString().c_str());
+        return 1;
+    }
+    const workload::AppProfile &app = *found.value();
 
     core::ExperimentOptions opts;
     opts.scale = scale;

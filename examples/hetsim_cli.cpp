@@ -26,6 +26,18 @@
  *       cells use GPU configs named via --gpu-configs).
  *       Exits 0 as long as the sweep itself ran; per-cell failures
  *       are reported in the summary, not via the exit code.
+ *   hetsim_cli dse [--space cpu|gpu] [--app fft | --kernel matrixmul]
+ *                  [--objective ed2|energy|time]
+ *                  [--strategy exhaustive|greedy] [--jobs N]
+ *                  [--budget-mm2 X] [--scale S] [--seed K] [--freq F]
+ *                  [--repeat R] [--csv out.csv]
+ *       Explore the free-form hybrid-design space (per-unit
+ *       CMOS/TFET/high-V_t choices beyond Table IV) on one workload,
+ *       fanning cells out over --jobs threads with a memoization
+ *       cache, and report the Pareto front over (time, energy, area).
+ *       Output is identical for any --jobs value; --repeat R > 1
+ *       re-runs the search to demonstrate the cache (every repeated
+ *       cell is a hit, not a re-simulation).
  *
  * The library reports input errors as Status values; this front end
  * is where they become messages and a nonzero process exit.
@@ -41,6 +53,8 @@
 #include "common/logging.hh"
 #include "common/status.hh"
 #include "common/table.hh"
+#include "common/thread_pool.hh"
+#include "core/dse.hh"
 #include "core/experiment.hh"
 #include "core/sweep.hh"
 #include "cpu/multicore.hh"
@@ -373,6 +387,145 @@ cmdSweep(const Args &args)
     return 0;
 }
 
+/** Table IV annotation: the enum name when a free-form design
+ *  coincides with a paper configuration, else "". */
+std::string
+tableIvNameCpu(uint64_t hash)
+{
+    for (int i = 0; i < core::kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<core::CpuConfig>(i);
+        if (core::designHash(core::cpuHybridFromConfig(cfg)) == hash)
+            return core::cpuConfigName(cfg);
+    }
+    return "";
+}
+
+std::string
+tableIvNameGpu(uint64_t hash)
+{
+    for (int i = 0; i < core::kNumGpuConfigs; ++i) {
+        const auto cfg = static_cast<core::GpuConfig>(i);
+        if (core::designHash(core::gpuHybridFromConfig(cfg)) == hash)
+            return core::gpuConfigName(cfg);
+    }
+    return "";
+}
+
+int
+cmdDse(const Args &args)
+{
+    const std::string space = args.get("space", "cpu");
+    if (space != "cpu" && space != "gpu")
+        die("--space must be cpu or gpu, got '%s'", space.c_str());
+
+    core::DseOptions opts;
+    opts.exp.scale = args.getD("scale", 0.05);
+    opts.exp.freqGhz = args.getD("freq", 2.0);
+    opts.exp.seed = args.getU("seed", 1);
+    opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    opts.areaBudgetMm2 = args.getD("budget-mm2", 0.0);
+    const auto objective =
+        core::dseObjectiveFromName(args.get("objective", "ed2"));
+    if (!objective.ok())
+        dieOn(objective.status());
+    opts.objective = objective.value();
+
+    const std::string strategy =
+        args.get("strategy", "exhaustive");
+    if (strategy != "exhaustive" && strategy != "greedy")
+        die("--strategy must be exhaustive or greedy, got '%s'",
+            strategy.c_str());
+    const uint64_t repeat = std::max<uint64_t>(
+        args.getU("repeat", 1), 1);
+
+    ThreadPool pool(opts.jobs);
+    core::DseCache cache;
+    std::vector<core::DsePoint> points;
+    uint64_t prev_hits = 0, prev_misses = 0;
+
+    for (uint64_t pass = 1; pass <= repeat; ++pass) {
+        if (space == "cpu") {
+            const auto app =
+                workload::findCpuApp(args.get("app", "fft"));
+            if (!app.ok())
+                dieOn(app.status());
+            if (strategy == "greedy") {
+                points = core::greedyCpuSearch(*app.value(), opts,
+                                               pool, cache);
+            } else {
+                points = core::evaluateCpuDesigns(
+                    core::enumerateCpuDesigns(), *app.value(), opts,
+                    pool, cache);
+            }
+        } else {
+            if (strategy == "greedy")
+                die("--strategy greedy explores the CPU space; "
+                    "the 17-design GPU space is exhaustive-only");
+            const auto kernel = workload::findGpuKernel(
+                args.get("kernel", "matrixmul"));
+            if (!kernel.ok())
+                dieOn(kernel.status());
+            points = core::evaluateGpuDesigns(
+                core::enumerateGpuDesigns(), *kernel.value(), opts,
+                pool, cache);
+        }
+        const uint64_t hits = cache.hits() - prev_hits;
+        const uint64_t misses = cache.misses() - prev_misses;
+        prev_hits = cache.hits();
+        prev_misses = cache.misses();
+        std::printf("pass %llu/%llu: %zu designs evaluated "
+                    "(%llu simulated, %llu cache hits)\n",
+                    static_cast<unsigned long long>(pass),
+                    static_cast<unsigned long long>(repeat),
+                    points.size(),
+                    static_cast<unsigned long long>(misses),
+                    static_cast<unsigned long long>(hits));
+    }
+    if (points.empty())
+        die("no designs survived synthesis and the area budget");
+
+    const std::vector<size_t> front =
+        core::paretoFront(points, opts.objective);
+
+    TablePrinter t(
+        "dse " + space + " Pareto front over (time, energy, area), "
+        "best " + std::string(dseObjectiveName(opts.objective)) +
+        " first (" + std::to_string(points.size()) + " designs "
+        "explored)",
+        {"design", space == "cpu" ? "cores" : "CUs", "time (ms)",
+         "energy (mJ)", "ED^2 (J s^2)", "area (mm^2)", "Table IV"});
+    for (size_t idx : front) {
+        const core::DsePoint &p = points[idx];
+        char ed2[32];
+        std::snprintf(ed2, sizeof(ed2), "%.3e", p.ed2());
+        t.addRow({p.name, std::to_string(p.cores),
+                  formatDouble(p.seconds * 1e3, 4),
+                  formatDouble(p.energyJ * 1e3, 4), ed2,
+                  formatDouble(p.areaMm2, 2),
+                  space == "cpu" ? tableIvNameCpu(p.hash)
+                                 : tableIvNameGpu(p.hash)});
+    }
+    t.print();
+
+    const core::DsePoint &best = points[front.front()];
+    std::printf("\nbest %s: %s", dseObjectiveName(opts.objective),
+                best.name.c_str());
+    const std::string best_iv = space == "cpu"
+        ? tableIvNameCpu(best.hash) : tableIvNameGpu(best.hash);
+    if (!best_iv.empty())
+        std::printf(" (= Table IV %s)", best_iv.c_str());
+    std::printf("\ncache: %llu hits, %llu misses across %llu "
+                "pass(es)\n",
+                static_cast<unsigned long long>(cache.hits()),
+                static_cast<unsigned long long>(cache.misses()),
+                static_cast<unsigned long long>(repeat));
+
+    const std::string csv = args.get("csv");
+    if (!csv.empty() && !t.writeCsv(csv))
+        die("cannot write '%s'", csv.c_str());
+    return 0;
+}
+
 } // namespace
 
 int
@@ -381,7 +534,7 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: hetsim_cli "
-                     "{list|run|gpu|record|replay|sweep} "
+                     "{list|run|gpu|record|replay|sweep|dse} "
                      "[--opt value]...\n"
                      "see the file header for details\n");
         return 1;
@@ -400,5 +553,7 @@ main(int argc, char **argv)
         return cmdReplay(args);
     if (cmd == "sweep")
         return cmdSweep(args);
+    if (cmd == "dse")
+        return cmdDse(args);
     die("unknown command '%s'", cmd.c_str());
 }

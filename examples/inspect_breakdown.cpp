@@ -36,7 +36,13 @@ main(int argc, char **argv)
             cfg = c;
     }
 
-    const workload::AppProfile &app = workload::cpuApp(app_name);
+    const auto found = workload::findCpuApp(app_name);
+    if (!found.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     found.status().toString().c_str());
+        return 1;
+    }
+    const workload::AppProfile &app = *found.value();
     core::CpuConfigBundle bundle = makeCpuConfig(cfg);
 
     auto traces = workload::makeCpuWorkload(app, bundle.numCores, 1,

@@ -30,8 +30,13 @@ main(int argc, char **argv)
             cfg = c;
     }
 
-    const workload::KernelProfile &prof =
-        workload::gpuKernel(kernel_name);
+    const auto found = workload::findGpuKernel(kernel_name);
+    if (!found.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     found.status().toString().c_str());
+        return 1;
+    }
+    const workload::KernelProfile &prof = *found.value();
     core::GpuConfigBundle bundle = makeGpuConfig(cfg);
 
     workload::SyntheticKernel kernel(prof, 1, scale);

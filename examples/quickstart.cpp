@@ -4,7 +4,7 @@
  * all-CMOS baseline on one application.
  *
  * Demonstrates the three-step public API:
- *   1. pick an application profile (workload::cpuApp),
+ *   1. pick an application profile (workload::findCpuApp),
  *   2. run a configuration on it (core::runCpuExperiment),
  *   3. normalize and inspect metrics (power::normalize).
  */
@@ -22,7 +22,13 @@ int
 main(int argc, char **argv)
 {
     const char *app_name = argc > 1 ? argv[1] : "fft";
-    const workload::AppProfile &app = workload::cpuApp(app_name);
+    const auto found = workload::findCpuApp(app_name);
+    if (!found.ok()) {
+        std::fprintf(stderr, "error: %s\n",
+                     found.status().toString().c_str());
+        return 1;
+    }
+    const workload::AppProfile &app = *found.value();
 
     core::ExperimentOptions opts; // full-size run (a few seconds)
 

@@ -16,6 +16,24 @@ cmake --build build-asan --target test_status test_trace_file \
 ctest --test-dir build-asan --output-on-failure \
       -R 'test_status|test_trace_file|test_fault_inject|test_sweep'
 
+# Concurrency pass: the thread-pool and design-space-exploration tests
+# under ThreadSanitizer, so a data race in the parallel evaluator fails
+# the run.
+cmake -B build-tsan -G Ninja -DHETSIM_SANITIZE=thread
+cmake --build build-tsan --target test_thread_pool test_dse
+ctest --test-dir build-tsan --output-on-failure \
+      -R 'test_thread_pool|test_dse'
+
+# DSE smoke: a parallel exploration must print byte-identical output
+# to a serial one (the core/dse determinism contract).
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 1 \
+      --scale 0.02 > build/dse_jobs1.txt
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
+      --scale 0.02 > build/dse_jobs8.txt
+diff build/dse_jobs1.txt build/dse_jobs8.txt
+build/examples/hetsim_cli dse --space gpu --jobs 4 --scale 0.05 \
+      > /dev/null
+
 for b in build/bench/bench_table* build/bench/bench_fig* \
          build/bench/bench_ext*; do
     echo "##### $(basename "$b")"

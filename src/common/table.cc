@@ -76,6 +76,23 @@ TablePrinter::print() const
     std::fflush(stdout);
 }
 
+std::string
+csvQuote(const std::string &cell)
+{
+    // RFC 4180: cells containing the delimiter, a quote, or a line
+    // break are quoted, with embedded quotes doubled.
+    if (cell.find_first_of(",\"\r\n") == std::string::npos)
+        return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+        if (c == '"')
+            quoted += '"';
+        quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+}
+
 bool
 TablePrinter::writeCsv(const std::string &path) const
 {
@@ -86,7 +103,7 @@ TablePrinter::writeCsv(const std::string &path) const
         for (size_t c = 0; c < row.size(); ++c) {
             if (c)
                 out << ',';
-            out << row[c];
+            out << csvQuote(row[c]);
         }
         out << '\n';
     };

@@ -51,6 +51,10 @@ class TablePrinter
 /** Format a double with fixed precision (helper for bench output). */
 std::string formatDouble(double v, int precision = 3);
 
+/** RFC 4180 CSV escaping: quote cells containing the delimiter, a
+ *  quote, or a line break, doubling embedded quotes. */
+std::string csvQuote(const std::string &cell);
+
 } // namespace hetsim
 
 #endif // HETSIM_COMMON_TABLE_HH

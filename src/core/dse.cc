@@ -1,0 +1,870 @@
+#include "core/dse.hh"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "common/logging.hh"
+#include "core/area.hh"
+
+namespace hetsim::core
+{
+
+using power::CpuUnit;
+using power::DeviceClass;
+using power::GpuUnit;
+
+namespace
+{
+
+/** Larger ROB (160 -> 192) and FP RF (80 -> 128) of the Enh axis. */
+constexpr uint32_t kBaseRob = 160;
+constexpr uint32_t kEnhRob = 192;
+constexpr uint32_t kBaseFpRf = 80;
+constexpr uint32_t kEnhFpRf = 128;
+
+char
+deviceLetter(DeviceClass dev)
+{
+    switch (dev) {
+      case DeviceClass::Cmos:
+        return 'C';
+      case DeviceClass::Tfet:
+        return 'T';
+      case DeviceClass::HighVt:
+        return 'H';
+      case DeviceClass::InAsCmos:
+        return 'I';
+      case DeviceClass::HomJTfet:
+        return 'J';
+      default:
+        return '?';
+    }
+}
+
+/** FNV-1a over a string: stable across platforms and runs. */
+uint64_t
+fnv1a(const std::string &s)
+{
+    uint64_t h = 0xcbf29ce484222325ull;
+    for (unsigned char c : s) {
+        h ^= c;
+        h *= 0x100000001b3ull;
+    }
+    return h;
+}
+
+void
+setCpuUnit(power::CpuUnitConfigs &u, CpuUnit unit, DeviceClass dev)
+{
+    u[static_cast<int>(unit)].dev = dev;
+}
+
+} // namespace
+
+std::string
+designName(const CpuHybridDesign &d)
+{
+    char buf[96];
+    if (d.halfClock) {
+        std::snprintf(buf, sizeof(buf), "cpu(allTFET/2 c%u)",
+                      d.numCores);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf),
+                  "cpu(alu=%c fpu=%c dl1=%c l2=%c l3=%c rob=%u "
+                  "fprf=%u%s%s c%u)",
+                  deviceLetter(d.alu), deviceLetter(d.fpu),
+                  deviceLetter(d.dl1), deviceLetter(d.l2),
+                  deviceLetter(d.l3), d.robSize, d.fpRf,
+                  d.asymDl1 ? " asym" : "",
+                  d.dualSpeedAlu ? " split" : "", d.numCores);
+    return buf;
+}
+
+std::string
+designName(const GpuHybridDesign &d)
+{
+    char buf[64];
+    if (d.halfClock) {
+        std::snprintf(buf, sizeof(buf), "gpu(allTFET/2 cu%u)",
+                      d.numCus);
+        return buf;
+    }
+    std::snprintf(buf, sizeof(buf), "gpu(fma=%c vrf=%c%s cu%u)",
+                  deviceLetter(d.simdFpu), deviceLetter(d.vectorRf),
+                  d.rfCache ? " rfc" : "", d.numCus);
+    return buf;
+}
+
+uint64_t
+designHash(const CpuHybridDesign &d)
+{
+    return fnv1a(designName(d));
+}
+
+uint64_t
+designHash(const GpuHybridDesign &d)
+{
+    return fnv1a(designName(d));
+}
+
+CpuHybridDesign
+cpuHybridFromConfig(CpuConfig cfg)
+{
+    CpuHybridDesign d;
+    auto all_het = [&] {
+        d.alu = d.fpu = d.dl1 = d.l2 = d.l3 = DeviceClass::Tfet;
+    };
+    auto enh = [&] {
+        d.robSize = kEnhRob;
+        d.fpRf = kEnhFpRf;
+    };
+    switch (cfg) {
+      case CpuConfig::BaseCmos:
+        break;
+      case CpuConfig::BaseCmosEnh:
+        enh();
+        d.asymDl1 = true;
+        break;
+      case CpuConfig::BaseTfet:
+        d.halfClock = true;
+        break;
+      case CpuConfig::BaseHet:
+        all_het();
+        break;
+      case CpuConfig::AdvHet:
+      case CpuConfig::AdvHet2X:
+        all_het();
+        enh();
+        d.asymDl1 = true;
+        d.dualSpeedAlu = true;
+        if (cfg == CpuConfig::AdvHet2X)
+            d.numCores = 8;
+        break;
+      case CpuConfig::BaseL3:
+        enh();
+        d.l3 = DeviceClass::Tfet;
+        break;
+      case CpuConfig::BaseHighVt:
+        d.alu = d.fpu = DeviceClass::HighVt;
+        break;
+      case CpuConfig::BaseHetFastAlu:
+        all_het();
+        d.alu = DeviceClass::Cmos;
+        break;
+      case CpuConfig::BaseHetEnh:
+        all_het();
+        enh();
+        break;
+      case CpuConfig::BaseHetSplit:
+        all_het();
+        enh();
+        d.dualSpeedAlu = true;
+        break;
+      default:
+        panic("unknown CPU config %d", static_cast<int>(cfg));
+    }
+    return d;
+}
+
+GpuHybridDesign
+gpuHybridFromConfig(GpuConfig cfg)
+{
+    GpuHybridDesign d;
+    switch (cfg) {
+      case GpuConfig::BaseCmos:
+        d.rfCache = true; // The baseline includes the RF cache too.
+        break;
+      case GpuConfig::BaseTfet:
+        d.halfClock = true;
+        break;
+      case GpuConfig::BaseHet:
+        d.simdFpu = d.vectorRf = DeviceClass::Tfet;
+        break;
+      case GpuConfig::AdvHet:
+      case GpuConfig::AdvHet2X:
+        d.simdFpu = d.vectorRf = DeviceClass::Tfet;
+        d.rfCache = true;
+        if (cfg == GpuConfig::AdvHet2X)
+            d.numCus = 16;
+        break;
+      default:
+        panic("unknown GPU config %d", static_cast<int>(cfg));
+    }
+    return d;
+}
+
+Result<CpuConfigBundle>
+synthesizeCpuBundle(const CpuHybridDesign &d, double freq_ghz)
+{
+    CpuConfigBundle b;
+    b.freqGhz = freq_ghz;
+    b.numCores = d.numCores;
+    // Fast-way and fast-ALU units only leak when configured in.
+    b.units[static_cast<int>(CpuUnit::Dl1Fast)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(CpuUnit::AluFast)].leakOnlyScale = 0.0;
+
+    if (d.halfClock) {
+        // The all-TFET chip: no deeper pipelining, half the clock.
+        // Mixing it with per-unit choices is contradictory.
+        CpuHybridDesign pure;
+        pure.halfClock = true;
+        pure.numCores = d.numCores;
+        if (!(d == pure))
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "halfClock excludes per-unit choices in '%s'",
+                designName(d).c_str());
+        b.freqGhz = freq_ghz / 2.0;
+        for (auto &u : b.units)
+            u.dev = DeviceClass::Tfet;
+    } else {
+        cpu::FuTimings &t = b.sim.core.fu.timings;
+        switch (d.alu) {
+          case DeviceClass::Cmos:
+            break;
+          case DeviceClass::Tfet:
+            // Table III: TFET units pipeline 2x deeper at the common
+            // clock, doubling their cycle latency.
+            t.aluLat = 2;
+            t.mulLat = 4;
+            t.divLat = 8;
+            t.divIssueInterval = 8;
+            setCpuUnit(b.units, CpuUnit::Alu, DeviceClass::Tfet);
+            setCpuUnit(b.units, CpuUnit::MulDiv, DeviceClass::Tfet);
+            break;
+          case DeviceClass::HighVt:
+            // All-high-V_t logic: 1.4-1.6x slower, 10x less leaky.
+            t.aluLat = 2;
+            t.mulLat = 3;
+            t.divLat = 6;
+            t.divIssueInterval = 6;
+            setCpuUnit(b.units, CpuUnit::Alu, DeviceClass::HighVt);
+            setCpuUnit(b.units, CpuUnit::MulDiv,
+                       DeviceClass::HighVt);
+            break;
+          default:
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unsupported ALU device in '%s'",
+                                 designName(d).c_str());
+        }
+        switch (d.fpu) {
+          case DeviceClass::Cmos:
+            break;
+          case DeviceClass::Tfet:
+            t.fpAddLat = 4;
+            t.fpMulLat = 8;
+            t.fpDivLat = 16;
+            t.fpDivIssueInterval = 16;
+            setCpuUnit(b.units, CpuUnit::Fpu, DeviceClass::Tfet);
+            break;
+          case DeviceClass::HighVt:
+            t.fpAddLat = 3;
+            t.fpMulLat = 6;
+            t.fpDivLat = 12;
+            t.fpDivIssueInterval = 12;
+            setCpuUnit(b.units, CpuUnit::Fpu, DeviceClass::HighVt);
+            break;
+          default:
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "unsupported FPU device in '%s'",
+                                 designName(d).c_str());
+        }
+        // Arrays: Table I characterizes high-V_t for logic only.
+        for (DeviceClass dev : {d.dl1, d.l2, d.l3}) {
+            if (dev != DeviceClass::Cmos && dev != DeviceClass::Tfet)
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "caches must be CMOS or TFET in '%s'",
+                    designName(d).c_str());
+        }
+        if (d.dl1 == DeviceClass::Tfet) {
+            b.sim.mem.lat.dl1Rt = 4;
+            setCpuUnit(b.units, CpuUnit::Dl1, DeviceClass::Tfet);
+        }
+        if (d.l2 == DeviceClass::Tfet) {
+            b.sim.mem.lat.l2Rt = 12;
+            setCpuUnit(b.units, CpuUnit::L2, DeviceClass::Tfet);
+        }
+        if (d.l3 == DeviceClass::Tfet) {
+            b.sim.mem.lat.l3Rt = 40;
+            setCpuUnit(b.units, CpuUnit::L3, DeviceClass::Tfet);
+        }
+
+        if (d.robSize != kBaseRob && d.robSize != kEnhRob)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "ROB must be %u or %u in '%s'",
+                                 kBaseRob, kEnhRob,
+                                 designName(d).c_str());
+        if (d.fpRf != kBaseFpRf && d.fpRf != kEnhFpRf)
+            return Status::error(ErrorCode::InvalidArgument,
+                                 "FP RF must be %u or %u in '%s'",
+                                 kBaseFpRf, kEnhFpRf,
+                                 designName(d).c_str());
+        b.sim.core.robSize = d.robSize;
+        b.sim.core.fpRegs = d.fpRf;
+        b.units[static_cast<int>(CpuUnit::Rob)].sizeScale =
+            static_cast<double>(d.robSize) / kBaseRob;
+        b.units[static_cast<int>(CpuUnit::FpRf)].sizeScale =
+            static_cast<double>(d.fpRf) / kBaseFpRf;
+
+        if (d.dualSpeedAlu) {
+            if (d.alu != DeviceClass::Tfet)
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "dual-speed ALU needs a TFET cluster in '%s'",
+                    designName(d).c_str());
+            b.sim.core.fu.dualSpeedAlu = true;
+            b.sim.core.fu.numFastAlus = 1;
+            b.sim.core.fu.fastAluLat = 1;
+            b.sim.core.steerDependents = true;
+            auto &alu = b.units[static_cast<int>(CpuUnit::Alu)];
+            auto &fast = b.units[static_cast<int>(CpuUnit::AluFast)];
+            alu.leakOnlyScale = 0.75; // 3 of 4 ALUs
+            fast.dev = DeviceClass::Cmos;
+            fast.leakOnlyScale = 0.25; // the CMOS ALU
+        }
+
+        if (d.asymDl1) {
+            // Way 0 becomes a CMOS 4 KB direct-mapped fast array;
+            // slow-way round trip depends on the array's device.
+            b.sim.mem.asymDl1 = true;
+            b.sim.mem.lat.dl1FastRt = 1;
+            b.sim.mem.lat.dl1Rt =
+                d.dl1 == DeviceClass::Tfet ? 5 : 3;
+            auto &fast =
+                b.units[static_cast<int>(CpuUnit::Dl1Fast)];
+            auto &slow = b.units[static_cast<int>(CpuUnit::Dl1)];
+            fast.dev = DeviceClass::Cmos;
+            slow.dev = d.dl1;
+            slow.leakOnlyScale = 7.0 / 8.0; // 7 of 8 ways remain
+            fast.leakOnlyScale = 1.0;
+        }
+    }
+
+    b.sim.mem.numCores = b.numCores;
+    b.sim.freqGhz = b.freqGhz;
+    // Memory latency in design-point cycles (Multi2Sim style), like
+    // makeCpuConfig: the half-clock chip keeps the cycle count.
+    b.sim.mem.lat.dramRt =
+        static_cast<uint32_t>(50.0 * freq_ghz + 0.5);
+    return b;
+}
+
+Result<GpuConfigBundle>
+synthesizeGpuBundle(const GpuHybridDesign &d, double freq_ghz)
+{
+    GpuConfigBundle b;
+    b.freqGhz = freq_ghz;
+    b.numCus = d.numCus;
+    b.units[static_cast<int>(GpuUnit::RfCache)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(GpuUnit::VectorRfFast)].leakOnlyScale =
+        0.0;
+
+    if (d.halfClock) {
+        GpuHybridDesign pure;
+        pure.halfClock = true;
+        pure.numCus = d.numCus;
+        if (!(d == pure))
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "halfClock excludes per-unit choices in '%s'",
+                designName(d).c_str());
+        b.freqGhz = freq_ghz / 2.0;
+        for (auto &u : b.units)
+            u.dev = DeviceClass::Tfet;
+    } else {
+        for (DeviceClass dev : {d.simdFpu, d.vectorRf}) {
+            if (dev != DeviceClass::Cmos && dev != DeviceClass::Tfet)
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "GPU units must be CMOS or TFET in '%s'",
+                    designName(d).c_str());
+        }
+        if (d.simdFpu == DeviceClass::Tfet) {
+            b.units[static_cast<int>(GpuUnit::SimdFma)].dev =
+                DeviceClass::Tfet;
+            b.sim.cu.timings.fmaLat = 6;
+        }
+        if (d.vectorRf == DeviceClass::Tfet) {
+            b.units[static_cast<int>(GpuUnit::VectorRf)].dev =
+                DeviceClass::Tfet;
+            b.sim.cu.timings.rfLat = 2;
+        }
+        if (d.rfCache) {
+            b.sim.cu.timings.useRfCache = true;
+            b.units[static_cast<int>(GpuUnit::RfCache)]
+                .leakOnlyScale = 1.0;
+        }
+    }
+
+    b.sim.numCus = b.numCus;
+    b.sim.freqGhz = b.freqGhz;
+    b.sim.dramRt = static_cast<uint32_t>(100.0 * freq_ghz + 0.5);
+    return b;
+}
+
+std::vector<CpuHybridDesign>
+enumerateCpuDesigns(const CpuSpaceOptions &space)
+{
+    std::vector<DeviceClass> logic = {DeviceClass::Cmos,
+                                      DeviceClass::Tfet};
+    if (space.includeHighVt)
+        logic.push_back(DeviceClass::HighVt);
+    const DeviceClass arrays[] = {DeviceClass::Cmos,
+                                  DeviceClass::Tfet};
+    const bool enh_axis[] = {false, true};
+    const bool flag_axis[] = {false, true};
+
+    std::vector<CpuHybridDesign> out;
+    for (DeviceClass alu : logic)
+        for (DeviceClass fpu : logic)
+            for (DeviceClass dl1 : arrays)
+                for (DeviceClass l2 : arrays)
+                    for (DeviceClass l3 : arrays)
+                        for (bool enh : enh_axis)
+                            for (bool asym : flag_axis)
+                                for (bool split : flag_axis) {
+        if (enh && !space.includeEnh)
+            continue;
+        if (asym && !space.includeAsymDl1)
+            continue;
+        if (split &&
+            (!space.includeDualSpeed || alu != DeviceClass::Tfet))
+            continue;
+        CpuHybridDesign d;
+        d.alu = alu;
+        d.fpu = fpu;
+        d.dl1 = dl1;
+        d.l2 = l2;
+        d.l3 = l3;
+        if (enh) {
+            d.robSize = kEnhRob;
+            d.fpRf = kEnhFpRf;
+        }
+        d.asymDl1 = asym;
+        d.dualSpeedAlu = split;
+        out.push_back(d);
+    }
+    if (space.includeHalfClock) {
+        CpuHybridDesign d;
+        d.halfClock = true;
+        out.push_back(d);
+    }
+    return out;
+}
+
+std::vector<GpuHybridDesign>
+enumerateGpuDesigns()
+{
+    std::vector<GpuHybridDesign> out;
+    const DeviceClass devs[] = {DeviceClass::Cmos, DeviceClass::Tfet};
+    const bool flag_axis[] = {false, true};
+    for (DeviceClass fma : devs)
+        for (DeviceClass vrf : devs)
+            for (bool rfc : flag_axis)
+                for (bool twox : flag_axis) {
+                    GpuHybridDesign d;
+                    d.simdFpu = fma;
+                    d.vectorRf = vrf;
+                    d.rfCache = rfc;
+                    d.numCus = twox ? 16 : 8;
+                    out.push_back(d);
+                }
+    GpuHybridDesign d;
+    d.halfClock = true;
+    out.push_back(d);
+    return out;
+}
+
+const char *
+dseObjectiveName(DseObjective o)
+{
+    switch (o) {
+      case DseObjective::Ed2:
+        return "ed2";
+      case DseObjective::Energy:
+        return "energy";
+      case DseObjective::Time:
+        return "time";
+      default:
+        return "?";
+    }
+}
+
+Result<DseObjective>
+dseObjectiveFromName(const std::string &name)
+{
+    for (DseObjective o : {DseObjective::Ed2, DseObjective::Energy,
+                           DseObjective::Time})
+        if (name == dseObjectiveName(o))
+            return o;
+    return Status::error(ErrorCode::NotFound,
+                         "unknown objective '%s' "
+                         "(valid: ed2, energy, time)",
+                         name.c_str());
+}
+
+double
+DsePoint::objective(DseObjective o) const
+{
+    switch (o) {
+      case DseObjective::Energy:
+        return energyJ;
+      case DseObjective::Time:
+        return seconds;
+      case DseObjective::Ed2:
+      default:
+        return ed2();
+    }
+}
+
+bool
+DseCache::lookup(const std::string &key, DsePoint *out)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = map_.find(key);
+    if (it == map_.end()) {
+        ++misses_;
+        return false;
+    }
+    ++hits_;
+    *out = it->second;
+    out->cached = true;
+    return true;
+}
+
+void
+DseCache::insert(const std::string &key, const DsePoint &point)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    map_.emplace(key, point);
+}
+
+uint64_t
+DseCache::hits() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return hits_;
+}
+
+uint64_t
+DseCache::misses() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return misses_;
+}
+
+std::string
+dseCacheKey(uint64_t design_hash, const std::string &workload,
+            const ExperimentOptions &opts)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "%016llx|%s|s%llu|x%.9g|f%.9g|g%d|c%u|w%llu",
+                  static_cast<unsigned long long>(design_hash),
+                  workload.c_str(),
+                  static_cast<unsigned long long>(opts.seed),
+                  opts.scale, opts.freqGhz,
+                  opts.variationGuardband ? 1 : 0,
+                  opts.coresOverride,
+                  static_cast<unsigned long long>(
+                      opts.watchdogCycles));
+    return buf;
+}
+
+namespace
+{
+
+/** A synthesized, budget-admitted cell awaiting evaluation. */
+template <typename Bundle>
+struct PreparedCell
+{
+    std::string name;
+    uint64_t hash = 0;
+    std::string key;
+    Bundle bundle;
+    double areaMm2 = 0.0;
+    uint32_t cores = 0;
+};
+
+/**
+ * Shared fan-out: every prepared cell runs `simulate` unless the memo
+ * cache already holds its key. Each cell writes only slot i, so the
+ * result vector is identical for any job count.
+ */
+template <typename Bundle, typename Simulate>
+std::vector<DsePoint>
+evaluateCells(const std::vector<PreparedCell<Bundle>> &cells,
+              ThreadPool &pool, DseCache &cache,
+              const Simulate &simulate)
+{
+    std::vector<DsePoint> results(cells.size());
+    pool.parallelFor(cells.size(), [&](size_t i) {
+        const auto &cell = cells[i];
+        DsePoint p;
+        if (!cache.lookup(cell.key, &p)) {
+            p.name = cell.name;
+            p.hash = cell.hash;
+            p.areaMm2 = cell.areaMm2;
+            p.cores = cell.cores;
+            simulate(cell, &p);
+            cache.insert(cell.key, p);
+        }
+        results[i] = p;
+    });
+    return results;
+}
+
+} // namespace
+
+std::vector<DsePoint>
+evaluateCpuDesigns(const std::vector<CpuHybridDesign> &designs,
+                   const workload::AppProfile &app,
+                   const DseOptions &opts, ThreadPool &pool,
+                   DseCache &cache)
+{
+    // Synthesis and the area filter are cheap; doing them serially
+    // keeps cell admission deterministic and the fan-out pure.
+    std::vector<PreparedCell<CpuConfigBundle>> cells;
+    cells.reserve(designs.size());
+    for (const CpuHybridDesign &d : designs) {
+        Result<CpuConfigBundle> bundle =
+            synthesizeCpuBundle(d, opts.exp.freqGhz);
+        if (!bundle.ok())
+            continue;
+        const double area = chipAreaMm2(bundle.value());
+        if (opts.areaBudgetMm2 > 0.0 && area > opts.areaBudgetMm2)
+            continue;
+        PreparedCell<CpuConfigBundle> cell;
+        cell.name = designName(d);
+        cell.hash = designHash(d);
+        cell.key = dseCacheKey(cell.hash, std::string("cpu:") +
+                               app.name, opts.exp);
+        cell.bundle = std::move(bundle.value());
+        cell.areaMm2 = area;
+        cell.cores = cell.bundle.numCores;
+        cells.push_back(std::move(cell));
+    }
+
+    return evaluateCells(
+        cells, pool, cache,
+        [&](const PreparedCell<CpuConfigBundle> &cell, DsePoint *p) {
+            const CpuOutcome out =
+                runCpuBundle(cell.bundle, cell.name, app, opts.exp);
+            p->seconds = out.metrics.seconds;
+            p->energyJ = out.metrics.energyJ;
+        });
+}
+
+std::vector<DsePoint>
+evaluateGpuDesigns(const std::vector<GpuHybridDesign> &designs,
+                   const workload::KernelProfile &kernel,
+                   const DseOptions &opts, ThreadPool &pool,
+                   DseCache &cache)
+{
+    std::vector<PreparedCell<GpuConfigBundle>> cells;
+    cells.reserve(designs.size());
+    for (const GpuHybridDesign &d : designs) {
+        // The GPU design point is half the CPU frequency.
+        Result<GpuConfigBundle> bundle =
+            synthesizeGpuBundle(d, opts.exp.freqGhz / 2.0);
+        if (!bundle.ok())
+            continue;
+        PreparedCell<GpuConfigBundle> cell;
+        cell.name = designName(d);
+        cell.hash = designHash(d);
+        cell.key = dseCacheKey(cell.hash, std::string("gpu:") +
+                               kernel.name, opts.exp);
+        cell.bundle = std::move(bundle.value());
+        cell.cores = cell.bundle.numCus;
+        cells.push_back(std::move(cell));
+    }
+
+    return evaluateCells(
+        cells, pool, cache,
+        [&](const PreparedCell<GpuConfigBundle> &cell, DsePoint *p) {
+            const GpuOutcome out = runGpuBundle(cell.bundle,
+                                                cell.name, kernel,
+                                                opts.exp);
+            p->seconds = out.metrics.seconds;
+            p->energyJ = out.metrics.energyJ;
+        });
+}
+
+namespace
+{
+
+/** Single-axis neighbors of a design (the hill-climb move set). */
+std::vector<CpuHybridDesign>
+cpuNeighbors(const CpuHybridDesign &d)
+{
+    std::vector<CpuHybridDesign> out;
+    auto push = [&](CpuHybridDesign n) {
+        // A neighbor that cannot synthesize (e.g. split without a
+        // TFET cluster) is not a move.
+        if (synthesizeCpuBundle(n).ok())
+            out.push_back(n);
+    };
+    for (DeviceClass dev : {DeviceClass::Cmos, DeviceClass::Tfet,
+                            DeviceClass::HighVt}) {
+        if (dev != d.alu) {
+            CpuHybridDesign n = d;
+            n.alu = dev;
+            push(n);
+        }
+        if (dev != d.fpu) {
+            CpuHybridDesign n = d;
+            n.fpu = dev;
+            push(n);
+        }
+    }
+    for (DeviceClass dev : {DeviceClass::Cmos, DeviceClass::Tfet}) {
+        if (dev != d.dl1) {
+            CpuHybridDesign n = d;
+            n.dl1 = dev;
+            push(n);
+        }
+        if (dev != d.l2) {
+            CpuHybridDesign n = d;
+            n.l2 = dev;
+            push(n);
+        }
+        if (dev != d.l3) {
+            CpuHybridDesign n = d;
+            n.l3 = dev;
+            push(n);
+        }
+    }
+    {
+        CpuHybridDesign n = d;
+        n.robSize = d.robSize == kBaseRob ? kEnhRob : kBaseRob;
+        push(n);
+    }
+    {
+        CpuHybridDesign n = d;
+        n.fpRf = d.fpRf == kBaseFpRf ? kEnhFpRf : kBaseFpRf;
+        push(n);
+    }
+    {
+        CpuHybridDesign n = d;
+        n.asymDl1 = !d.asymDl1;
+        push(n);
+    }
+    {
+        CpuHybridDesign n = d;
+        n.dualSpeedAlu = !d.dualSpeedAlu;
+        push(n);
+    }
+    return out;
+}
+
+} // namespace
+
+std::vector<DsePoint>
+greedyCpuSearch(const workload::AppProfile &app,
+                const DseOptions &opts, ThreadPool &pool,
+                DseCache &cache)
+{
+    CpuHybridDesign incumbent; // Seeded from BaseCMOS.
+    std::vector<DsePoint> footprint;
+    std::unordered_map<uint64_t, size_t> visited; // hash -> index
+
+    auto evaluate = [&](const std::vector<CpuHybridDesign> &batch)
+        -> std::vector<size_t> {
+        std::vector<CpuHybridDesign> fresh;
+        for (const CpuHybridDesign &d : batch)
+            if (!visited.count(designHash(d)))
+                fresh.push_back(d);
+        const std::vector<DsePoint> pts =
+            evaluateCpuDesigns(fresh, app, opts, pool, cache);
+        std::vector<size_t> indices;
+        for (const DsePoint &p : pts) {
+            visited.emplace(p.hash, footprint.size());
+            indices.push_back(footprint.size());
+            footprint.push_back(p);
+        }
+        return indices;
+    };
+
+    const std::vector<size_t> seed = evaluate({incumbent});
+    if (seed.empty())
+        return footprint; // Seed failed the area budget.
+    size_t best = seed.front();
+
+    for (;;) {
+        const std::vector<CpuHybridDesign> neighbors =
+            cpuNeighbors(incumbent);
+        size_t round_best = best;
+        CpuHybridDesign round_design = incumbent;
+        // Visited neighbors re-resolve through `visited` so a cycle
+        // cannot loop; fresh ones evaluate in one parallel batch.
+        evaluate(neighbors);
+        for (const CpuHybridDesign &n : neighbors) {
+            const auto it = visited.find(designHash(n));
+            if (it == visited.end())
+                continue; // Filtered by the area budget.
+            const size_t idx = it->second;
+            if (footprint[idx].objective(opts.objective) <
+                footprint[round_best].objective(opts.objective)) {
+                round_best = idx;
+                round_design = n;
+            }
+        }
+        if (round_best == best)
+            break; // Local optimum.
+        best = round_best;
+        incumbent = round_design;
+    }
+
+    // Best first, then by objective; the caller gets the climb's
+    // whole footprint for Pareto extraction.
+    std::sort(footprint.begin(), footprint.end(),
+              [&](const DsePoint &a, const DsePoint &b) {
+                  const double oa = a.objective(opts.objective);
+                  const double ob = b.objective(opts.objective);
+                  if (oa != ob)
+                      return oa < ob;
+                  return a.name < b.name;
+              });
+    return footprint;
+}
+
+std::vector<size_t>
+paretoFront(const std::vector<DsePoint> &points,
+            DseObjective objective)
+{
+    std::vector<size_t> front;
+    for (size_t i = 0; i < points.size(); ++i) {
+        bool dominated = false;
+        for (size_t j = 0; j < points.size() && !dominated; ++j) {
+            if (i == j)
+                continue;
+            const DsePoint &a = points[j];
+            const DsePoint &b = points[i];
+            const bool no_worse = a.seconds <= b.seconds &&
+                a.energyJ <= b.energyJ && a.areaMm2 <= b.areaMm2;
+            const bool better = a.seconds < b.seconds ||
+                a.energyJ < b.energyJ || a.areaMm2 < b.areaMm2;
+            if (no_worse && better)
+                dominated = true;
+            // Exact duplicates (same metrics, e.g. a flag that is a
+            // no-op for this workload): keep only the first name.
+            if (!dominated && j < i && a.seconds == b.seconds &&
+                a.energyJ == b.energyJ && a.areaMm2 == b.areaMm2)
+                dominated = true;
+        }
+        if (!dominated)
+            front.push_back(i);
+    }
+    std::sort(front.begin(), front.end(), [&](size_t x, size_t y) {
+        const double ox = points[x].objective(objective);
+        const double oy = points[y].objective(objective);
+        if (ox != oy)
+            return ox < oy;
+        return points[x].name < points[y].name;
+    });
+    return front;
+}
+
+} // namespace hetsim::core

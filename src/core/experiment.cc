@@ -17,7 +17,17 @@ CpuOutcome
 runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
                  const ExperimentOptions &opts)
 {
-    CpuConfigBundle bundle = makeCpuConfig(cfg, opts.freqGhz);
+    return runCpuBundle(makeCpuConfig(cfg, opts.freqGhz),
+                        cpuConfigName(cfg), app, opts);
+}
+
+CpuOutcome
+runCpuBundle(const CpuConfigBundle &bundle_in,
+             const std::string &config_name,
+             const workload::AppProfile &app,
+             const ExperimentOptions &opts)
+{
+    CpuConfigBundle bundle = bundle_in;
     if (opts.coresOverride > 0) {
         bundle.numCores = opts.coresOverride;
         bundle.sim.mem.numCores = opts.coresOverride;
@@ -56,7 +66,7 @@ runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
         op = withVariationGuardband(op);
 
     CpuOutcome out;
-    out.config = cpuConfigName(cfg);
+    out.config = config_name;
     out.app = app.name;
     out.cycles = run.cycles;
     out.committedOps = run.committedOps;
@@ -75,7 +85,17 @@ runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
 {
     // The GPU design point is half the CPU frequency (1 GHz at the
     // paper's 2 GHz CPU point).
-    GpuConfigBundle bundle = makeGpuConfig(cfg, opts.freqGhz / 2.0);
+    return runGpuBundle(makeGpuConfig(cfg, opts.freqGhz / 2.0),
+                        gpuConfigName(cfg), kernel, opts);
+}
+
+GpuOutcome
+runGpuBundle(const GpuConfigBundle &bundle_in,
+             const std::string &config_name,
+             const workload::KernelProfile &kernel,
+             const ExperimentOptions &opts)
+{
+    GpuConfigBundle bundle = bundle_in;
     bundle.sim.watchdogCycles = opts.watchdogCycles;
 
     workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
@@ -83,7 +103,7 @@ runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
     gpu::GpuResult run = gpu.run(k);
 
     GpuOutcome out;
-    out.config = gpuConfigName(cfg);
+    out.config = config_name;
     out.kernel = kernel.name;
     out.cycles = run.cycles;
     out.issuedOps = run.issuedOps;

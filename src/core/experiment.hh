@@ -69,6 +69,23 @@ GpuOutcome runGpuExperiment(GpuConfig cfg,
                             const ExperimentOptions &opts = {});
 
 /**
+ * Simulate an already-built CPU bundle (the dse path: synthesized
+ * free-form designs have no CpuConfig enum value). `config_name` is
+ * carried into the outcome; opts.freqGhz must match the frequency the
+ * bundle was built at (it selects the operating-point voltages).
+ */
+CpuOutcome runCpuBundle(const CpuConfigBundle &bundle,
+                        const std::string &config_name,
+                        const workload::AppProfile &app,
+                        const ExperimentOptions &opts = {});
+
+/** Simulate an already-built GPU bundle. */
+GpuOutcome runGpuBundle(const GpuConfigBundle &bundle,
+                        const std::string &config_name,
+                        const workload::KernelProfile &kernel,
+                        const ExperimentOptions &opts = {});
+
+/**
  * Run a config x app matrix. Results are indexed
  * [config_index * num_apps + app_index].
  */

@@ -516,11 +516,6 @@ printSweepReport(const SweepReport &report,
             res.status.ok() ? "" : res.status.toString();
         if (detail.size() > 72)
             detail = detail.substr(0, 69) + "...";
-        // The table doubles as a CSV; keep the cell delimiter out
-        // of the free-text column.
-        for (char &c : detail)
-            if (c == ',')
-                c = ';';
         t.addRow({cellConfigName(cell), cellWorkloadName(cell),
                   cellOutcomeName(res.outcome),
                   std::to_string(res.cycles),

@@ -1,0 +1,573 @@
+/**
+ * @file
+ * Unit tests for the design-space exploration subsystem: hybrid-design
+ * naming/hashing, Table IV equivalence of synthesized bundles,
+ * config-name round trips, enumeration, memoized thread-pool
+ * evaluation (bit-identical across job counts), greedy search, and
+ * Pareto-front extraction.
+ */
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/thread_pool.hh"
+#include "core/configs.hh"
+#include "core/dse.hh"
+#include "workload/cpu_profiles.hh"
+#include "workload/gpu_profiles.hh"
+
+using namespace hetsim;
+using namespace hetsim::core;
+
+namespace
+{
+
+/** Field-by-field equality of the simulation + energy-model bundles
+ *  (no operator== on the param structs: spelled out so a mismatch
+ *  names the exact field). */
+void
+expectSameCpuBundle(const CpuConfigBundle &a, const CpuConfigBundle &b)
+{
+    EXPECT_EQ(a.numCores, b.numCores);
+    EXPECT_EQ(a.freqGhz, b.freqGhz);
+
+    const cpu::CoreParams &ca = a.sim.core, &cb = b.sim.core;
+    EXPECT_EQ(ca.fetchWidth, cb.fetchWidth);
+    EXPECT_EQ(ca.issueWidth, cb.issueWidth);
+    EXPECT_EQ(ca.commitWidth, cb.commitWidth);
+    EXPECT_EQ(ca.robSize, cb.robSize);
+    EXPECT_EQ(ca.iqSize, cb.iqSize);
+    EXPECT_EQ(ca.issueReach, cb.issueReach);
+    EXPECT_EQ(ca.lsqSize, cb.lsqSize);
+    EXPECT_EQ(ca.intRegs, cb.intRegs);
+    EXPECT_EQ(ca.fpRegs, cb.fpRegs);
+    EXPECT_EQ(ca.frontendDepth, cb.frontendDepth);
+    EXPECT_EQ(ca.steerDependents, cb.steerDependents);
+
+    const cpu::FuPoolParams &fa = ca.fu, &fb = cb.fu;
+    EXPECT_EQ(fa.numAlus, fb.numAlus);
+    EXPECT_EQ(fa.numMulDiv, fb.numMulDiv);
+    EXPECT_EQ(fa.numLsu, fb.numLsu);
+    EXPECT_EQ(fa.numFpu, fb.numFpu);
+    EXPECT_EQ(fa.dualSpeedAlu, fb.dualSpeedAlu);
+    EXPECT_EQ(fa.numFastAlus, fb.numFastAlus);
+    EXPECT_EQ(fa.fastAluLat, fb.fastAluLat);
+    EXPECT_EQ(fa.timings.aluLat, fb.timings.aluLat);
+    EXPECT_EQ(fa.timings.mulLat, fb.timings.mulLat);
+    EXPECT_EQ(fa.timings.divLat, fb.timings.divLat);
+    EXPECT_EQ(fa.timings.divIssueInterval, fb.timings.divIssueInterval);
+    EXPECT_EQ(fa.timings.fpAddLat, fb.timings.fpAddLat);
+    EXPECT_EQ(fa.timings.fpMulLat, fb.timings.fpMulLat);
+    EXPECT_EQ(fa.timings.fpDivLat, fb.timings.fpDivLat);
+    EXPECT_EQ(fa.timings.fpDivIssueInterval,
+              fb.timings.fpDivIssueInterval);
+    EXPECT_EQ(fa.timings.lsuLat, fb.timings.lsuLat);
+
+    const mem::HierarchyParams &ma = a.sim.mem, &mb = b.sim.mem;
+    EXPECT_EQ(ma.numCores, mb.numCores);
+    EXPECT_EQ(ma.asymDl1, mb.asymDl1);
+    EXPECT_EQ(ma.il1SizeBytes, mb.il1SizeBytes);
+    EXPECT_EQ(ma.il1Ways, mb.il1Ways);
+    EXPECT_EQ(ma.dl1SizeBytes, mb.dl1SizeBytes);
+    EXPECT_EQ(ma.dl1Ways, mb.dl1Ways);
+    EXPECT_EQ(ma.l2SizeBytes, mb.l2SizeBytes);
+    EXPECT_EQ(ma.l2Ways, mb.l2Ways);
+    EXPECT_EQ(ma.l3SizePerCoreBytes, mb.l3SizePerCoreBytes);
+    EXPECT_EQ(ma.l3Ways, mb.l3Ways);
+    EXPECT_EQ(ma.prefetchDegree, mb.prefetchDegree);
+    EXPECT_EQ(ma.prefetchTrain, mb.prefetchTrain);
+    EXPECT_EQ(ma.perCoreLat.size(), mb.perCoreLat.size());
+    EXPECT_EQ(ma.lat.il1Rt, mb.lat.il1Rt);
+    EXPECT_EQ(ma.lat.dl1FastRt, mb.lat.dl1FastRt);
+    EXPECT_EQ(ma.lat.dl1Rt, mb.lat.dl1Rt);
+    EXPECT_EQ(ma.lat.l2Rt, mb.lat.l2Rt);
+    EXPECT_EQ(ma.lat.l3Rt, mb.lat.l3Rt);
+    EXPECT_EQ(ma.lat.dramRt, mb.lat.dramRt);
+    EXPECT_EQ(ma.lat.remoteProbeRt, mb.lat.remoteProbeRt);
+
+    EXPECT_EQ(a.sim.freqGhz, b.sim.freqGhz);
+    EXPECT_EQ(a.sim.maxCycles, b.sim.maxCycles);
+    EXPECT_EQ(a.sim.watchdogCycles, b.sim.watchdogCycles);
+    EXPECT_EQ(a.sim.coreSpecs.size(), b.sim.coreSpecs.size());
+
+    for (int u = 0; u < power::kNumCpuUnits; ++u) {
+        EXPECT_EQ(a.units[u].dev, b.units[u].dev) << "unit " << u;
+        EXPECT_EQ(a.units[u].sizeScale, b.units[u].sizeScale)
+            << "unit " << u;
+        EXPECT_EQ(a.units[u].leakOnlyScale, b.units[u].leakOnlyScale)
+            << "unit " << u;
+    }
+}
+
+void
+expectSameGpuBundle(const GpuConfigBundle &a, const GpuConfigBundle &b)
+{
+    EXPECT_EQ(a.numCus, b.numCus);
+    EXPECT_EQ(a.freqGhz, b.freqGhz);
+
+    const gpu::GpuParams &ga = a.sim, &gb = b.sim;
+    EXPECT_EQ(ga.numCus, gb.numCus);
+    EXPECT_EQ(ga.freqGhz, gb.freqGhz);
+    EXPECT_EQ(ga.l1SizeBytes, gb.l1SizeBytes);
+    EXPECT_EQ(ga.l1Ways, gb.l1Ways);
+    EXPECT_EQ(ga.l2SizeBytes, gb.l2SizeBytes);
+    EXPECT_EQ(ga.l2Ways, gb.l2Ways);
+    EXPECT_EQ(ga.l1Rt, gb.l1Rt);
+    EXPECT_EQ(ga.l2Rt, gb.l2Rt);
+    EXPECT_EQ(ga.dramRt, gb.dramRt);
+    EXPECT_EQ(ga.maxCycles, gb.maxCycles);
+    EXPECT_EQ(ga.watchdogCycles, gb.watchdogCycles);
+
+    const gpu::CuParams &cua = ga.cu, &cub = gb.cu;
+    EXPECT_EQ(cua.lanes, cub.lanes);
+    EXPECT_EQ(cua.maxWavefronts, cub.maxWavefronts);
+    EXPECT_EQ(cua.rfCacheEntries, cub.rfCacheEntries);
+    EXPECT_EQ(cua.timings.fmaLat, cub.timings.fmaLat);
+    EXPECT_EQ(cua.timings.rfLat, cub.timings.rfLat);
+    EXPECT_EQ(cua.timings.useRfCache, cub.timings.useRfCache);
+    EXPECT_EQ(cua.timings.rfCacheLat, cub.timings.rfCacheLat);
+    EXPECT_EQ(cua.timings.partitionedRf, cub.timings.partitionedRf);
+    EXPECT_EQ(cua.timings.fastPartitionRegs,
+              cub.timings.fastPartitionRegs);
+    EXPECT_EQ(cua.timings.saluLat, cub.timings.saluLat);
+    EXPECT_EQ(cua.timings.ldsLat, cub.timings.ldsLat);
+
+    for (int u = 0; u < power::kNumGpuUnits; ++u) {
+        EXPECT_EQ(a.units[u].dev, b.units[u].dev) << "unit " << u;
+        EXPECT_EQ(a.units[u].sizeScale, b.units[u].sizeScale)
+            << "unit " << u;
+        EXPECT_EQ(a.units[u].leakOnlyScale, b.units[u].leakOnlyScale)
+            << "unit " << u;
+    }
+}
+
+} // namespace
+
+TEST(HybridDesign, EveryTableIvCpuConfigSynthesizesIdentically)
+{
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<CpuConfig>(i);
+        SCOPED_TRACE(cpuConfigName(cfg));
+        const CpuHybridDesign d = cpuHybridFromConfig(cfg);
+        const auto synth = synthesizeCpuBundle(d);
+        ASSERT_TRUE(synth.ok()) << synth.status().toString();
+        expectSameCpuBundle(synth.value(), makeCpuConfig(cfg));
+    }
+}
+
+TEST(HybridDesign, TableIvCpuEquivalenceHoldsOffDesignPoint)
+{
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<CpuConfig>(i);
+        SCOPED_TRACE(cpuConfigName(cfg));
+        const auto synth =
+            synthesizeCpuBundle(cpuHybridFromConfig(cfg), 1.5);
+        ASSERT_TRUE(synth.ok());
+        expectSameCpuBundle(synth.value(), makeCpuConfig(cfg, 1.5));
+    }
+}
+
+TEST(HybridDesign, EveryTableIvGpuConfigSynthesizesIdentically)
+{
+    for (int i = 0; i < kNumGpuConfigs; ++i) {
+        const auto cfg = static_cast<GpuConfig>(i);
+        SCOPED_TRACE(gpuConfigName(cfg));
+        const GpuHybridDesign d = gpuHybridFromConfig(cfg);
+        const auto synth = synthesizeGpuBundle(d);
+        ASSERT_TRUE(synth.ok()) << synth.status().toString();
+        expectSameGpuBundle(synth.value(), makeGpuConfig(cfg));
+    }
+}
+
+TEST(ConfigNames, CpuRoundTripsForAllEnumValues)
+{
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<CpuConfig>(i);
+        const auto back = cpuConfigFromName(cpuConfigName(cfg));
+        ASSERT_TRUE(back.ok()) << cpuConfigName(cfg);
+        EXPECT_EQ(back.value(), cfg);
+    }
+}
+
+TEST(ConfigNames, GpuRoundTripsForAllEnumValues)
+{
+    for (int i = 0; i < kNumGpuConfigs; ++i) {
+        const auto cfg = static_cast<GpuConfig>(i);
+        const auto back = gpuConfigFromName(gpuConfigName(cfg));
+        ASSERT_TRUE(back.ok()) << gpuConfigName(cfg);
+        EXPECT_EQ(back.value(), cfg);
+    }
+}
+
+TEST(HybridDesign, NamesAndHashesAreStableAndCollisionFree)
+{
+    // Names are the canonical identity: distinct designs get distinct
+    // names, and the FNV-1a hash over the name is collision-free over
+    // the whole enumerated space (CPU + GPU).
+    std::set<std::string> names;
+    std::set<uint64_t> hashes;
+    const auto cpus = enumerateCpuDesigns();
+    for (const auto &d : cpus) {
+        EXPECT_TRUE(names.insert(designName(d)).second)
+            << designName(d);
+        EXPECT_TRUE(hashes.insert(designHash(d)).second)
+            << designName(d);
+        EXPECT_EQ(designHash(d), designHash(d));
+    }
+    for (const auto &d : enumerateGpuDesigns()) {
+        EXPECT_TRUE(names.insert(designName(d)).second)
+            << designName(d);
+        EXPECT_TRUE(hashes.insert(designHash(d)).second)
+            << designName(d);
+    }
+}
+
+TEST(HybridDesign, SynthesisRejectsInexpressibleDesigns)
+{
+    CpuHybridDesign half;
+    half.halfClock = true;
+    half.alu = power::DeviceClass::Tfet; // Mixed with per-unit choice.
+    EXPECT_FALSE(synthesizeCpuBundle(half).ok());
+
+    CpuHybridDesign hivt_array;
+    hivt_array.dl1 = power::DeviceClass::HighVt;
+    EXPECT_FALSE(synthesizeCpuBundle(hivt_array).ok());
+
+    CpuHybridDesign split_cmos;
+    split_cmos.dualSpeedAlu = true; // Requires a TFET ALU cluster.
+    EXPECT_FALSE(synthesizeCpuBundle(split_cmos).ok());
+
+    CpuHybridDesign odd_rob;
+    odd_rob.robSize = 100;
+    EXPECT_FALSE(synthesizeCpuBundle(odd_rob).ok());
+
+    GpuHybridDesign ghalf;
+    ghalf.halfClock = true;
+    ghalf.rfCache = true;
+    EXPECT_FALSE(synthesizeGpuBundle(ghalf).ok());
+}
+
+TEST(Enumeration, CpuSpaceIsLargeValidAndDeterministic)
+{
+    const auto designs = enumerateCpuDesigns();
+    EXPECT_GE(designs.size(), 64u);
+    for (const auto &d : designs)
+        EXPECT_TRUE(synthesizeCpuBundle(d).ok()) << designName(d);
+    EXPECT_EQ(designs, enumerateCpuDesigns()); // Stable order.
+
+    // Every Table IV CPU configuration (at its default core count) is
+    // a point of the full space.
+    std::set<uint64_t> hashes;
+    for (const auto &d : designs)
+        hashes.insert(designHash(d));
+    for (int i = 0; i < kNumCpuConfigs; ++i) {
+        const auto cfg = static_cast<CpuConfig>(i);
+        if (cfg == CpuConfig::AdvHet2X)
+            continue; // 8-core variant; the space fixes numCores=4.
+        EXPECT_TRUE(hashes.count(
+            designHash(cpuHybridFromConfig(cfg))))
+            << cpuConfigName(cfg);
+    }
+}
+
+TEST(Enumeration, AxesCanBeDisabled)
+{
+    CpuSpaceOptions space;
+    space.includeHighVt = false;
+    space.includeEnh = false;
+    space.includeAsymDl1 = false;
+    space.includeDualSpeed = false;
+    space.includeHalfClock = false;
+    const auto designs = enumerateCpuDesigns(space);
+    EXPECT_EQ(designs.size(), 32u); // 2 ALU x 2 FPU x 2^3 arrays.
+    for (const auto &d : designs) {
+        EXPECT_NE(d.alu, power::DeviceClass::HighVt);
+        EXPECT_EQ(d.robSize, 160u);
+        EXPECT_FALSE(d.asymDl1);
+        EXPECT_FALSE(d.dualSpeedAlu);
+        EXPECT_FALSE(d.halfClock);
+    }
+}
+
+TEST(Enumeration, GpuSpaceHas17Points)
+{
+    const auto designs = enumerateGpuDesigns();
+    EXPECT_EQ(designs.size(), 17u);
+    for (const auto &d : designs)
+        EXPECT_TRUE(synthesizeGpuBundle(d).ok()) << designName(d);
+}
+
+TEST(DseCacheKey, DistinguishesOptionsAndWorkload)
+{
+    ExperimentOptions a, b;
+    b.scale = 0.5;
+    EXPECT_NE(dseCacheKey(1, "cpu:fft", a), dseCacheKey(1, "cpu:fft", b));
+    EXPECT_NE(dseCacheKey(1, "cpu:fft", a), dseCacheKey(2, "cpu:fft", a));
+    EXPECT_NE(dseCacheKey(1, "cpu:fft", a), dseCacheKey(1, "cpu:fmm", a));
+    EXPECT_EQ(dseCacheKey(1, "cpu:fft", a), dseCacheKey(1, "cpu:fft", a));
+}
+
+TEST(Evaluate, ResultsAreBitIdenticalAcrossJobCounts)
+{
+    const auto app = workload::findCpuApp("fft");
+    ASSERT_TRUE(app.ok());
+
+    // A small but non-trivial slice of the space.
+    auto designs = enumerateCpuDesigns();
+    designs.resize(12);
+
+    DseOptions opts;
+    opts.exp.scale = 0.01;
+
+    ThreadPool serial_pool(1);
+    DseCache serial_cache;
+    const auto serial = evaluateCpuDesigns(designs, *app.value(), opts,
+                                           serial_pool, serial_cache);
+
+    ThreadPool wide_pool(8);
+    DseCache wide_cache;
+    const auto parallel = evaluateCpuDesigns(designs, *app.value(),
+                                             opts, wide_pool,
+                                             wide_cache);
+
+    ASSERT_EQ(serial.size(), parallel.size());
+    ASSERT_EQ(serial.size(), designs.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].name, parallel[i].name);
+        EXPECT_EQ(serial[i].hash, parallel[i].hash);
+        EXPECT_EQ(serial[i].seconds, parallel[i].seconds);   // Exact.
+        EXPECT_EQ(serial[i].energyJ, parallel[i].energyJ);   // Exact.
+        EXPECT_EQ(serial[i].areaMm2, parallel[i].areaMm2);
+    }
+}
+
+TEST(Evaluate, SecondPassIsServedFromTheCache)
+{
+    const auto app = workload::findCpuApp("lu");
+    ASSERT_TRUE(app.ok());
+
+    auto designs = enumerateCpuDesigns();
+    designs.resize(6);
+
+    DseOptions opts;
+    opts.exp.scale = 0.01;
+    ThreadPool pool(4);
+    DseCache cache;
+
+    const auto first =
+        evaluateCpuDesigns(designs, *app.value(), opts, pool, cache);
+    EXPECT_EQ(cache.misses(), designs.size());
+    EXPECT_EQ(cache.hits(), 0u);
+    for (const auto &p : first)
+        EXPECT_FALSE(p.cached);
+
+    const auto second =
+        evaluateCpuDesigns(designs, *app.value(), opts, pool, cache);
+    EXPECT_EQ(cache.misses(), designs.size()); // No new simulations.
+    EXPECT_EQ(cache.hits(), designs.size());
+    ASSERT_EQ(second.size(), first.size());
+    for (size_t i = 0; i < second.size(); ++i) {
+        EXPECT_TRUE(second[i].cached);
+        EXPECT_EQ(second[i].seconds, first[i].seconds);
+        EXPECT_EQ(second[i].energyJ, first[i].energyJ);
+    }
+
+    // Different options miss again: the key includes them.
+    DseOptions other = opts;
+    other.exp.seed = 99;
+    evaluateCpuDesigns(designs, *app.value(), other, pool, cache);
+    EXPECT_EQ(cache.misses(), 2 * designs.size());
+}
+
+TEST(Evaluate, AreaBudgetFiltersDesigns)
+{
+    const auto app = workload::findCpuApp("fft");
+    ASSERT_TRUE(app.ok());
+
+    auto designs = enumerateCpuDesigns();
+    designs.resize(8);
+
+    DseOptions opts;
+    opts.exp.scale = 0.01;
+    ThreadPool pool(2);
+
+    DseCache unfiltered_cache;
+    const auto all = evaluateCpuDesigns(designs, *app.value(), opts,
+                                        pool, unfiltered_cache);
+    ASSERT_FALSE(all.empty());
+    double min_area = all[0].areaMm2, max_area = all[0].areaMm2;
+    for (const auto &p : all) {
+        min_area = std::min(min_area, p.areaMm2);
+        max_area = std::max(max_area, p.areaMm2);
+    }
+
+    // A budget below every design admits nothing (and simulates
+    // nothing: admission happens before the thread-pool fan-out).
+    DseOptions tight = opts;
+    tight.areaBudgetMm2 = min_area * 0.5;
+    DseCache tight_cache;
+    const auto none = evaluateCpuDesigns(designs, *app.value(), tight,
+                                         pool, tight_cache);
+    EXPECT_TRUE(none.empty());
+    EXPECT_EQ(tight_cache.misses(), 0u);
+
+    // A budget above every design admits all of them.
+    DseOptions loose = opts;
+    loose.areaBudgetMm2 = max_area * 2.0;
+    DseCache loose_cache;
+    const auto kept = evaluateCpuDesigns(designs, *app.value(), loose,
+                                         pool, loose_cache);
+    EXPECT_EQ(kept.size(), all.size());
+}
+
+TEST(Evaluate, GpuDesignsEvaluateDeterministically)
+{
+    const auto kernel = workload::findGpuKernel("matrixmul");
+    ASSERT_TRUE(kernel.ok());
+
+    const auto designs = enumerateGpuDesigns();
+    DseOptions opts;
+    opts.exp.scale = 0.02;
+
+    ThreadPool serial_pool(1);
+    DseCache c1;
+    const auto serial = evaluateGpuDesigns(designs, *kernel.value(),
+                                           opts, serial_pool, c1);
+
+    ThreadPool wide_pool(8);
+    DseCache c2;
+    const auto parallel = evaluateGpuDesigns(designs, *kernel.value(),
+                                             opts, wide_pool, c2);
+
+    ASSERT_EQ(serial.size(), designs.size());
+    ASSERT_EQ(serial.size(), parallel.size());
+    for (size_t i = 0; i < serial.size(); ++i) {
+        EXPECT_EQ(serial[i].seconds, parallel[i].seconds);
+        EXPECT_EQ(serial[i].energyJ, parallel[i].energyJ);
+    }
+}
+
+TEST(Greedy, FindsALocalOptimumDeterministically)
+{
+    const auto app = workload::findCpuApp("fft");
+    ASSERT_TRUE(app.ok());
+
+    DseOptions opts;
+    opts.exp.scale = 0.01;
+    ThreadPool pool(4);
+
+    DseCache c1;
+    const auto climb1 = greedyCpuSearch(*app.value(), opts, pool, c1);
+    ASSERT_FALSE(climb1.empty());
+
+    DseCache c2;
+    const auto climb2 = greedyCpuSearch(*app.value(), opts, pool, c2);
+    ASSERT_EQ(climb1.size(), climb2.size());
+    for (size_t i = 0; i < climb1.size(); ++i) {
+        EXPECT_EQ(climb1[i].name, climb2[i].name);
+        EXPECT_EQ(climb1[i].seconds, climb2[i].seconds);
+    }
+
+    // Footprint is sorted best-objective-first, and the winner is at
+    // least as good as the all-CMOS seed it started from.
+    const uint64_t seed_hash =
+        designHash(cpuHybridFromConfig(CpuConfig::BaseCmos));
+    double seed_obj = 0.0;
+    bool seed_seen = false;
+    for (const auto &p : climb1) {
+        EXPECT_LE(climb1.front().objective(opts.objective),
+                  p.objective(opts.objective));
+        if (p.hash == seed_hash) {
+            seed_obj = p.objective(opts.objective);
+            seed_seen = true;
+        }
+    }
+    ASSERT_TRUE(seed_seen);
+    EXPECT_LE(climb1.front().objective(opts.objective), seed_obj);
+}
+
+TEST(Pareto, DominatedPointsAreExcluded)
+{
+    std::vector<DsePoint> pts(4);
+    pts[0].name = "best-time";
+    pts[0].seconds = 1.0;
+    pts[0].energyJ = 4.0;
+    pts[0].areaMm2 = 10.0;
+    pts[1].name = "best-energy";
+    pts[1].seconds = 4.0;
+    pts[1].energyJ = 1.0;
+    pts[1].areaMm2 = 10.0;
+    pts[2].name = "dominated";
+    pts[2].seconds = 4.0; // Worse than pts[0] in time, tied area,
+    pts[2].energyJ = 5.0; // worse energy than both.
+    pts[2].areaMm2 = 10.0;
+    pts[3].name = "small";
+    pts[3].seconds = 5.0;
+    pts[3].energyJ = 5.0;
+    pts[3].areaMm2 = 1.0; // Saved by area: dominated in time+energy.
+    const auto front = paretoFront(pts, DseObjective::Ed2);
+
+    std::set<std::string> names;
+    for (size_t i : front)
+        names.insert(pts[i].name);
+    EXPECT_EQ(names,
+              (std::set<std::string>{"best-time", "best-energy",
+                                     "small"}));
+}
+
+TEST(Pareto, SortedByObjectiveAndDeduplicated)
+{
+    std::vector<DsePoint> pts(3);
+    pts[0].name = "b";
+    pts[0].seconds = 2.0;
+    pts[0].energyJ = 1.0;
+    pts[1].name = "a"; // Identical metrics: only the first survives.
+    pts[1].seconds = 2.0;
+    pts[1].energyJ = 1.0;
+    pts[2].name = "fast";
+    pts[2].seconds = 1.0;
+    pts[2].energyJ = 2.0;
+
+    const auto front = paretoFront(pts, DseObjective::Time);
+    ASSERT_EQ(front.size(), 2u);
+    EXPECT_EQ(pts[front[0]].name, "fast"); // Best time first.
+    EXPECT_EQ(pts[front[1]].name, "b");
+
+    const auto by_ed2 = paretoFront(pts, DseObjective::Ed2);
+    ASSERT_EQ(by_ed2.size(), 2u);
+    EXPECT_EQ(pts[by_ed2[0]].name, "fast"); // ED^2 2 beats b's 4.
+}
+
+TEST(Pareto, EmptyAndSingleton)
+{
+    EXPECT_TRUE(paretoFront({}, DseObjective::Ed2).empty());
+    std::vector<DsePoint> one(1);
+    one[0].name = "only";
+    one[0].seconds = 1.0;
+    one[0].energyJ = 1.0;
+    const auto front = paretoFront(one, DseObjective::Energy);
+    ASSERT_EQ(front.size(), 1u);
+    EXPECT_EQ(front[0], 0u);
+}
+
+TEST(Objective, NamesRoundTripAndValuesMatch)
+{
+    for (auto o : {DseObjective::Ed2, DseObjective::Energy,
+                   DseObjective::Time}) {
+        const auto back = dseObjectiveFromName(dseObjectiveName(o));
+        ASSERT_TRUE(back.ok());
+        EXPECT_EQ(back.value(), o);
+    }
+    EXPECT_FALSE(dseObjectiveFromName("edp").ok());
+
+    DsePoint p;
+    p.seconds = 2.0;
+    p.energyJ = 3.0;
+    EXPECT_DOUBLE_EQ(p.ed2(), 3.0 * 2.0 * 2.0);
+    EXPECT_DOUBLE_EQ(p.objective(DseObjective::Ed2), p.ed2());
+    EXPECT_DOUBLE_EQ(p.objective(DseObjective::Energy), 3.0);
+    EXPECT_DOUBLE_EQ(p.objective(DseObjective::Time), 2.0);
+}

@@ -55,6 +55,45 @@ TEST(TablePrinter, CsvRoundTrip)
     std::remove(path.c_str());
 }
 
+TEST(CsvQuote, PlainCellsPassThrough)
+{
+    EXPECT_EQ(csvQuote("alpha"), "alpha");
+    EXPECT_EQ(csvQuote(""), "");
+    EXPECT_EQ(csvQuote("1.5e-3"), "1.5e-3");
+}
+
+TEST(CsvQuote, DelimiterAndNewlineCellsAreQuoted)
+{
+    EXPECT_EQ(csvQuote("a,b"), "\"a,b\"");
+    EXPECT_EQ(csvQuote("line1\nline2"), "\"line1\nline2\"");
+    EXPECT_EQ(csvQuote("cr\rlf"), "\"cr\rlf\"");
+}
+
+TEST(CsvQuote, EmbeddedQuotesAreDoubled)
+{
+    EXPECT_EQ(csvQuote("say \"hi\""), "\"say \"\"hi\"\"\"");
+    EXPECT_EQ(csvQuote("\""), "\"\"\"\"");
+}
+
+TEST(TablePrinter, CsvQuotesCellsWithDelimiters)
+{
+    TablePrinter t("csv quoting", {"name", "detail"});
+    t.addRow({"ok", "latency=4, energy=2"});
+    t.addRow({"quoted", "the \"fast\" path"});
+    const std::string path = "/tmp/hetsim_test_table_quote.csv";
+    ASSERT_TRUE(t.writeCsv(path));
+
+    std::ifstream in(path);
+    std::string line;
+    std::getline(in, line);
+    EXPECT_EQ(line, "name,detail");
+    std::getline(in, line);
+    EXPECT_EQ(line, "ok,\"latency=4, energy=2\"");
+    std::getline(in, line);
+    EXPECT_EQ(line, "quoted,\"the \"\"fast\"\" path\"");
+    std::remove(path.c_str());
+}
+
 TEST(TablePrinter, CsvBadPathFails)
 {
     TablePrinter t("t", {"a"});
