@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include "common/rng.hh"
+#include "common/stats.hh"
 #include "core/configs.hh"
 #include "cpu/branch_pred.hh"
 #include "cpu/multicore.hh"
@@ -25,6 +26,41 @@ using namespace hetsim;
 
 namespace
 {
+
+void
+BM_StatCounterStringLookup(benchmark::State &state)
+{
+    // The old hot-path pattern: a string-keyed map lookup on every
+    // simulated event. Kept as the baseline the handle fix beats.
+    StatGroup sg("bench");
+    // A realistic population: hot-path groups hold ~10 counters.
+    for (int i = 0; i < 12; ++i)
+        ++sg.counter("counter_" + std::to_string(i));
+    for (auto _ : state) {
+        ++sg.counter("counter_7");
+        benchmark::DoNotOptimize(sg);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterStringLookup);
+
+void
+BM_StatCounterHandle(benchmark::State &state)
+{
+    // The new pattern: the reference is resolved once at construction
+    // (StatGroup references are stable), so each event is a plain
+    // increment.
+    StatGroup sg("bench");
+    for (int i = 0; i < 12; ++i)
+        ++sg.counter("counter_" + std::to_string(i));
+    Counter &c = sg.counter("counter_7");
+    for (auto _ : state) {
+        ++c;
+        benchmark::DoNotOptimize(c);
+    }
+    state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_StatCounterHandle);
 
 void
 BM_CacheAccess(benchmark::State &state)

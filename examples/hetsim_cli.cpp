@@ -6,9 +6,17 @@
  *       Print every configuration, application, and GPU kernel.
  *   hetsim_cli run --config AdvHet --app fft [--scale S] [--freq F]
  *                  [--cores N] [--seed K] [--csv out.csv]
+ *                  [--report-json report.json] [--trace-out t.json]
+ *                  [--trace-capacity N]
  *       Simulate one CPU experiment and print its metrics.
+ *       --report-json writes the machine-readable RunReport (every
+ *       stat counter and distribution, per-unit energy, config
+ *       identity); two identical runs produce byte-identical files.
+ *       --trace-out records the last N (default 65536) pipeline and
+ *       cache events into a chrome://tracing JSON.
  *   hetsim_cli gpu --config AdvHet --kernel matrixmul [--scale S]
- *       Simulate one GPU experiment.
+ *                  [--report-json report.json] [--trace-out t.json]
+ *       Simulate one GPU experiment (trace records wavefront issue).
  *   hetsim_cli record --app fft [--thread T] [--threads N]
  *                     [--scale S] [--max M] --out trace.bin
  *       Record a synthetic trace to a binary file.
@@ -24,6 +32,7 @@
  *       rest of the sweep completes. Workload specs: "fft",
  *       "app:fft@scale=2", "trace:file.bin", "kernel:dct" (kernel
  *       cells use GPU configs named via --gpu-configs).
+ *       --report-json writes the deterministic per-cell JSON report.
  *       Exits 0 as long as the sweep itself ran; per-cell failures
  *       are reported in the summary, not via the exit code.
  *   hetsim_cli dse [--space cpu|gpu] [--app fft | --kernel matrixmul]
@@ -37,7 +46,8 @@
  *       cache, and report the Pareto front over (time, energy, area).
  *       Output is identical for any --jobs value; --repeat R > 1
  *       re-runs the search to demonstrate the cache (every repeated
- *       cell is a hit, not a re-simulation).
+ *       cell is a hit, not a re-simulation). --report-json writes the
+ *       evaluated points as JSON, byte-identical for any --jobs.
  *
  * The library reports input errors as Status values; this front end
  * is where they become messages and a nonzero process exit.
@@ -193,6 +203,30 @@ cmdList()
     return 0;
 }
 
+/** Write the --report-json / --trace-out artifacts of one run. */
+void
+writeRunArtifacts(const Args &args, obs::RunReport &report,
+                  const obs::TraceBuffer &trace)
+{
+    const std::string report_path = args.get("report-json");
+    if (!report_path.empty()) {
+        const Status s = report.writeJson(report_path);
+        if (!s.ok())
+            dieOn(s);
+        std::printf("report: %s\n", report_path.c_str());
+    }
+    const std::string trace_path = args.get("trace-out");
+    if (!trace_path.empty()) {
+        const Status s = obs::writeChromeTrace(trace, trace_path);
+        if (!s.ok())
+            dieOn(s);
+        std::printf("trace: %s (%llu events kept, %llu dropped)\n",
+                    trace_path.c_str(),
+                    static_cast<unsigned long long>(trace.size()),
+                    static_cast<unsigned long long>(trace.dropped()));
+    }
+}
+
 int
 cmdRun(const Args &args)
 {
@@ -207,8 +241,17 @@ cmdRun(const Args &args)
     opts.coresOverride =
         static_cast<uint32_t>(args.getU("cores", 0));
 
-    const core::CpuOutcome out =
-        core::runCpuExperiment(cfg, *app.value(), opts);
+    obs::RunReport report;
+    obs::TraceBuffer trace(
+        static_cast<size_t>(args.getU("trace-capacity", 65536)));
+    const bool want_report = !args.get("report-json").empty();
+    const bool want_trace = !args.get("trace-out").empty();
+
+    const core::CpuOutcome out = core::runCpuExperiment(
+        cfg, *app.value(), opts, want_report ? &report : nullptr,
+        want_trace ? &trace : nullptr);
+    report.designHash =
+        core::designHash(core::cpuHybridFromConfig(cfg));
     TablePrinter t("hetsim run: " + out.config + " / " + out.app,
                    {"metric", "value"});
     t.addRow({"cycles", std::to_string(out.cycles)});
@@ -222,6 +265,7 @@ cmdRun(const Args &args)
     std::snprintf(ed2, sizeof(ed2), "%.3e", out.metrics.ed2Js2());
     t.addRow({"ED^2 (J s^2)", ed2});
     t.print();
+    writeRunArtifacts(args, report, trace);
     const std::string csv = args.get("csv");
     if (!csv.empty() && !t.writeCsv(csv))
         die("cannot write '%s'", csv.c_str());
@@ -240,8 +284,17 @@ cmdGpu(const Args &args)
     opts.scale = args.getD("scale", 1.0);
     opts.seed = args.getU("seed", 1);
 
-    const core::GpuOutcome out =
-        core::runGpuExperiment(cfg, *kernel.value(), opts);
+    obs::RunReport report;
+    obs::TraceBuffer trace(
+        static_cast<size_t>(args.getU("trace-capacity", 65536)));
+    const bool want_report = !args.get("report-json").empty();
+    const bool want_trace = !args.get("trace-out").empty();
+
+    const core::GpuOutcome out = core::runGpuExperiment(
+        cfg, *kernel.value(), opts, want_report ? &report : nullptr,
+        want_trace ? &trace : nullptr);
+    report.designHash =
+        core::designHash(core::gpuHybridFromConfig(cfg));
     TablePrinter t("hetsim gpu: " + out.config + " / " + out.kernel,
                    {"metric", "value"});
     t.addRow({"cycles", std::to_string(out.cycles)});
@@ -252,6 +305,7 @@ cmdGpu(const Args &args)
               formatDouble(out.metrics.energyJ * 1e3, 4)});
     t.addRow({"power (W)", formatDouble(out.metrics.powerW(), 3)});
     t.print();
+    writeRunArtifacts(args, report, trace);
     return 0;
 }
 
@@ -382,6 +436,14 @@ cmdSweep(const Args &args)
         printSweepReport(report, args.get("csv"));
     if (!printed.ok())
         dieOn(printed);
+    const std::string report_path = args.get("report-json");
+    if (!report_path.empty()) {
+        const Status s =
+            core::writeSweepReportJson(report, report_path);
+        if (!s.ok())
+            dieOn(s);
+        std::printf("report: %s\n", report_path.c_str());
+    }
     // Per-cell failures are data, not a process failure: a sweep
     // that completes exits 0 so batch drivers keep their results.
     return 0;
@@ -519,6 +581,18 @@ cmdDse(const Args &args)
                 static_cast<unsigned long long>(cache.hits()),
                 static_cast<unsigned long long>(cache.misses()),
                 static_cast<unsigned long long>(repeat));
+
+    const std::string report_path = args.get("report-json");
+    if (!report_path.empty()) {
+        const std::string workload = space == "cpu"
+            ? args.get("app", "fft")
+            : args.get("kernel", "matrixmul");
+        const Status s = core::writeDseReportJson(
+            points, workload, opts.objective, report_path);
+        if (!s.ok())
+            dieOn(s);
+        std::printf("report: %s\n", report_path.c_str());
+    }
 
     const std::string csv = args.get("csv");
     if (!csv.empty() && !t.writeCsv(csv))

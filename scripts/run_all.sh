@@ -34,6 +34,31 @@ diff build/dse_jobs1.txt build/dse_jobs8.txt
 build/examples/hetsim_cli dse --space gpu --jobs 4 --scale 0.05 \
       > /dev/null
 
+# Report smoke: machine-readable artifacts must be deterministic.
+# Two identical runs produce byte-identical RunReport JSON, and a
+# parallel DSE report matches a serial one byte for byte.
+build/examples/hetsim_cli run --config AdvHet --app fft \
+      --scale 0.05 --report-json build/report_a.json > /dev/null
+build/examples/hetsim_cli run --config AdvHet --app fft \
+      --scale 0.05 --report-json build/report_b.json > /dev/null
+cmp build/report_a.json build/report_b.json
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 1 \
+      --scale 0.02 --report-json build/dse_report_jobs1.json \
+      > /dev/null
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
+      --scale 0.02 --report-json build/dse_report_jobs8.json \
+      > /dev/null
+cmp build/dse_report_jobs1.json build/dse_report_jobs8.json
+build/examples/hetsim_cli run --config BaseCMOS --app fft \
+      --scale 0.02 --trace-out build/trace_smoke.json > /dev/null
+grep -q traceEvents build/trace_smoke.json
+
+# Substrate microbenchmarks (simulator speed, not simulated machine),
+# exported as machine-readable JSON for regression tracking.
+build/bench/bench_micro_substrate \
+      --benchmark_out=build/BENCH_report.json \
+      --benchmark_out_format=json
+
 for b in build/bench/bench_table* build/bench/bench_fig* \
          build/bench/bench_ext*; do
     echo "##### $(basename "$b")"

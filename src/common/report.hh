@@ -1,0 +1,116 @@
+/**
+ * @file
+ * Machine-readable run reports.
+ *
+ * A RunReport is the structured counterpart of StatGroup::dump(): one
+ * JSON document per simulation capturing every counter, every
+ * Distribution (count/min/max/mean/stddev), per-unit activity and
+ * energy, and the configuration identity (name + DSE design hash) so
+ * reports from different design points are diffable.
+ *
+ * The obs layer deliberately knows nothing about the power or model
+ * layers: unit names and energies arrive as plain strings/doubles,
+ * filled in by core/experiment. Serialization is deterministic —
+ * counters are emitted in sorted (map) order and doubles use a fixed
+ * round-trippable format — so two identical runs produce byte-identical
+ * files and a report diff is a meaningful regression signal.
+ */
+
+#ifndef HETSIM_COMMON_REPORT_HH
+#define HETSIM_COMMON_REPORT_HH
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/stats.hh"
+#include "common/status.hh"
+
+namespace hetsim::obs
+{
+
+/** Frozen copy of one Distribution's summary statistics. */
+struct DistributionSnapshot
+{
+    std::string name;
+    uint64_t count = 0;
+    double min = 0.0;
+    double max = 0.0;
+    double mean = 0.0;
+    double stddev = 0.0;
+};
+
+/** Frozen copy of one StatGroup: counters + distributions. */
+struct GroupSnapshot
+{
+    std::string name;
+    std::vector<std::pair<std::string, uint64_t>> counters;
+    std::vector<DistributionSnapshot> distributions;
+};
+
+/** Copy every counter and distribution out of a live StatGroup. */
+GroupSnapshot snapshotGroup(const StatGroup &group);
+
+/** Activity + energy of one architectural unit (names come from the
+ *  power catalog; obs treats them as opaque strings). */
+struct UnitEnergy
+{
+    std::string name;
+    uint64_t activity = 0;
+    double dynamicJ = 0.0;
+    double leakageJ = 0.0;
+};
+
+/** Figure-8-style energy group total (core / L2 / L3). */
+struct EnergyGroupTotal
+{
+    std::string name;
+    double dynamicJ = 0.0;
+    double leakageJ = 0.0;
+};
+
+/** Everything hetsim knows about one finished run. */
+struct RunReport
+{
+    /** Schema tag emitted in the JSON; bump when fields change. */
+    static constexpr const char *kSchema = "hetsim-run-report-v1";
+
+    std::string kind;     ///< "cpu" or "gpu".
+    std::string config;   ///< Configuration name.
+    std::string workload; ///< Application or kernel name.
+    uint64_t designHash = 0; ///< DSE identity (0 = not computed).
+    uint64_t seed = 0;
+    double scale = 1.0;
+    double freqGhz = 0.0;
+
+    uint64_t cycles = 0;
+    uint64_t ops = 0; ///< Committed (CPU) or issued (GPU) ops.
+    bool timedOut = false;
+    double seconds = 0.0;
+    double energyJ = 0.0;
+
+    std::vector<UnitEnergy> units;
+    std::vector<EnergyGroupTotal> energyGroups;
+    std::vector<GroupSnapshot> groups;
+
+    /** Serialize to a deterministic JSON document (trailing newline). */
+    std::string toJson() const;
+
+    /** toJson() to a file. */
+    Status writeJson(const std::string &path) const;
+};
+
+/** JSON string escaping per RFC 8259 (control chars, quote, slash). */
+std::string jsonEscape(const std::string &s);
+
+/**
+ * Round-trippable, locale-independent double formatting ("%.17g";
+ * non-finite values become null). Shared by every JSON writer so
+ * reports stay byte-identical across runs and thread counts.
+ */
+std::string jsonDouble(double v);
+
+} // namespace hetsim::obs
+
+#endif // HETSIM_COMMON_REPORT_HH

@@ -41,6 +41,12 @@ StatGroup::counter(const std::string &name)
     return counters_[name];
 }
 
+Distribution &
+StatGroup::distribution(const std::string &name)
+{
+    return dists_[name];
+}
+
 uint64_t
 StatGroup::value(const std::string &name) const
 {
@@ -65,6 +71,12 @@ StatGroup::dump() const
     for (const auto &[name, ctr] : counters_)
         std::printf("  %-28s %llu\n", name.c_str(),
                     static_cast<unsigned long long>(ctr.value()));
+    for (const auto &[name, dist] : dists_)
+        std::printf("  %-28s n=%llu min=%g max=%g mean=%g sd=%g\n",
+                    name.c_str(),
+                    static_cast<unsigned long long>(dist.count()),
+                    dist.min(), dist.max(), dist.mean(),
+                    dist.stddev());
 }
 
 void
@@ -72,6 +84,8 @@ StatGroup::reset()
 {
     for (auto &[name, ctr] : counters_)
         ctr.reset();
+    for (auto &[name, dist] : dists_)
+        dist.reset();
 }
 
 double

@@ -73,18 +73,27 @@ class Distribution
 };
 
 /**
- * A registry of named counters for one simulated component.
+ * A registry of named counters and distributions for one simulated
+ * component.
  *
  * Components hold a StatGroup by value and create counters through it;
- * the experiment runner dumps groups after a run.
+ * the experiment runner dumps groups after a run. References returned
+ * by counter()/distribution() are stable for the group's lifetime, so
+ * hot paths cache them at construction instead of re-doing the
+ * string-keyed map lookup on every simulated event.
  */
 class StatGroup
 {
   public:
     explicit StatGroup(std::string name) : name_(std::move(name)) {}
 
-    /** Get or create the counter with the given name. */
+    /** Get or create the counter with the given name. The reference
+     *  stays valid for the group's lifetime (cache it in hot paths). */
     Counter &counter(const std::string &name);
+
+    /** Get or create the distribution with the given name; same
+     *  reference-stability guarantee as counter(). */
+    Distribution &distribution(const std::string &name);
 
     /** Value of a counter, 0 if it was never created. */
     uint64_t value(const std::string &name) const;
@@ -94,15 +103,22 @@ class StatGroup
     /** Stable (sorted by name) snapshot of all counters. */
     std::vector<std::pair<std::string, uint64_t>> snapshot() const;
 
-    /** Print every counter to stdout (debug observability). */
+    /** Registered distributions in stable (sorted by name) order. */
+    const std::map<std::string, Distribution> &distributions() const
+    {
+        return dists_;
+    }
+
+    /** Print every counter and distribution to stdout. */
     void dump() const;
 
-    /** Reset every counter to zero. */
+    /** Reset every counter and distribution to zero. */
     void reset();
 
   private:
     std::string name_;
     std::map<std::string, Counter> counters_;
+    std::map<std::string, Distribution> dists_;
 };
 
 /** Arithmetic mean of a vector; 0 for an empty vector. */

@@ -1,0 +1,120 @@
+#include "common/trace.hh"
+
+#include <cstdio>
+
+#include "common/file.hh"
+
+namespace hetsim::obs
+{
+
+const char *
+traceEventName(TraceEvent e)
+{
+    switch (e) {
+      case TraceEvent::Fetch:
+        return "fetch";
+      case TraceEvent::Dispatch:
+        return "dispatch";
+      case TraceEvent::Issue:
+        return "issue";
+      case TraceEvent::Complete:
+        return "complete";
+      case TraceEvent::Commit:
+        return "commit";
+      case TraceEvent::CacheHit:
+        return "cache_hit";
+      case TraceEvent::CacheMiss:
+        return "cache_miss";
+      case TraceEvent::WavefrontIssue:
+        return "wavefront_issue";
+      default:
+        return "unknown";
+    }
+}
+
+TraceBuffer::TraceBuffer(size_t capacity)
+    : ring_(capacity ? capacity : 1)
+{
+}
+
+size_t
+TraceBuffer::size() const
+{
+    return recorded_ < ring_.size()
+               ? static_cast<size_t>(recorded_)
+               : ring_.size();
+}
+
+std::vector<TraceRecord>
+TraceBuffer::snapshot() const
+{
+    const size_t n = size();
+    std::vector<TraceRecord> out;
+    out.reserve(n);
+    // Oldest record: at index 0 until the ring wraps, then at head_.
+    const size_t start = recorded_ <= ring_.size() ? 0 : head_;
+    for (size_t i = 0; i < n; ++i)
+        out.push_back(ring_[(start + i) % ring_.size()]);
+    return out;
+}
+
+void
+TraceBuffer::clear()
+{
+    head_ = 0;
+    recorded_ = 0;
+}
+
+Status
+writeChromeTrace(const TraceBuffer &buffer, const std::string &path)
+{
+    FileHandle f(path, "wb");
+    if (!f)
+        return Status::error(ErrorCode::IoError,
+                             "cannot open trace file '%s' for writing",
+                             path.c_str());
+
+    std::string out;
+    out.reserve(128 + buffer.size() * 128);
+    out += "{\"displayTimeUnit\":\"ns\",\"otherData\":{"
+           "\"recorded\":";
+    {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          buffer.recorded()));
+        out += buf;
+        out += ",\"dropped\":";
+        std::snprintf(buf, sizeof(buf), "%llu",
+                      static_cast<unsigned long long>(
+                          buffer.dropped()));
+        out += buf;
+    }
+    out += "},\"traceEvents\":[";
+
+    bool first = true;
+    for (const TraceRecord &r : buffer.snapshot()) {
+        if (!first)
+            out += ",";
+        first = false;
+        char buf[192];
+        // Instant event; ts is the simulated cycle, tid the unit id.
+        std::snprintf(
+            buf, sizeof(buf),
+            "{\"name\":\"%s\",\"ph\":\"i\",\"s\":\"t\","
+            "\"ts\":%llu,\"pid\":0,\"tid\":%u,"
+            "\"args\":{\"arg\":\"0x%llx\",\"detail\":%u}}",
+            traceEventName(r.event),
+            static_cast<unsigned long long>(r.cycle), r.unit,
+            static_cast<unsigned long long>(r.arg), r.detail);
+        out += buf;
+    }
+    out += "]}\n";
+
+    if (std::fwrite(out.data(), 1, out.size(), f.get()) != out.size())
+        return Status::error(ErrorCode::IoError,
+                             "short write to trace '%s'", path.c_str());
+    return Status();
+}
+
+} // namespace hetsim::obs

@@ -1,0 +1,131 @@
+/**
+ * @file
+ * Bounded pipeline-event tracing.
+ *
+ * A TraceBuffer is a fixed-capacity ring of compact event records
+ * (fetch/dispatch/issue/complete/commit, cache hit/miss with the
+ * satisfying level, wavefront issue). Model components hold a raw
+ * `obs::TraceBuffer *` that is null unless the run asked for a trace,
+ * so the hot loop pays one predictable branch per hook — and nothing
+ * at all when HETSIM_TRACE_DISABLED compiles the hooks out entirely.
+ *
+ * The buffer is exported as chrome://tracing-compatible JSON
+ * (writeChromeTrace): one instant event per record, with the simulated
+ * cycle as the timestamp and the core / compute-unit id as the thread
+ * lane, so a run can be scrubbed visually in any Perfetto viewer.
+ */
+
+#ifndef HETSIM_COMMON_TRACE_HH
+#define HETSIM_COMMON_TRACE_HH
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.hh"
+
+namespace hetsim::obs
+{
+
+/** Pipeline event kinds recorded by the model hooks. */
+enum class TraceEvent : uint8_t
+{
+    Fetch,          ///< Op accepted into the fetch queue (arg = pc).
+    Dispatch,       ///< Op renamed into the ROB/IQ (arg = pc).
+    Issue,          ///< Op issued to a functional unit (arg = pc).
+    Complete,       ///< Op result ready (arg = pc).
+    Commit,         ///< Op retired in order (arg = pc).
+    CacheHit,       ///< Access satisfied (arg = addr, detail = level).
+    CacheMiss,      ///< Access missed L1 (arg = addr, detail = level).
+    WavefrontIssue, ///< GPU wavefront instruction issue (detail = op).
+    NumEvents
+};
+
+const char *traceEventName(TraceEvent e);
+
+/** One recorded event (32 bytes). */
+struct TraceRecord
+{
+    uint64_t cycle = 0;
+    uint64_t arg = 0;   ///< pc or address, event-dependent.
+    uint32_t unit = 0;  ///< Core or compute-unit id.
+    TraceEvent event = TraceEvent::Fetch;
+    uint8_t detail = 0; ///< Cache level / GPU op class.
+};
+
+/**
+ * Fixed-capacity event ring. When full, the oldest records are
+ * overwritten and counted as dropped — tracing never grows memory or
+ * aborts a long run.
+ */
+class TraceBuffer
+{
+  public:
+    explicit TraceBuffer(size_t capacity = 1 << 16);
+
+    void
+    record(uint64_t cycle, uint32_t unit, TraceEvent event,
+           uint64_t arg, uint8_t detail = 0)
+    {
+        TraceRecord &r = ring_[head_];
+        r.cycle = cycle;
+        r.unit = unit;
+        r.event = event;
+        r.arg = arg;
+        r.detail = detail;
+        head_ = head_ + 1 == ring_.size() ? 0 : head_ + 1;
+        ++recorded_;
+    }
+
+    size_t capacity() const { return ring_.size(); }
+
+    /** Events currently retained (<= capacity). */
+    size_t size() const;
+
+    /** Total events ever recorded. */
+    uint64_t recorded() const { return recorded_; }
+
+    /** Events lost to ring wrap-around. */
+    uint64_t dropped() const
+    {
+        return recorded_ > ring_.size() ? recorded_ - ring_.size() : 0;
+    }
+
+    /** Retained records, oldest first. */
+    std::vector<TraceRecord> snapshot() const;
+
+    /** Forget everything recorded so far. */
+    void clear();
+
+  private:
+    std::vector<TraceRecord> ring_;
+    size_t head_ = 0;       ///< Next write slot.
+    uint64_t recorded_ = 0;
+};
+
+/**
+ * Write the retained events as a chrome://tracing JSON document
+ * ("traceEvents" array of instant events; ts = simulated cycle,
+ * tid = unit id). Deterministic byte-for-byte for a given buffer.
+ */
+Status writeChromeTrace(const TraceBuffer &buffer,
+                        const std::string &path);
+
+} // namespace hetsim::obs
+
+/**
+ * Hook macro used at every instrumentation site. `sink` is a
+ * `obs::TraceBuffer *` member that is null when tracing is off;
+ * defining HETSIM_TRACE_DISABLED removes even the null check.
+ */
+#ifndef HETSIM_TRACE_DISABLED
+#define HETSIM_TRACE(sink, cycle, unit, event, arg, detail)            \
+    do {                                                               \
+        if (sink)                                                      \
+            (sink)->record(cycle, unit, event, arg, detail);           \
+    } while (0)
+#else
+#define HETSIM_TRACE(sink, cycle, unit, event, arg, detail) ((void)0)
+#endif
+
+#endif // HETSIM_COMMON_TRACE_HH

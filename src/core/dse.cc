@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cstdio>
 
+#include "common/file.hh"
 #include "common/logging.hh"
 #include "core/area.hh"
 
@@ -865,6 +866,54 @@ paretoFront(const std::vector<DsePoint> &points,
         return points[x].name < points[y].name;
     });
     return front;
+}
+
+Status
+writeDseReportJson(const std::vector<DsePoint> &points,
+                   const std::string &workload,
+                   DseObjective objective, const std::string &path)
+{
+    char hash_buf[32];
+    std::string j;
+    j += "{\n";
+    j += "  \"schema\": \"hetsim-dse-report-v1\",\n";
+    j += "  \"workload\": \"" + obs::jsonEscape(workload) + "\",\n";
+    j += "  \"objective\": \"";
+    j += dseObjectiveName(objective);
+    j += "\",\n";
+    j += "  \"points\": [\n";
+    for (size_t i = 0; i < points.size(); ++i) {
+        const DsePoint &p = points[i];
+        std::snprintf(hash_buf, sizeof(hash_buf), "0x%016llx",
+                      static_cast<unsigned long long>(p.hash));
+        j += "    {\n";
+        j += "      \"name\": \"" + obs::jsonEscape(p.name) + "\",\n";
+        j += "      \"design_hash\": \"";
+        j += hash_buf;
+        j += "\",\n";
+        j += "      \"seconds\": " + obs::jsonDouble(p.seconds) +
+             ",\n";
+        j += "      \"energy_j\": " + obs::jsonDouble(p.energyJ) +
+             ",\n";
+        j += "      \"area_mm2\": " + obs::jsonDouble(p.areaMm2) +
+             ",\n";
+        j += "      \"cores\": " + std::to_string(p.cores) + ",\n";
+        j += "      \"ed2\": " + obs::jsonDouble(p.ed2()) + "\n";
+        j += i + 1 < points.size() ? "    },\n" : "    }\n";
+    }
+    j += "  ]\n";
+    j += "}\n";
+
+    FileHandle f(path, "wb");
+    if (!f)
+        return Status::error(ErrorCode::IoError,
+                             "cannot write dse report '%s'",
+                             path.c_str());
+    if (std::fwrite(j.data(), 1, j.size(), f.get()) != j.size())
+        return Status::error(ErrorCode::IoError,
+                             "short write to dse report '%s'",
+                             path.c_str());
+    return Status();
 }
 
 } // namespace hetsim::core

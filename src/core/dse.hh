@@ -235,6 +235,18 @@ greedyCpuSearch(const workload::AppProfile &app, const DseOptions &opts,
 std::vector<size_t> paretoFront(const std::vector<DsePoint> &points,
                                 DseObjective objective);
 
+/**
+ * Write evaluated points as a deterministic JSON document
+ * ("hetsim-dse-report-v1"). The memo-cache `cached` flag is excluded
+ * on purpose: it depends on thread timing, while the document must be
+ * byte-identical for any job count (diffing a jobs=1 report against a
+ * jobs=8 report is the determinism smoke test).
+ */
+Status writeDseReportJson(const std::vector<DsePoint> &points,
+                          const std::string &workload,
+                          DseObjective objective,
+                          const std::string &path);
+
 } // namespace hetsim::core
 
 #endif // HETSIM_CORE_DSE_HH

@@ -13,19 +13,124 @@ namespace hetsim::core
 
 using power::CpuUnit;
 
+namespace
+{
+
+/** JSON names of the Figure 8 energy groups (EnergyGroup order). */
+const char *const kEnergyGroupNames[power::kNumEnergyGroups] = {
+    "core", "l2", "l3"};
+
+/** Fields shared by CPU and GPU reports. */
+template <typename Outcome>
+void
+fillReportHeader(obs::RunReport &rep, const Outcome &out,
+                 const ExperimentOptions &opts,
+                 const power::EnergyBreakdown &energy)
+{
+    rep.config = out.config;
+    rep.seed = opts.seed;
+    rep.scale = opts.scale;
+    rep.freqGhz = opts.freqGhz;
+    rep.cycles = out.cycles;
+    rep.timedOut = out.timedOut;
+    rep.seconds = out.metrics.seconds;
+    rep.energyJ = out.metrics.energyJ;
+    for (int g = 0; g < power::kNumEnergyGroups; ++g)
+        rep.energyGroups.push_back({kEnergyGroupNames[g],
+                                    energy.groupDynamicJ[g],
+                                    energy.groupLeakageJ[g]});
+}
+
+/** Snapshot `group` under a per-core name so the shared "fu_pool" /
+ *  "branch_pred" group names stay unique in the report. */
+obs::GroupSnapshot
+snapshotAs(const StatGroup &group, uint32_t core)
+{
+    obs::GroupSnapshot snap = obs::snapshotGroup(group);
+    snap.name = "core." + std::to_string(core) + "." + snap.name;
+    return snap;
+}
+
+void
+fillCpuReport(obs::RunReport &rep, cpu::Multicore &mc,
+              const power::CpuActivity &activity,
+              const CpuOutcome &out, const ExperimentOptions &opts)
+{
+    rep.kind = "cpu";
+    rep.workload = out.app;
+    rep.ops = out.committedOps;
+    fillReportHeader(rep, out, opts, out.energy);
+    for (int i = 0; i < power::kNumCpuUnits; ++i) {
+        obs::UnitEnergy u;
+        u.name = power::cpuUnitPower(static_cast<CpuUnit>(i)).name;
+        u.activity = activity[i];
+        u.dynamicJ = out.energy.dynamicJ[i];
+        u.leakageJ = out.energy.leakageJ[i];
+        rep.units.push_back(std::move(u));
+    }
+    for (uint32_t c = 0; c < mc.numCores(); ++c) {
+        cpu::OooCore &core = mc.core(c);
+        rep.groups.push_back(obs::snapshotGroup(core.stats()));
+        rep.groups.push_back(snapshotAs(core.fuPool().stats(), c));
+        rep.groups.push_back(
+            snapshotAs(core.branchPredictor().stats(), c));
+    }
+    mem::MemHierarchy &h = mc.hierarchy();
+    for (uint32_t c = 0; c < mc.numCores(); ++c) {
+        rep.groups.push_back(obs::snapshotGroup(h.il1(c).stats()));
+        rep.groups.push_back(obs::snapshotGroup(h.dl1(c).stats()));
+        rep.groups.push_back(obs::snapshotGroup(h.l2(c).stats()));
+    }
+    rep.groups.push_back(obs::snapshotGroup(h.l3().stats()));
+    rep.groups.push_back(obs::snapshotGroup(h.ring().stats()));
+    rep.groups.push_back(obs::snapshotGroup(h.dram().stats()));
+    rep.groups.push_back(obs::snapshotGroup(h.stats()));
+}
+
+void
+fillGpuReport(obs::RunReport &rep, gpu::Gpu &g,
+              const power::GpuActivity &activity,
+              const GpuOutcome &out, const ExperimentOptions &opts)
+{
+    rep.kind = "gpu";
+    rep.workload = out.kernel;
+    rep.ops = out.issuedOps;
+    fillReportHeader(rep, out, opts, out.energy);
+    for (int i = 0; i < power::kNumGpuUnits; ++i) {
+        obs::UnitEnergy u;
+        u.name = power::gpuUnitPower(
+            static_cast<power::GpuUnit>(i)).name;
+        u.activity = activity[i];
+        u.dynamicJ = out.energy.dynamicJ[i];
+        u.leakageJ = out.energy.leakageJ[i];
+        rep.units.push_back(std::move(u));
+    }
+    gpu::GpuMemSystem &mem = g.memSystem();
+    for (uint32_t c = 0; c < g.numCus(); ++c) {
+        rep.groups.push_back(obs::snapshotGroup(g.cu(c).stats()));
+        rep.groups.push_back(obs::snapshotGroup(mem.l1(c).stats()));
+    }
+    rep.groups.push_back(obs::snapshotGroup(mem.l2().stats()));
+    rep.groups.push_back(obs::snapshotGroup(mem.dram().stats()));
+}
+
+} // namespace
+
 CpuOutcome
 runCpuExperiment(CpuConfig cfg, const workload::AppProfile &app,
-                 const ExperimentOptions &opts)
+                 const ExperimentOptions &opts, obs::RunReport *report,
+                 obs::TraceBuffer *trace)
 {
     return runCpuBundle(makeCpuConfig(cfg, opts.freqGhz),
-                        cpuConfigName(cfg), app, opts);
+                        cpuConfigName(cfg), app, opts, report, trace);
 }
 
 CpuOutcome
 runCpuBundle(const CpuConfigBundle &bundle_in,
              const std::string &config_name,
              const workload::AppProfile &app,
-             const ExperimentOptions &opts)
+             const ExperimentOptions &opts, obs::RunReport *report,
+             obs::TraceBuffer *trace)
 {
     CpuConfigBundle bundle = bundle_in;
     if (opts.coresOverride > 0) {
@@ -42,6 +147,8 @@ runCpuBundle(const CpuConfigBundle &bundle_in,
         ptrs.push_back(t.get());
 
     cpu::Multicore mc(bundle.sim, ptrs);
+    if (trace != nullptr)
+        mc.attachTrace(trace);
     cpu::MulticoreResult run = mc.run();
 
     // Split ALU activity between the clusters of a dual-speed design.
@@ -76,30 +183,37 @@ runCpuBundle(const CpuConfigBundle &bundle_in,
                                          op.scales);
     out.metrics.seconds = run.seconds;
     out.metrics.energyJ = out.energy.totalJ();
+    if (report != nullptr)
+        fillCpuReport(*report, mc, activity, out, opts);
     return out;
 }
 
 GpuOutcome
 runGpuExperiment(GpuConfig cfg, const workload::KernelProfile &kernel,
-                 const ExperimentOptions &opts)
+                 const ExperimentOptions &opts, obs::RunReport *report,
+                 obs::TraceBuffer *trace)
 {
     // The GPU design point is half the CPU frequency (1 GHz at the
     // paper's 2 GHz CPU point).
     return runGpuBundle(makeGpuConfig(cfg, opts.freqGhz / 2.0),
-                        gpuConfigName(cfg), kernel, opts);
+                        gpuConfigName(cfg), kernel, opts, report,
+                        trace);
 }
 
 GpuOutcome
 runGpuBundle(const GpuConfigBundle &bundle_in,
              const std::string &config_name,
              const workload::KernelProfile &kernel,
-             const ExperimentOptions &opts)
+             const ExperimentOptions &opts, obs::RunReport *report,
+             obs::TraceBuffer *trace)
 {
     GpuConfigBundle bundle = bundle_in;
     bundle.sim.watchdogCycles = opts.watchdogCycles;
 
     workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
     gpu::Gpu gpu(bundle.sim);
+    if (trace != nullptr)
+        gpu.attachTrace(trace);
     gpu::GpuResult run = gpu.run(k);
 
     GpuOutcome out;
@@ -112,6 +226,8 @@ runGpuBundle(const GpuConfigBundle &bundle_in,
                                          run.seconds, bundle.numCus);
     out.metrics.seconds = run.seconds;
     out.metrics.energyJ = out.energy.totalJ();
+    if (report != nullptr)
+        fillGpuReport(*report, gpu, run.activity, out, opts);
     return out;
 }
 

@@ -10,6 +10,8 @@
 #include <string>
 #include <vector>
 
+#include "common/report.hh"
+#include "common/trace.hh"
 #include "core/configs.hh"
 #include "core/dvfs.hh"
 #include "power/metrics.hh"
@@ -58,15 +60,28 @@ struct GpuOutcome
     power::EnergyBreakdown energy;
 };
 
-/** Simulate one CPU configuration on one application. */
+/**
+ * Simulate one CPU configuration on one application.
+ *
+ * When `report` is non-null it is filled with the machine-readable
+ * outcome: every StatGroup snapshot (cores, FU pools, branch
+ * predictors, caches, ring, DRAM, hierarchy), per-unit activity and
+ * energy, and the run identity. When `trace` is non-null, pipeline and
+ * cache events of every core are recorded into it during the run.
+ */
 CpuOutcome runCpuExperiment(CpuConfig cfg,
                             const workload::AppProfile &app,
-                            const ExperimentOptions &opts = {});
+                            const ExperimentOptions &opts = {},
+                            obs::RunReport *report = nullptr,
+                            obs::TraceBuffer *trace = nullptr);
 
-/** Simulate one GPU configuration on one kernel. */
+/** Simulate one GPU configuration on one kernel. `report` and `trace`
+ *  behave as in runCpuExperiment (wavefront-issue events). */
 GpuOutcome runGpuExperiment(GpuConfig cfg,
                             const workload::KernelProfile &kernel,
-                            const ExperimentOptions &opts = {});
+                            const ExperimentOptions &opts = {},
+                            obs::RunReport *report = nullptr,
+                            obs::TraceBuffer *trace = nullptr);
 
 /**
  * Simulate an already-built CPU bundle (the dse path: synthesized
@@ -77,13 +92,17 @@ GpuOutcome runGpuExperiment(GpuConfig cfg,
 CpuOutcome runCpuBundle(const CpuConfigBundle &bundle,
                         const std::string &config_name,
                         const workload::AppProfile &app,
-                        const ExperimentOptions &opts = {});
+                        const ExperimentOptions &opts = {},
+                        obs::RunReport *report = nullptr,
+                        obs::TraceBuffer *trace = nullptr);
 
 /** Simulate an already-built GPU bundle. */
 GpuOutcome runGpuBundle(const GpuConfigBundle &bundle,
                         const std::string &config_name,
                         const workload::KernelProfile &kernel,
-                        const ExperimentOptions &opts = {});
+                        const ExperimentOptions &opts = {},
+                        obs::RunReport *report = nullptr,
+                        obs::TraceBuffer *trace = nullptr);
 
 /**
  * Run a config x app matrix. Results are indexed

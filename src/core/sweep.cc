@@ -534,4 +534,50 @@ printSweepReport(const SweepReport &report,
     return Status();
 }
 
+Status
+writeSweepReportJson(const SweepReport &report,
+                     const std::string &path)
+{
+    std::string j;
+    j += "{\n";
+    j += "  \"schema\": \"hetsim-sweep-report-v1\",\n";
+    j += "  \"cells\": [\n";
+    for (size_t i = 0; i < report.cells.size(); ++i) {
+        const SweepCell &cell = report.cells[i];
+        const CellResult &res = report.results[i];
+        j += "    {\n";
+        j += "      \"config\": \"" +
+             obs::jsonEscape(cellConfigName(cell)) + "\",\n";
+        j += "      \"workload\": \"" +
+             obs::jsonEscape(cellWorkloadName(cell)) + "\",\n";
+        j += "      \"outcome\": \"";
+        j += cellOutcomeName(res.outcome);
+        j += "\",\n";
+        j += "      \"detail\": \"" +
+             obs::jsonEscape(res.status.ok() ? ""
+                                             : res.status.toString()) +
+             "\",\n";
+        j += "      \"cycles\": " + std::to_string(res.cycles) + ",\n";
+        j += "      \"ops\": " + std::to_string(res.ops) + ",\n";
+        j += "      \"seconds\": " + obs::jsonDouble(res.seconds) +
+             ",\n";
+        j += "      \"energy_j\": " + obs::jsonDouble(res.energyJ) +
+             "\n";
+        j += i + 1 < report.cells.size() ? "    },\n" : "    }\n";
+    }
+    j += "  ]\n";
+    j += "}\n";
+
+    FileHandle f(path, "wb");
+    if (!f)
+        return Status::error(ErrorCode::IoError,
+                             "cannot write sweep report '%s'",
+                             path.c_str());
+    if (std::fwrite(j.data(), 1, j.size(), f.get()) != j.size())
+        return Status::error(ErrorCode::IoError,
+                             "short write to sweep report '%s'",
+                             path.c_str());
+    return Status();
+}
+
 } // namespace hetsim::core

@@ -144,6 +144,15 @@ SweepReport runSweep(const std::vector<SweepCell> &cells,
 Status printSweepReport(const SweepReport &report,
                         const std::string &csv_path = "");
 
+/**
+ * Write the sweep as a deterministic JSON document ("hetsim-sweep-
+ * report-v1"): one entry per cell with its outcome and metrics. Host
+ * wall-clock time is deliberately excluded so two identical sweeps
+ * produce byte-identical files.
+ */
+Status writeSweepReportJson(const SweepReport &report,
+                            const std::string &path);
+
 } // namespace hetsim::core
 
 #endif // HETSIM_CORE_SWEEP_HH

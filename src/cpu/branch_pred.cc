@@ -14,7 +14,10 @@ BranchPredictor::BranchPredictor(const BranchPredParams &params)
       btb_(params.btbEntries),
       btbSets_(params.btbEntries / params.btbWays),
       ras_(params.rasEntries, 0),
-      stats_("branch_pred")
+      stats_("branch_pred"),
+      lookups_(stats_.counter("lookups")),
+      mispredictions_(stats_.counter("mispredictions")),
+      correct_(stats_.counter("correct"))
 {
     hetsim_assert(params.btbEntries % params.btbWays == 0,
                   "BTB entries not divisible by ways");
@@ -63,7 +66,7 @@ BranchPredictor::bump(uint8_t c, bool taken)
 BranchPrediction
 BranchPredictor::predict(const MicroOp &op)
 {
-    ++stats_.counter("lookups");
+    ++lookups_;
     BranchPrediction pred;
 
     if (op.cls == OpClass::Return) {
@@ -190,9 +193,9 @@ BranchPredictor::predictAndTrain(const MicroOp &op)
     }
     update(op, pred);
     if (mispredicted)
-        ++stats_.counter("mispredictions");
+        ++mispredictions_;
     else
-        ++stats_.counter("correct");
+        ++correct_;
     return mispredicted;
 }
 

@@ -98,6 +98,11 @@ class BranchPredictor
     uint32_t rasCount_ = 0; ///< Valid entries (<= rasEntries).
 
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    Counter &lookups_;
+    Counter &mispredictions_;
+    Counter &correct_;
 };
 
 } // namespace hetsim::cpu

@@ -11,7 +11,11 @@ FuncUnitPool::FuncUnitPool(const FuPoolParams &params)
       mulDivFree_(params.numMulDiv, 0),
       lsuFree_(params.numLsu, 0),
       fpuFree_(params.numFpu, 0),
-      stats_("fu_pool")
+      stats_("fu_pool"),
+      steerFallbackSlow_(stats_.counter("steer_fallback_slow")),
+      steerFallbackFast_(stats_.counter("steer_fallback_fast")),
+      fastAluOps_(stats_.counter("fast_alu_ops")),
+      slowAluOps_(stats_.counter("slow_alu_ops"))
 {
     if (params_.dualSpeedAlu) {
         hetsim_assert(params_.numFastAlus >= 1 &&
@@ -66,7 +70,7 @@ FuncUnitPool::tryIssue(OpClass cls, Cycle now, bool prefer_fast)
                     unit = claim(aluFree_, n_fast, params_.numAlus,
                                  now, now + 1);
                     if (unit >= 0)
-                        ++stats_.counter("steer_fallback_slow");
+                        ++steerFallbackSlow_;
                 }
             } else {
                 unit = claim(aluFree_, n_fast, params_.numAlus, now,
@@ -74,7 +78,7 @@ FuncUnitPool::tryIssue(OpClass cls, Cycle now, bool prefer_fast)
                 if (unit < 0) {
                     unit = claim(aluFree_, 0, n_fast, now, now + 1);
                     if (unit >= 0)
-                        ++stats_.counter("steer_fallback_fast");
+                        ++steerFallbackFast_;
                 }
             }
             if (unit < 0)
@@ -83,8 +87,7 @@ FuncUnitPool::tryIssue(OpClass cls, Cycle now, bool prefer_fast)
             res.usedFastAlu = static_cast<uint32_t>(unit) < n_fast;
             res.latency = res.usedFastAlu ? params_.fastAluLat
                                           : t.aluLat;
-            ++stats_.counter(res.usedFastAlu ? "fast_alu_ops"
-                                             : "slow_alu_ops");
+            ++(res.usedFastAlu ? fastAluOps_ : slowAluOps_);
             return res;
         }
         const int unit =

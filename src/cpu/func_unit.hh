@@ -94,6 +94,12 @@ class FuncUnitPool
     std::vector<Cycle> lsuFree_;
     std::vector<Cycle> fpuFree_;
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    Counter &steerFallbackSlow_;
+    Counter &steerFallbackFast_;
+    Counter &fastAluOps_;
+    Counter &slowAluOps_;
 };
 
 } // namespace hetsim::cpu

@@ -75,6 +75,10 @@ struct MicroOp
     uint64_t addr = 0;   ///< Effective address for loads/stores.
     uint64_t target = 0; ///< Actual next PC for branches.
     bool taken = false;  ///< Actual direction for conditional branches.
+    /** Access width in bytes for loads/stores. Legacy (v1) trace files
+     *  carry no size; they replay as 8-byte accesses, which matches
+     *  the old fixed-granularity behaviour exactly. */
+    uint8_t accessSize = 8;
 };
 
 /** Pull interface implemented by the workload generators. */

@@ -37,6 +37,14 @@ Multicore::Multicore(const MulticoreParams &params,
     }
 }
 
+void
+Multicore::attachTrace(obs::TraceBuffer *buf)
+{
+    for (auto &core : cores_)
+        core->attachTrace(buf);
+    hier_->attachTrace(buf);
+}
+
 MulticoreResult
 Multicore::run()
 {

@@ -77,6 +77,9 @@ class Multicore
 
     mem::MemHierarchy &hierarchy() { return *hier_; }
     OooCore &core(uint32_t i) { return *cores_[i]; }
+
+    /** Record pipeline + cache events of every core into `buf`. */
+    void attachTrace(obs::TraceBuffer *buf);
     uint32_t numCores() const
     {
         return static_cast<uint32_t>(cores_.size());

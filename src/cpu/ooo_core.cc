@@ -24,12 +24,29 @@ unitIdx(CpuUnit u)
 
 } // namespace
 
+OooCore::CoreCounters::CoreCounters(StatGroup &sg)
+    : il1MissStalls(sg.counter("il1_miss_stalls")),
+      mispredictBlocks(sg.counter("mispredict_blocks")),
+      barrierDrainStalls(sg.counter("barrier_drain_stalls")),
+      barriers(sg.counter("barriers")),
+      robFullStalls(sg.counter("rob_full_stalls")),
+      iqFullStalls(sg.counter("iq_full_stalls")),
+      lsqFullStalls(sg.counter("lsq_full_stalls")),
+      intRfStalls(sg.counter("int_rf_stalls")),
+      fpRfStalls(sg.counter("fp_rf_stalls")),
+      steeredFast(sg.counter("steered_fast")),
+      forwardedLoads(sg.counter("forwarded_loads")),
+      partialForwardReplays(sg.counter("partial_forward_replays")),
+      mispredictRedirects(sg.counter("mispredict_redirects"))
+{
+}
+
 OooCore::OooCore(const CoreParams &params, uint32_t core_id,
                  mem::MemHierarchy *hierarchy, TraceSource *trace)
     : params_(params), coreId_(core_id), hier_(hierarchy),
       trace_(trace), bpred_(params.bp), fuPool_(params.fu),
       scoreboard_(kNumIntRegs + kNumFpRegs, 0),
-      stats_("core." + std::to_string(core_id))
+      stats_("core." + std::to_string(core_id)), ctrs_(stats_)
 {
     hetsim_assert(hier_ != nullptr && trace_ != nullptr,
                   "core needs a hierarchy and a trace");
@@ -130,7 +147,7 @@ OooCore::fetch(Cycle now)
                 if (r.latency > hier_->params().lat.il1Rt) {
                     // IL1 miss: stall fetch until the line arrives.
                     fetchStallUntil_ = now + r.latency;
-                    ++stats_.counter("il1_miss_stalls");
+                    ++ctrs_.il1MissStalls;
                     break;
                 }
             }
@@ -151,7 +168,7 @@ OooCore::fetch(Cycle now)
                 // branch executes (set at issue) plus refill.
                 fetchBlocked_ = true;
                 fetchResumeAt_ = 0;
-                ++stats_.counter("mispredict_blocks");
+                ++ctrs_.mispredictBlocks;
                 end_group = true;
             } else if (actually_taken) {
                 // A taken branch ends the fetch group.
@@ -159,6 +176,8 @@ OooCore::fetch(Cycle now)
             }
         }
 
+        HETSIM_TRACE(traceBuf_, now, coreId_, obs::TraceEvent::Fetch,
+                     f.op.pc, 0);
         fetchQueue_.push_back(f);
         ++fetched;
         if (end_group)
@@ -179,36 +198,36 @@ OooCore::dispatch(Cycle now)
         if (op.cls == OpClass::Barrier) {
             // Drain the pipeline, then park at the barrier.
             if (!rob_.empty()) {
-                ++stats_.counter("barrier_drain_stalls");
+                ++ctrs_.barrierDrainStalls;
                 break;
             }
             fetchQueue_.pop_front();
             atBarrier_ = true;
-            ++stats_.counter("barriers");
+            ++ctrs_.barriers;
             break;
         }
 
         if (rob_.size() >= params_.robSize) {
-            ++stats_.counter("rob_full_stalls");
+            ++ctrs_.robFullStalls;
             break;
         }
         if (iq_.size() >= params_.iqSize) {
-            ++stats_.counter("iq_full_stalls");
+            ++ctrs_.iqFullStalls;
             break;
         }
         const bool is_mem = isMemClass(op.cls);
         if (is_mem && lsqCount_ >= params_.lsqSize) {
-            ++stats_.counter("lsq_full_stalls");
+            ++ctrs_.lsqFullStalls;
             break;
         }
         if (op.dst >= 0) {
             if (op.dst < kNumIntRegs) {
                 if (freeIntRegs_ == 0) {
-                    ++stats_.counter("int_rf_stalls");
+                    ++ctrs_.intRfStalls;
                     break;
                 }
             } else if (freeFpRegs_ == 0) {
-                ++stats_.counter("fp_rf_stalls");
+                ++ctrs_.fpRfStalls;
                 break;
             }
         }
@@ -230,7 +249,7 @@ OooCore::dispatch(Cycle now)
                 const MicroOp &later = fetchQueue_[i].op;
                 if (later.src1 == op.dst || later.src2 == op.dst) {
                     e.preferFast = true;
-                    ++stats_.counter("steered_fast");
+                    ++ctrs_.steeredFast;
                     break;
                 }
             }
@@ -242,17 +261,26 @@ OooCore::dispatch(Cycle now)
             e.dep2 = scoreboard_[op.src2];
 
         if (op.cls == OpClass::Load) {
-            // Perfect memory disambiguation against in-flight stores.
-            const uint64_t addr8 = op.addr >> 3;
+            // Perfect memory disambiguation against in-flight stores,
+            // at byte granularity: the youngest store whose written
+            // bytes overlap the loaded bytes is the dependence. The
+            // LSQ forwards only when the load is fully contained in
+            // that store; a partial overlap waits for the store and
+            // then reads memory (no byte merging in the LSQ).
+            const uint64_t lbeg = op.addr;
+            const uint64_t lend = op.addr + op.accessSize;
             for (auto it = storeQueue_.rbegin();
                  it != storeQueue_.rend(); ++it) {
-                if (it->addr8 == addr8) {
+                const uint64_t sbeg = it->addr;
+                const uint64_t send = it->addr + it->size;
+                if (sbeg < lend && lbeg < send) {
                     e.storeDep = it->seq;
+                    e.forwardable = sbeg <= lbeg && lend <= send;
                     break;
                 }
             }
         } else if (op.cls == OpClass::Store) {
-            storeQueue_.push_back({e.seq, op.addr >> 3});
+            storeQueue_.push_back({e.seq, op.addr, op.accessSize});
         }
 
         if (op.dst >= 0) {
@@ -271,6 +299,8 @@ OooCore::dispatch(Cycle now)
         ++activity_[unitIdx(CpuUnit::Rob)];
         ++activity_[unitIdx(CpuUnit::IssueQueue)];
 
+        HETSIM_TRACE(traceBuf_, now, coreId_,
+                     obs::TraceEvent::Dispatch, op.pc, 0);
         iq_.push_back(e.seq);
         rob_.push_back(e);
         fetchQueue_.pop_front();
@@ -315,12 +345,15 @@ OooCore::issue(Cycle now)
         Cycle done;
         switch (e->op.cls) {
           case OpClass::Load:
-            if (dep_store) {
+            if (dep_store && e->forwardable) {
                 // Store-to-load forwarding from the LSQ (CMOS logic;
-                // fast in every configuration): AGU + LSQ CAM.
+                // fast in every configuration): AGU + LSQ CAM. Only
+                // when the store fully covers the loaded bytes.
                 done = now + fi.latency + 1;
-                ++stats_.counter("forwarded_loads");
+                ++ctrs_.forwardedLoads;
             } else {
+                if (dep_store)
+                    ++ctrs_.partialForwardReplays;
                 const auto r = hier_->access(coreId_, e->op.addr,
                                              AccessType::Load, now);
                 // The configured round trips already include address
@@ -346,8 +379,13 @@ OooCore::issue(Cycle now)
         if (e->mispredicted) {
             // Redirect: the front end refills after resolution.
             fetchResumeAt_ = done + params_.frontendDepth;
-            ++stats_.counter("mispredict_redirects");
+            ++ctrs_.mispredictRedirects;
         }
+
+        HETSIM_TRACE(traceBuf_, now, coreId_, obs::TraceEvent::Issue,
+                     e->op.pc, 0);
+        HETSIM_TRACE(traceBuf_, done, coreId_,
+                     obs::TraceEvent::Complete, e->op.pc, 0);
 
         switch (e->op.cls) {
           case OpClass::IntAlu:
@@ -407,6 +445,8 @@ OooCore::commit(Cycle now)
 
         ++activity_[unitIdx(CpuUnit::Rob)];
         ++committedOps_;
+        HETSIM_TRACE(traceBuf_, now, coreId_,
+                     obs::TraceEvent::Commit, e.op.pc, 0);
         rob_.pop_front();
         ++committed;
     }

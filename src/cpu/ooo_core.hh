@@ -26,6 +26,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "cpu/branch_pred.hh"
 #include "cpu/func_unit.hh"
 #include "cpu/microop.hh"
@@ -88,6 +89,9 @@ class OooCore
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Start recording pipeline events into `buf` (null detaches). */
+    void attachTrace(obs::TraceBuffer *buf) { traceBuf_ = buf; }
+
     /** Invariant checks for property tests. @{ */
     /** All in-flight producer seqs referenced by waiting ops are older
      *  than the referencing op. */
@@ -103,11 +107,15 @@ class OooCore
         uint64_t seq = 0;
         uint64_t dep1 = 0;     ///< Producer seq of src1 (0 = ready).
         uint64_t dep2 = 0;
-        uint64_t storeDep = 0; ///< Older same-address store (loads).
+        uint64_t storeDep = 0; ///< Older overlapping store (loads).
         mem::Cycle doneCycle = 0;
         bool issued = false;
         bool mispredicted = false;
         bool preferFast = false;
+        /** Load fully contained in the storeDep store: LSQ can
+         *  forward. Partial overlap waits for the store, then goes to
+         *  memory. */
+        bool forwardable = false;
     };
 
     void fetch(mem::Cycle now);
@@ -158,13 +166,37 @@ class OooCore
     struct StoreRec
     {
         uint64_t seq;
-        uint64_t addr8; ///< addr >> 3 (8-byte forwarding granularity).
+        uint64_t addr; ///< First byte written.
+        uint8_t size;  ///< Bytes written.
     };
     std::deque<StoreRec> storeQueue_;
 
     uint64_t committedOps_ = 0;
     power::CpuActivity activity_{};
     StatGroup stats_;
+
+    /** Per-event counters, resolved once at construction so the hot
+     *  loop never does a string-keyed map lookup (StatGroup references
+     *  are stable for the group's lifetime). */
+    struct CoreCounters
+    {
+        explicit CoreCounters(StatGroup &sg);
+        Counter &il1MissStalls;
+        Counter &mispredictBlocks;
+        Counter &barrierDrainStalls;
+        Counter &barriers;
+        Counter &robFullStalls;
+        Counter &iqFullStalls;
+        Counter &lsqFullStalls;
+        Counter &intRfStalls;
+        Counter &fpRfStalls;
+        Counter &steeredFast;
+        Counter &forwardedLoads;
+        Counter &partialForwardReplays;
+        Counter &mispredictRedirects;
+    };
+    CoreCounters ctrs_;
+    obs::TraceBuffer *traceBuf_ = nullptr;
 };
 
 } // namespace hetsim::cpu

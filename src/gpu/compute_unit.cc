@@ -20,10 +20,22 @@ unitIdx(GpuUnit u)
 
 } // namespace
 
+ComputeUnit::CuCounters::CuCounters(StatGroup &sg)
+    : workgroupsLaunched(sg.counter("workgroups_launched")),
+      workgroupsRetired(sg.counter("workgroups_retired")),
+      rfCacheReadHits(sg.counter("rf_cache_read_hits")),
+      rfCacheReadMisses(sg.counter("rf_cache_read_misses")),
+      rfFastPartitionReads(sg.counter("rf_fast_partition_reads")),
+      vloads(sg.counter("vloads")),
+      vstores(sg.counter("vstores")),
+      barrierReleases(sg.counter("barrier_releases"))
+{
+}
+
 ComputeUnit::ComputeUnit(const CuParams &params, uint32_t cu_id,
                          GpuMemInterface *mem)
     : params_(params), cuId_(cu_id), mem_(mem),
-      stats_("cu." + std::to_string(cu_id))
+      stats_("cu." + std::to_string(cu_id)), ctrs_(stats_)
 {
     hetsim_assert(mem_ != nullptr, "CU needs a memory interface");
     hetsim_assert(params_.lanes >= 1 &&
@@ -70,7 +82,7 @@ ComputeUnit::launchWorkgroup(GpuKernel &kernel, uint32_t workgroup)
         wf.assign(kernel.makeWavefront(workgroup, launched), gslot);
         ++launched;
     }
-    ++stats_.counter("workgroups_launched");
+    ++ctrs_.workgroupsLaunched;
 }
 
 uint32_t
@@ -81,18 +93,18 @@ ComputeUnit::readLatency(Wavefront &wf, int16_t vreg)
     const GpuTimings &t = params_.timings;
     if (t.useRfCache && wf.rfCache().readHit(vreg)) {
         ++activity_[unitIdx(GpuUnit::RfCache)];
-        ++stats_.counter("rf_cache_read_hits");
+        ++ctrs_.rfCacheReadHits;
         return t.rfCacheLat;
     }
     if (t.partitionedRf &&
         vreg < static_cast<int16_t>(t.fastPartitionRegs)) {
         ++activity_[unitIdx(GpuUnit::VectorRfFast)];
-        ++stats_.counter("rf_fast_partition_reads");
+        ++ctrs_.rfFastPartitionReads;
         return 1;
     }
     ++activity_[unitIdx(GpuUnit::VectorRf)];
     if (t.useRfCache)
-        ++stats_.counter("rf_cache_read_misses");
+        ++ctrs_.rfCacheReadMisses;
     return t.rfLat;
 }
 
@@ -211,7 +223,7 @@ ComputeUnit::tryIssue(Wavefront &wf, Cycle now)
         Cycle done = now + read_lat + mem_lat;
         if (!is_store)
             done += writeLatency(wf, op.dst);
-        ++stats_.counter(is_store ? "vstores" : "vloads");
+        ++(is_store ? ctrs_.vstores : ctrs_.vloads);
         wf.completeIssue(now, is_store ? now + 1 : done);
         return true;
       }
@@ -247,7 +259,7 @@ ComputeUnit::checkBarriers()
                     wf.workgroupSlot() == g)
                     wf.releaseBarrier();
             }
-            ++stats_.counter("barrier_releases");
+            ++ctrs_.barrierReleases;
         }
     }
 }
@@ -264,7 +276,7 @@ ComputeUnit::reapFinished()
         --groups_[g].wavefronts;
         if (groups_[g].wavefronts == 0) {
             groups_[g].valid = false;
-            ++stats_.counter("workgroups_retired");
+            ++ctrs_.workgroupsRetired;
         }
         wf.release();
     }
@@ -280,10 +292,16 @@ ComputeUnit::tick(Cycle now)
         Wavefront &wf = slots_[(rrNext_ + i) % n];
         if (!wf.canIssue(now))
             continue;
+        // completeIssue() advances the staged op, so capture the one
+        // being issued before tryIssue.
+        const GpuOp staged = wf.currentOp();
         if (tryIssue(wf, now)) {
             rrNext_ = (rrNext_ + i + 1) % n;
             ++issuedOps_;
             ++activity_[unitIdx(GpuUnit::FetchIssue)];
+            HETSIM_TRACE(traceBuf_, now, cuId_,
+                         obs::TraceEvent::WavefrontIssue, staged.addr,
+                         static_cast<uint8_t>(staged.cls));
             break;
         }
     }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "gpu/kernel.hh"
 #include "gpu/wavefront.hh"
 #include "power/accountant.hh"
@@ -94,6 +95,9 @@ class ComputeUnit
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Record wavefront-issue events into `buf` (null detaches). */
+    void attachTrace(obs::TraceBuffer *buf) { traceBuf_ = buf; }
+
   private:
     struct ActiveGroup
     {
@@ -130,6 +134,22 @@ class ComputeUnit
     uint64_t issuedOps_ = 0;
     power::GpuActivity activity_{};
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    struct CuCounters
+    {
+        explicit CuCounters(StatGroup &sg);
+        Counter &workgroupsLaunched;
+        Counter &workgroupsRetired;
+        Counter &rfCacheReadHits;
+        Counter &rfCacheReadMisses;
+        Counter &rfFastPartitionReads;
+        Counter &vloads;
+        Counter &vstores;
+        Counter &barrierReleases;
+    };
+    CuCounters ctrs_;
+    obs::TraceBuffer *traceBuf_ = nullptr;
 };
 
 } // namespace hetsim::gpu

@@ -69,6 +69,13 @@ Gpu::Gpu(const GpuParams &params) : params_(params), mem_(params_)
             std::make_unique<ComputeUnit>(params_.cu, c, &mem_));
 }
 
+void
+Gpu::attachTrace(obs::TraceBuffer *buf)
+{
+    for (auto &cu : cus_)
+        cu->attachTrace(buf);
+}
+
 GpuResult
 Gpu::run(GpuKernel &kernel)
 {

@@ -84,6 +84,9 @@ class Gpu
 
     ComputeUnit &cu(uint32_t i) { return *cus_[i]; }
     GpuMemSystem &memSystem() { return mem_; }
+
+    /** Record wavefront-issue events of every CU into `buf`. */
+    void attachTrace(obs::TraceBuffer *buf);
     uint32_t numCus() const
     {
         return static_cast<uint32_t>(cus_.size());

@@ -7,8 +7,24 @@
 namespace hetsim::mem
 {
 
+Cache::CacheCounters::CacheCounters(StatGroup &sg)
+    : accesses(sg.counter("accesses")),
+      misses(sg.counter("misses")),
+      hits(sg.counter("hits")),
+      fastHits(sg.counter("fast_hits")),
+      slowHits(sg.counter("slow_hits")),
+      promotions(sg.counter("promotions")),
+      fills(sg.counter("fills")),
+      evictions(sg.counter("evictions")),
+      dirtyEvictions(sg.counter("dirty_evictions")),
+      demotions(sg.counter("demotions")),
+      invalidations(sg.counter("invalidations")),
+      downgrades(sg.counter("downgrades"))
+{
+}
+
 Cache::Cache(const CacheParams &params)
-    : params_(params), stats_(params.name)
+    : params_(params), stats_(params.name), ctrs_(stats_)
 {
     hetsim_assert(params_.lineBytes > 0 &&
                   (params_.lineBytes & (params_.lineBytes - 1)) == 0,
@@ -73,28 +89,28 @@ Cache::findLine(Addr addr) const
 LookupResult
 Cache::access(Addr addr)
 {
-    ++stats_.counter("accesses");
+    ++ctrs_.accesses;
     const uint32_t set = setIndex(addr);
     Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
     Line *line = findLine(addr);
     if (!line) {
-        ++stats_.counter("misses");
+        ++ctrs_.misses;
         return {};
     }
 
-    ++stats_.counter("hits");
+    ++ctrs_.hits;
     LookupResult res;
     res.hit = true;
     res.state = line->state;
     res.fastHit = params_.asymmetric && line == &base[0];
     if (params_.asymmetric) {
         if (res.fastHit) {
-            ++stats_.counter("fast_hits");
+            ++ctrs_.fastHits;
         } else {
             // Promote the MRU line into the fast way by swapping the
             // hit line with the current way-0 occupant.
-            ++stats_.counter("slow_hits");
-            ++stats_.counter("promotions");
+            ++ctrs_.slowHits;
+            ++ctrs_.promotions;
             std::swap(*line, base[0]);
             line = &base[0];
         }
@@ -121,7 +137,7 @@ Cache::fill(Addr addr, CoherenceState state)
                   "cannot fill an invalid line");
     hetsim_assert(!contains(addr), "double fill of %llx",
                   static_cast<unsigned long long>(addr));
-    ++stats_.counter("fills");
+    ++ctrs_.fills;
 
     const uint32_t set = setIndex(addr);
     Line *base = &lines_[static_cast<size_t>(set) * params_.ways];
@@ -152,9 +168,9 @@ Cache::fill(Addr addr, CoherenceState state)
         ev.lineAddr = rebuildAddr(set, victim->tag);
         ev.dirty = victim->dirty;
         ev.state = victim->state;
-        ++stats_.counter("evictions");
+        ++ctrs_.evictions;
         if (victim->dirty)
-            ++stats_.counter("dirty_evictions");
+            ++ctrs_.dirtyEvictions;
     }
 
     Line incoming;
@@ -169,7 +185,7 @@ Cache::fill(Addr addr, CoherenceState state)
         *victim = base[0];
         base[0] = incoming;
         if (victim != &base[0] && victim->valid())
-            ++stats_.counter("demotions");
+            ++ctrs_.demotions;
     } else {
         *victim = incoming;
     }
@@ -205,7 +221,7 @@ Cache::invalidate(Addr addr)
     Line *line = findLine(addr);
     if (!line)
         return false;
-    ++stats_.counter("invalidations");
+    ++ctrs_.invalidations;
     const bool was_dirty = line->dirty;
     line->state = CoherenceState::Invalid;
     line->dirty = false;
@@ -218,7 +234,7 @@ Cache::downgradeToShared(Addr addr)
     Line *line = findLine(addr);
     if (!line)
         return false;
-    ++stats_.counter("downgrades");
+    ++ctrs_.downgrades;
     const bool was_dirty = line->dirty;
     line->state = CoherenceState::Shared;
     line->dirty = false;

@@ -132,6 +132,25 @@ class Cache
     uint64_t stampCounter_ = 0;
     std::vector<Line> lines_; ///< numSets_ x ways, row-major.
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    struct CacheCounters
+    {
+        explicit CacheCounters(StatGroup &sg);
+        Counter &accesses;
+        Counter &misses;
+        Counter &hits;
+        Counter &fastHits;
+        Counter &slowHits;
+        Counter &promotions;
+        Counter &fills;
+        Counter &evictions;
+        Counter &dirtyEvictions;
+        Counter &demotions;
+        Counter &invalidations;
+        Counter &downgrades;
+    };
+    CacheCounters ctrs_;
 };
 
 } // namespace hetsim::mem

@@ -10,7 +10,11 @@ namespace hetsim::mem
 Dram::Dram(uint32_t latency_cycles, uint32_t service_cycles,
            uint32_t channels)
     : latencyCycles_(latency_cycles), serviceCycles_(service_cycles),
-      channelFree_(channels, 0), stats_("dram")
+      channelFree_(channels, 0), stats_("dram"),
+      reads_(stats_.counter("reads")),
+      writes_(stats_.counter("writes")),
+      queueCycles_(stats_.counter("queue_cycles")),
+      queueDelay_(stats_.distribution("queue_delay"))
 {
     hetsim_assert(channels >= 1, "need at least one DRAM channel");
 }
@@ -33,17 +37,18 @@ Dram::reserveSlot(uint32_t channel, Cycle now)
 uint32_t
 Dram::access(Addr addr, Cycle now)
 {
-    ++stats_.counter("reads");
+    ++reads_;
     const Cycle start = reserveSlot(channelOf(addr), now);
     const Cycle queue_delay = start - now;
-    stats_.counter("queue_cycles") += queue_delay;
+    queueCycles_ += queue_delay;
+    queueDelay_.sample(static_cast<double>(queue_delay));
     return static_cast<uint32_t>(queue_delay) + latencyCycles_;
 }
 
 void
 Dram::writeback(Addr addr, Cycle now)
 {
-    ++stats_.counter("writes");
+    ++writes_;
     reserveSlot(channelOf(addr), now);
 }
 

@@ -54,6 +54,12 @@ class Dram
     uint32_t serviceCycles_;
     std::vector<Cycle> channelFree_;
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    Counter &reads_;
+    Counter &writes_;
+    Counter &queueCycles_;
+    Distribution &queueDelay_; ///< Per-read queuing delay (cycles).
 };
 
 } // namespace hetsim::mem

@@ -18,11 +18,25 @@ coreBit(uint32_t core)
 
 } // namespace
 
+MemHierarchy::HierCounters::HierCounters(StatGroup &sg)
+    : prefetches(sg.counter("prefetches")),
+      ifetchPrefetches(sg.counter("ifetch_prefetches")),
+      l2Writebacks(sg.counter("l2_writebacks")),
+      l3Writebacks(sg.counter("l3_writebacks")),
+      dl1Writebacks(sg.counter("dl1_writebacks")),
+      backInvalidations(sg.counter("back_invalidations")),
+      upgradeInvalidations(sg.counter("upgrade_invalidations")),
+      rfoInvalidations(sg.counter("rfo_invalidations")),
+      ownerDowngrades(sg.counter("owner_downgrades"))
+{
+}
+
 MemHierarchy::MemHierarchy(const HierarchyParams &params)
     : params_(params),
       ring_(2 * params.numCores, 1, 1),
       dram_(params.lat.dramRt),
-      stats_("hierarchy")
+      stats_("hierarchy"),
+      ctrs_(stats_)
 {
     hetsim_assert(params_.numCores >= 1 && params_.numCores <= 32,
                   "unsupported core count %u", params_.numCores);
@@ -84,7 +98,7 @@ MemHierarchy::maybePrefetch(uint32_t core, Addr addr, Cycle now)
         const Addr target = (line + d) << kLineShift;
         if (!dl1_[core]->contains(target)) {
             prefetchLine(core, target, now);
-            ++stats_.counter("prefetches");
+            ++ctrs_.prefetches;
         }
     }
     inPrefetch_ = false;
@@ -152,7 +166,7 @@ MemHierarchy::handleL2Eviction(uint32_t core, const Eviction &ev,
         hetsim_assert(l3_->contains(addr),
                       "inclusion violated on L2 writeback");
         l3_->markDirty(addr);
-        ++stats_.counter("l2_writebacks");
+        ++ctrs_.l2Writebacks;
     }
     (void)now;
 }
@@ -171,14 +185,14 @@ MemHierarchy::handleL3Eviction(const Eviction &ev, Cycle now)
             if (it->second.sharers & coreBit(c)) {
                 if (invalidateCore(c, addr))
                     dirty = true;
-                ++stats_.counter("back_invalidations");
+                ++ctrs_.backInvalidations;
             }
         }
         directory_.erase(it);
     }
     if (dirty) {
         dram_.writeback(addr, now);
-        ++stats_.counter("l3_writebacks");
+        ++ctrs_.l3Writebacks;
     }
 }
 
@@ -216,6 +230,26 @@ AccessResult
 MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                      Cycle now)
 {
+    // Trace demand accesses only: recursive prefetch walks re-enter
+    // through this wrapper with inPrefetch_ set and stay silent.
+    const bool demand = !inPrefetch_ && type != AccessType::Prefetch;
+    const AccessResult r = accessImpl(core, addr, type, now);
+    if (demand) {
+        const bool l1_hit = r.source == AccessSource::Dl1Fast ||
+            r.source == AccessSource::Dl1 ||
+            r.source == AccessSource::Il1;
+        HETSIM_TRACE(traceBuf_, now, core,
+                     l1_hit ? obs::TraceEvent::CacheHit
+                            : obs::TraceEvent::CacheMiss,
+                     addr, static_cast<uint8_t>(r.source));
+    }
+    return r;
+}
+
+AccessResult
+MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
+                         Cycle now)
+{
     hetsim_assert(core < params_.numCores, "core %u out of range", core);
     addr = lineAlign(addr);
     const LevelLatencies &lat = latFor(core);
@@ -231,7 +265,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                     (lineNumber(addr) + d) << kLineShift;
                 if (!il1_[core]->contains(target)) {
                     access(core, target, AccessType::Ifetch, now);
-                    ++stats_.counter("ifetch_prefetches");
+                    ++ctrs_.ifetchPrefetches;
                 }
             }
             inPrefetch_ = false;
@@ -298,7 +332,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                         inval_lat = std::max(inval_lat,
                             ring_.latency(ringNodeOfBank(addr),
                                           ringNodeOfCore(c)));
-                        ++stats_.counter("upgrade_invalidations");
+                        ++ctrs_.upgradeInvalidations;
                     }
                 }
                 latency += inval_lat;
@@ -332,7 +366,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                     inval_lat = std::max(inval_lat,
                         ring_.latency(ringNodeOfBank(addr),
                                       ringNodeOfCore(c)));
-                    ++stats_.counter("upgrade_invalidations");
+                    ++ctrs_.upgradeInvalidations;
                 }
             }
             latency += inval_lat;
@@ -357,7 +391,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                         lat.remoteProbeRt +
                         ring_.latency(ringNodeOfBank(addr),
                                       ringNodeOfCore(c)));
-                    ++stats_.counter("rfo_invalidations");
+                    ++ctrs_.rfoInvalidations;
                     if (entry.owner == static_cast<int>(c))
                         source = AccessSource::RemoteCore;
                 }
@@ -382,7 +416,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                     ring_.latency(ringNodeOfCore(o),
                                   ringNodeOfCore(core));
                 source = AccessSource::RemoteCore;
-                ++stats_.counter("owner_downgrades");
+                ++ctrs_.ownerDowngrades;
             }
             entry.sharers |= coreBit(core);
             if (entry.sharers == coreBit(core)) {
@@ -403,7 +437,7 @@ MemHierarchy::access(uint32_t core, Addr addr, AccessType type,
                       "inclusion violated on DL1 writeback");
         l2.markDirty(ev.lineAddr);
         l2.setState(ev.lineAddr, CoherenceState::Modified);
-        ++stats_.counter("dl1_writebacks");
+        ++ctrs_.dl1Writebacks;
     }
     if (is_store) {
         dl1.setState(addr, CoherenceState::Modified);

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/trace.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/ring.hh"
@@ -112,6 +113,9 @@ class MemHierarchy
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Record demand hit/miss events into `buf` (null detaches). */
+    void attachTrace(obs::TraceBuffer *buf) { traceBuf_ = buf; }
+
     /** Directory invariant checks, used by property tests. @{ */
     /** At most one core holds the line in M/E state, and if one does,
      *  no other core holds it at all. */
@@ -128,6 +132,10 @@ class MemHierarchy
         uint32_t sharers = 0;  ///< Bitmask of cores with a copy.
         int owner = -1;        ///< Core holding E/M, or -1.
     };
+
+    /** The access walk itself; access() wraps it with event tracing. */
+    AccessResult accessImpl(uint32_t core, Addr addr, AccessType type,
+                            Cycle now);
 
     const LevelLatencies &latFor(uint32_t core) const;
     uint32_t ringNodeOfCore(uint32_t core) const;
@@ -168,6 +176,23 @@ class MemHierarchy
     RingNetwork ring_;
     Dram dram_;
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    struct HierCounters
+    {
+        explicit HierCounters(StatGroup &sg);
+        Counter &prefetches;
+        Counter &ifetchPrefetches;
+        Counter &l2Writebacks;
+        Counter &l3Writebacks;
+        Counter &dl1Writebacks;
+        Counter &backInvalidations;
+        Counter &upgradeInvalidations;
+        Counter &rfoInvalidations;
+        Counter &ownerDowngrades;
+    };
+    HierCounters ctrs_;
+    obs::TraceBuffer *traceBuf_ = nullptr;
 
     /** One tracked stream of a per-core stride prefetcher. Multiple
      *  concurrent streams survive interleaved random accesses. */

@@ -10,7 +10,10 @@ namespace hetsim::mem
 RingNetwork::RingNetwork(uint32_t num_nodes, uint32_t hop_cycles,
                          uint32_t injection_cycles)
     : numNodes_(num_nodes), hopCycles_(hop_cycles),
-      injectionCycles_(injection_cycles), stats_("ring")
+      injectionCycles_(injection_cycles), stats_("ring"),
+      messages_(stats_.counter("messages")),
+      hopTraversals_(stats_.counter("hop_traversals")),
+      hopDist_(stats_.distribution("hops"))
 {
     hetsim_assert(num_nodes >= 1, "ring needs at least one node");
 }
@@ -28,8 +31,9 @@ uint32_t
 RingNetwork::latency(uint32_t from, uint32_t to)
 {
     const uint32_t h = hops(from, to);
-    ++stats_.counter("messages");
-    stats_.counter("hop_traversals") += h;
+    ++messages_;
+    hopTraversals_ += h;
+    hopDist_.sample(h);
     return injectionCycles_ + h * hopCycles_;
 }
 

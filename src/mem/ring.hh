@@ -47,6 +47,11 @@ class RingNetwork
     uint32_t hopCycles_;
     uint32_t injectionCycles_;
     StatGroup stats_;
+
+    /** Hot-path counter handles (stable StatGroup references). */
+    Counter &messages_;
+    Counter &hopTraversals_;
+    Distribution &hopDist_; ///< Hops per message.
 };
 
 } // namespace hetsim::mem

@@ -8,8 +8,17 @@
  * HetSim. The format is a fixed-size little-endian record stream:
  *
  *   header: magic "HSTR" (4 B), version u32, record count u64
- *   record: cls u8, taken u8, src1 i16, src2 i16, dst i16,
- *           pc u64, addr u64, target u64   (32 bytes)
+ *   v2 record: cls u8, taken u8, size u8, pad u8,
+ *              src1 i16, src2 i16, dst i16, pad u16,
+ *              pc u64, addr u64, target u64   (36 bytes)
+ *   v1 record: cls u8, taken u8, src1 i16, src2 i16, dst i16,
+ *              pc u64, addr u64, target u64   (32 bytes)
+ *
+ * Version 2 adds the memory access size in bytes, which the core's
+ * store-to-load forwarding logic needs for byte-accurate aliasing.
+ * Version-1 traces stay replayable: their loads and stores come back
+ * with the legacy 8-byte access size, reproducing the exact behaviour
+ * they had when recorded.
  *
  * Replay through FileTrace is bit-identical to the original source,
  * so a recorded run reproduces the exact same simulation.
@@ -38,12 +47,14 @@ namespace hetsim::workload
 
 /** Magic bytes and current format version. */
 constexpr uint32_t kTraceMagic = 0x52545348; // "HSTR" LE
-constexpr uint32_t kTraceVersion = 1;
+constexpr uint32_t kTraceVersion = 2;
 
 /** On-disk sizes, exposed so fault-injection tests can aim at the
  *  header/record boundaries. */
 constexpr uint64_t kTraceHeaderBytes = 16;
-constexpr uint64_t kTraceRecordBytes = 32;
+constexpr uint64_t kTraceRecordBytes = 36;
+/** Legacy v1 record size (no access-size field). */
+constexpr uint64_t kTraceRecordBytesV1 = 32;
 
 /**
  * Record up to `max_ops` micro-ops from `source` into `path`.
@@ -60,6 +71,7 @@ class FileTrace : public cpu::TraceSource
     /**
      * Open and fully validate `path`: header magic/version, and that
      * the file size matches the header's record count exactly.
+     * Accepts the current version 2 and legacy version 1 traces.
      */
     static Result<std::unique_ptr<FileTrace>>
     open(const std::string &path);
@@ -80,13 +92,17 @@ class FileTrace : public cpu::TraceSource
     /** Total records in the file. */
     uint64_t size() const { return count_; }
 
+    /** On-disk format version (1 or 2). */
+    uint32_t version() const { return version_; }
+
     /** Rewind to the first record (also clears an error status). */
     Status rewind();
 
   private:
-    FileTrace(FileHandle file, std::string path, uint64_t count)
+    FileTrace(FileHandle file, std::string path, uint64_t count,
+              uint32_t version)
         : file_(std::move(file)), path_(std::move(path)),
-          count_(count)
+          count_(count), version_(version)
     {
     }
 
@@ -94,6 +110,7 @@ class FileTrace : public cpu::TraceSource
     std::string path_;
     uint64_t count_ = 0;
     uint64_t pos_ = 0;
+    uint32_t version_ = kTraceVersion;
     Status status_;
 };
 

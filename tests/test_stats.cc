@@ -123,6 +123,47 @@ TEST(StatGroup, ResetClearsAll)
     EXPECT_EQ(g.value("b"), 0u);
 }
 
+TEST(StatGroup, RegistersDistributions)
+{
+    StatGroup g("test");
+    Distribution &d = g.distribution("latency");
+    d.sample(4.0);
+    d.sample(8.0);
+    // Same name returns the same object.
+    EXPECT_EQ(&g.distribution("latency"), &d);
+    ASSERT_EQ(g.distributions().size(), 1u);
+    EXPECT_EQ(g.distributions().count("latency"), 1u);
+    EXPECT_EQ(g.distributions().at("latency").count(), 2u);
+    EXPECT_DOUBLE_EQ(g.distributions().at("latency").mean(), 6.0);
+}
+
+TEST(StatGroup, CounterAndDistributionHandlesStayValid)
+{
+    // The hot-path pattern: handles cached at construction must stay
+    // valid as later registrations grow the maps.
+    StatGroup g("test");
+    Counter &a = g.counter("a");
+    Distribution &d = g.distribution("d");
+    for (int i = 0; i < 64; ++i) {
+        ++g.counter("filler_" + std::to_string(i));
+        g.distribution("dfiller_" + std::to_string(i)).sample(i);
+    }
+    ++a;
+    d.sample(1.0);
+    EXPECT_EQ(g.value("a"), 1u);
+    EXPECT_EQ(&g.counter("a"), &a);
+    EXPECT_EQ(&g.distribution("d"), &d);
+    EXPECT_EQ(g.distributions().at("d").count(), 1u);
+}
+
+TEST(StatGroup, ResetClearsDistributions)
+{
+    StatGroup g("test");
+    g.distribution("d").sample(5.0);
+    g.reset();
+    EXPECT_EQ(g.distributions().at("d").count(), 0u);
+}
+
 TEST(StatGroup, DumpPrintsEveryCounter)
 {
     StatGroup g("dumped");
