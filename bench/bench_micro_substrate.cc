@@ -161,6 +161,79 @@ BM_GpuSimulation(benchmark::State &state)
 }
 BENCHMARK(BM_GpuSimulation)->Unit(benchmark::kMillisecond);
 
+void
+BM_CpuSimThroughput(benchmark::State &state)
+{
+    // Simulated cycles per second with event-horizon skipping on
+    // (Arg 0) vs. the per-cycle reference loop (Arg 1), on a
+    // memory-bound app whose long DRAM stalls are the skip loop's
+    // best case. The ratio of the two sim_cycles_per_sec counters is
+    // the skip speedup reported in BENCH_simspeed.json.
+    const bool no_skip = state.range(0) != 0;
+    const auto found = workload::findCpuApp("canneal");
+    if (!found.ok()) {
+        state.SkipWithError(found.status().toString().c_str());
+        return;
+    }
+    const auto &app = *found.value();
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto bundle = core::makeCpuConfig(core::CpuConfig::BaseTfet);
+        bundle.sim.skipEnabled = !no_skip;
+        auto traces = workload::makeCpuWorkload(
+            app, bundle.numCores, 1, 0.5);
+        std::vector<cpu::TraceSource *> ptrs;
+        for (auto &t : traces)
+            ptrs.push_back(t.get());
+        cpu::Multicore mc(bundle.sim, ptrs);
+        auto res = mc.run();
+        cycles += res.cycles;
+        state.SetItemsProcessed(state.items_processed() +
+                                res.committedOps);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(static_cast<double>(cycles),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_CpuSimThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
+void
+BM_GpuSimThroughput(benchmark::State &state)
+{
+    // GPU twin of BM_CpuSimThroughput: a memory-heavy kernel on the
+    // half-clock all-TFET GPU, skip (Arg 0) vs. reference (Arg 1).
+    const bool no_skip = state.range(0) != 0;
+    const auto found = workload::findGpuKernel("reduction");
+    if (!found.ok()) {
+        state.SkipWithError(found.status().toString().c_str());
+        return;
+    }
+    const auto &prof = *found.value();
+    uint64_t cycles = 0;
+    for (auto _ : state) {
+        auto bundle = core::makeGpuConfig(core::GpuConfig::BaseTfet);
+        bundle.sim.skipEnabled = !no_skip;
+        workload::SyntheticKernel kernel(prof, 1, 0.5);
+        gpu::Gpu gpu(bundle.sim);
+        auto res = gpu.run(kernel);
+        cycles += res.cycles;
+        state.SetItemsProcessed(state.items_processed() +
+                                res.issuedOps);
+        benchmark::DoNotOptimize(res.cycles);
+    }
+    state.counters["sim_cycles_per_sec"] =
+        benchmark::Counter(static_cast<double>(cycles),
+                           benchmark::Counter::kIsRate);
+}
+BENCHMARK(BM_GpuSimThroughput)
+    ->Arg(0)
+    ->Arg(1)
+    ->Unit(benchmark::kMillisecond);
+
 } // namespace
 
 BENCHMARK_MAIN();

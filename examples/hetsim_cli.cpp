@@ -5,10 +5,13 @@
  *   hetsim_cli list
  *       Print every configuration, application, and GPU kernel.
  *   hetsim_cli run --config AdvHet --app fft [--scale S] [--freq F]
- *                  [--cores N] [--seed K] [--csv out.csv]
- *                  [--report-json report.json] [--trace-out t.json]
- *                  [--trace-capacity N]
+ *                  [--cores N] [--seed K] [--no-skip 1]
+ *                  [--csv out.csv] [--report-json report.json]
+ *                  [--trace-out t.json] [--trace-capacity N]
  *       Simulate one CPU experiment and print its metrics.
+ *       --no-skip 1 disables event-horizon cycle skipping (the
+ *       slower reference path; reports are byte-identical either
+ *       way — run/gpu/sweep/dse all accept it).
  *       --report-json writes the machine-readable RunReport (every
  *       stat counter and distribution, per-unit energy, config
  *       identity); two identical runs produce byte-identical files.
@@ -240,6 +243,7 @@ cmdRun(const Args &args)
     opts.seed = args.getU("seed", 1);
     opts.coresOverride =
         static_cast<uint32_t>(args.getU("cores", 0));
+    opts.noSkip = args.getU("no-skip", 0) != 0;
 
     obs::RunReport report;
     obs::TraceBuffer trace(
@@ -283,6 +287,7 @@ cmdGpu(const Args &args)
     core::ExperimentOptions opts;
     opts.scale = args.getD("scale", 1.0);
     opts.seed = args.getU("seed", 1);
+    opts.noSkip = args.getU("no-skip", 0) != 0;
 
     obs::RunReport report;
     obs::TraceBuffer trace(
@@ -427,6 +432,7 @@ cmdSweep(const Args &args)
     opts.exp.freqGhz = args.getD("freq", 2.0);
     opts.exp.seed = args.getU("seed", 1);
     opts.exp.watchdogCycles = args.getU("watchdog-cycles", 0);
+    opts.exp.noSkip = args.getU("no-skip", 0) != 0;
     opts.wallLimitMs = args.getD("timeout-ms", 0.0);
     opts.isolate = args.getU("no-isolate", 0) == 0;
     opts.verbose = true;
@@ -484,6 +490,7 @@ cmdDse(const Args &args)
     opts.exp.scale = args.getD("scale", 0.05);
     opts.exp.freqGhz = args.getD("freq", 2.0);
     opts.exp.seed = args.getU("seed", 1);
+    opts.exp.noSkip = args.getU("no-skip", 0) != 0;
     opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
     opts.areaBudgetMm2 = args.getD("budget-mm2", 0.0);
     const auto objective =

@@ -53,10 +53,41 @@ build/examples/hetsim_cli run --config BaseCMOS --app fft \
       --scale 0.02 --trace-out build/trace_smoke.json > /dev/null
 grep -q traceEvents build/trace_smoke.json
 
+# Event-horizon smoke: skipping must be invisible in every report.
+# Each pair runs once with cycle skipping (default) and once with
+# --no-skip 1 (the per-cycle reference loop); the JSON documents must
+# match byte for byte.
+build/examples/hetsim_cli run --config BaseTFET --app canneal \
+      --scale 0.05 --report-json build/skip_cpu_a.json > /dev/null
+build/examples/hetsim_cli run --config BaseTFET --app canneal \
+      --scale 0.05 --no-skip 1 --report-json build/skip_cpu_b.json \
+      > /dev/null
+cmp build/skip_cpu_a.json build/skip_cpu_b.json
+build/examples/hetsim_cli gpu --config AdvHet --kernel reduction \
+      --scale 0.2 --report-json build/skip_gpu_a.json > /dev/null
+build/examples/hetsim_cli gpu --config AdvHet --kernel reduction \
+      --scale 0.2 --no-skip 1 --report-json build/skip_gpu_b.json \
+      > /dev/null
+cmp build/skip_gpu_a.json build/skip_gpu_b.json
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
+      --scale 0.02 --report-json build/skip_dse_a.json > /dev/null
+build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
+      --scale 0.02 --no-skip 1 --report-json build/skip_dse_b.json \
+      > /dev/null
+cmp build/skip_dse_a.json build/skip_dse_b.json
+
 # Substrate microbenchmarks (simulator speed, not simulated machine),
 # exported as machine-readable JSON for regression tracking.
 build/bench/bench_micro_substrate \
       --benchmark_out=build/BENCH_report.json \
+      --benchmark_out_format=json
+
+# Simulation-speed benchmark: skip vs. the --no-skip reference loop
+# on memory-bound workloads; the sim_cycles_per_sec counters record
+# the skip speedup (CPU target: >= 1.5x).
+build/bench/bench_micro_substrate \
+      --benchmark_filter=SimThroughput \
+      --benchmark_out=build/BENCH_simspeed.json \
       --benchmark_out_format=json
 
 for b in build/bench/bench_table* build/bench/bench_fig* \

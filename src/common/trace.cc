@@ -1,6 +1,8 @@
 #include "common/trace.hh"
 
+#include <algorithm>
 #include <cstdio>
+#include <vector>
 
 #include "common/file.hh"
 
@@ -92,8 +94,19 @@ writeChromeTrace(const TraceBuffer &buffer, const std::string &path)
     }
     out += "},\"traceEvents\":[";
 
+    // Completion events are recorded at issue time with a future
+    // timestamp (which may land inside an event-horizon skipped
+    // range), so the ring holds records slightly out of cycle order.
+    // Export sorted so downstream consumers see monotonic timestamps;
+    // stable_sort keeps the recording order within a cycle.
+    std::vector<TraceRecord> records = buffer.snapshot();
+    std::stable_sort(records.begin(), records.end(),
+                     [](const TraceRecord &a, const TraceRecord &b) {
+                         return a.cycle < b.cycle;
+                     });
+
     bool first = true;
-    for (const TraceRecord &r : buffer.snapshot()) {
+    for (const TraceRecord &r : records) {
         if (!first)
             out += ",";
         first = false;

@@ -562,7 +562,7 @@ dseCacheKey(uint64_t design_hash, const std::string &workload,
 {
     char buf[160];
     std::snprintf(buf, sizeof(buf),
-                  "%016llx|%s|s%llu|x%.9g|f%.9g|g%d|c%u|w%llu",
+                  "%016llx|%s|s%llu|x%.9g|f%.9g|g%d|c%u|w%llu|k%d",
                   static_cast<unsigned long long>(design_hash),
                   workload.c_str(),
                   static_cast<unsigned long long>(opts.seed),
@@ -570,7 +570,8 @@ dseCacheKey(uint64_t design_hash, const std::string &workload,
                   opts.variationGuardband ? 1 : 0,
                   opts.coresOverride,
                   static_cast<unsigned long long>(
-                      opts.watchdogCycles));
+                      opts.watchdogCycles),
+                  opts.noSkip ? 1 : 0);
     return buf;
 }
 

@@ -138,6 +138,7 @@ runCpuBundle(const CpuConfigBundle &bundle_in,
         bundle.sim.mem.numCores = opts.coresOverride;
     }
     bundle.sim.watchdogCycles = opts.watchdogCycles;
+    bundle.sim.skipEnabled = !opts.noSkip;
 
     auto traces = workload::makeCpuWorkload(app, bundle.numCores,
                                             opts.seed, opts.scale);
@@ -209,6 +210,7 @@ runGpuBundle(const GpuConfigBundle &bundle_in,
 {
     GpuConfigBundle bundle = bundle_in;
     bundle.sim.watchdogCycles = opts.watchdogCycles;
+    bundle.sim.skipEnabled = !opts.noSkip;
 
     workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
     gpu::Gpu gpu(bundle.sim);

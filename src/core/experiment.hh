@@ -34,6 +34,10 @@ struct ExperimentOptions
     /** Recoverable cycle watchdog (0 = off): the simulation stops at
      *  this many cycles and the outcome reports timedOut. */
     uint64_t watchdogCycles = 0;
+    /** Disable event-horizon cycle skipping (the `--no-skip` escape
+     *  hatch). Results are bit-identical either way; this exists as
+     *  the reference path that proves it. */
+    bool noSkip = false;
 };
 
 /** Outcome of one (config, app) run. */

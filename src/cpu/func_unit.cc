@@ -24,6 +24,40 @@ FuncUnitPool::FuncUnitPool(const FuPoolParams &params)
     }
 }
 
+Cycle
+FuncUnitPool::nextFreeCycle(OpClass cls) const
+{
+    const std::vector<Cycle> *units = nullptr;
+    switch (cls) {
+      case OpClass::IntAlu:
+      case OpClass::Branch:
+      case OpClass::Call:
+      case OpClass::Return:
+        units = &aluFree_;
+        break;
+      case OpClass::IntMult:
+      case OpClass::IntDiv:
+        units = &mulDivFree_;
+        break;
+      case OpClass::Load:
+      case OpClass::Store:
+        units = &lsuFree_;
+        break;
+      case OpClass::FpAdd:
+      case OpClass::FpMult:
+      case OpClass::FpDiv:
+        units = &fpuFree_;
+        break;
+      case OpClass::Barrier:
+      case OpClass::Nop:
+        return 0;
+    }
+    Cycle best = mem::kNoEvent;
+    for (Cycle free_at : *units)
+        best = std::min(best, free_at);
+    return best;
+}
+
 void
 FuncUnitPool::reset()
 {

@@ -76,6 +76,16 @@ class FuncUnitPool
      */
     FuIssue tryIssue(OpClass cls, Cycle now, bool prefer_fast = false);
 
+    /**
+     * Earliest cycle at which tryIssue(cls, ...) can succeed: the
+     * minimum freeAt over every unit that can execute `cls` (both
+     * clusters of a dual-speed ALU, since tryIssue falls back). Pure —
+     * claims nothing. Used by the event-horizon scheduler to bound how
+     * long a dep-ready op stays blocked on a busy (e.g. unpipelined
+     * divide) unit. Returns 0 for classes that need no unit.
+     */
+    Cycle nextFreeCycle(OpClass cls) const;
+
     /** Reset per-run occupancy state. */
     void reset();
 

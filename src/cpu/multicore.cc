@@ -1,5 +1,7 @@
 #include "cpu/multicore.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace hetsim::cpu
@@ -30,8 +32,13 @@ Multicore::Multicore(const MulticoreParams &params,
                   "coreSpecs must be empty or one per core");
     hier_ = std::make_unique<mem::MemHierarchy>(params.mem);
     for (uint32_t c = 0; c < params.mem.numCores; ++c) {
-        const CoreParams &cp = params.coreSpecs.empty()
+        CoreParams cp = params.coreSpecs.empty()
             ? params.core : params.coreSpecs[c].core;
+        // --no-skip selects the reference per-cycle loop end to end:
+        // no event-horizon jumps and no wakeup-driven issue, so the
+        // bit-identity comparison exercises the plain scheduler.
+        if (!params.skipEnabled)
+            cp.wakeupIssue = false;
         cores_.push_back(std::make_unique<OooCore>(
             cp, c, hier_.get(), traces[c]));
     }
@@ -60,6 +67,7 @@ Multicore::run()
         }
         hetsim_assert(now < params_.maxCycles,
                       "exceeded cycle budget; deadlock?");
+        bool any_progress = false;
         for (uint32_t c = 0; c < cores_.size(); ++c) {
             // Slower (e.g. TFET) cores tick every Nth chip cycle.
             const uint32_t div = params_.coreSpecs.empty()
@@ -67,7 +75,7 @@ Multicore::run()
             if (div > 1 && now % div != 0)
                 continue;
             if (!cores_[c]->finished())
-                cores_[c]->tick(now);
+                any_progress |= cores_[c]->tick(now);
         }
 
         // Barrier protocol: once every unfinished core is parked at a
@@ -88,11 +96,64 @@ Multicore::run()
             ++res.barrierReleases;
         }
         ++now;
+
+        if (params_.skipEnabled && running > 0 && !any_progress) {
+            // Event horizon: the earliest cycle any unfinished core
+            // can act, aligned up to that core's own tick grid. Every
+            // skipped-over tick is a pure stall the core reproduces
+            // via creditStalledTicks(), so reports are bit-identical
+            // to the per-cycle reference loop. Only consulted once a
+            // whole tick passes with no pipeline motion: during active
+            // phases the horizon is almost always `now`, so computing
+            // it would be pure overhead.
+            mem::Cycle target = mem::kNoEvent;
+            bool any_unfinished = false;
+            for (uint32_t c = 0; c < cores_.size(); ++c) {
+                if (cores_[c]->finished())
+                    continue;
+                any_unfinished = true;
+                mem::Cycle e = cores_[c]->nextEventCycle(now);
+                if (e == mem::kNoEvent)
+                    continue;
+                const uint64_t div = params_.coreSpecs.empty()
+                    ? 1 : params_.coreSpecs[c].tickDivisor;
+                if (div > 1)
+                    e = (e + div - 1) / div * div;
+                target = std::min(target, e);
+                if (target == now)
+                    break; // no skip possible; stop walking
+            }
+            // A barrier release can retire the last cores mid-
+            // iteration (stale `running`); with no unfinished core
+            // there is nothing to wait for, so never skip.
+            if (!any_unfinished)
+                target = now;
+            // Never skip past the point where the reference loop
+            // would stop (watchdog timeout or cycle-budget panic).
+            const mem::Cycle limit = params_.watchdogCycles > 0
+                ? params_.watchdogCycles : params_.maxCycles;
+            if (target > limit)
+                target = limit;
+            if (target > now) {
+                for (uint32_t c = 0; c < cores_.size(); ++c) {
+                    if (cores_[c]->finished())
+                        continue;
+                    const uint64_t div = params_.coreSpecs.empty()
+                        ? 1 : params_.coreSpecs[c].tickDivisor;
+                    // Ticked cycles in [now, target) on this core's
+                    // grid (multiples of div).
+                    const uint64_t n =
+                        (target - 1) / div - (now - 1) / div;
+                    cores_[c]->creditStalledTicks(n);
+                }
+                res.skippedCycles += target - now;
+                now = target;
+            }
+        }
     }
 
     res.cycles = now;
-    res.seconds = static_cast<double>(now)
-        / (params_.freqGhz * 1e9);
+    res.seconds = power::secondsAtFreq(now, params_.freqGhz);
     for (auto &core : cores_) {
         res.committedOps += core->committedOps();
         const power::CpuActivity &a = core->activity();

@@ -45,6 +45,11 @@ struct MulticoreParams
     /** Optional per-core heterogeneity; when non-empty it must have
      *  one entry per core and overrides `core`. */
     std::vector<CoreSpec> coreSpecs;
+    /** Event-horizon cycle skipping: when every core is provably
+     *  stalled until cycle C, jump the chip clock to C and credit the
+     *  skipped stall ticks. Reports are bit-identical either way; off
+     *  is the `--no-skip` escape hatch / reference behavior. */
+    bool skipEnabled = true;
 };
 
 /** Aggregate outcome of one multicore run. */
@@ -57,6 +62,10 @@ struct MulticoreResult
     power::CpuActivity activity{};
     /** Barrier releases performed (for test introspection). */
     uint64_t barrierReleases = 0;
+    /** Chip cycles fast-forwarded by the event-horizon scheduler
+     *  (introspection only; deliberately not part of run reports,
+     *  which must not depend on whether skipping was on). */
+    uint64_t skippedCycles = 0;
     /** True when the run was cut short by watchdogCycles. */
     bool timedOut = false;
 };

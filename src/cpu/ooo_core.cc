@@ -37,7 +37,11 @@ OooCore::CoreCounters::CoreCounters(StatGroup &sg)
       steeredFast(sg.counter("steered_fast")),
       forwardedLoads(sg.counter("forwarded_loads")),
       partialForwardReplays(sg.counter("partial_forward_replays")),
-      mispredictRedirects(sg.counter("mispredict_redirects"))
+      mispredictRedirects(sg.counter("mispredict_redirects")),
+      ticks(sg.counter("ticks")),
+      robOccCycles(sg.counter("rob_occ_cycles")),
+      iqOccCycles(sg.counter("iq_occ_cycles")),
+      lsqOccCycles(sg.counter("lsq_occ_cycles"))
 {
 }
 
@@ -73,17 +77,6 @@ OooCore::entryBySeq(uint64_t seq) const
     return const_cast<OooCore *>(this)->entryBySeq(seq);
 }
 
-bool
-OooCore::depReady(uint64_t seq, Cycle now) const
-{
-    if (seq == 0)
-        return true;
-    const RobEntry *e = entryBySeq(seq);
-    if (!e)
-        return true; // producer already committed
-    return e->issued && e->doneCycle <= now;
-}
-
 void
 OooCore::countRegAccess(const MicroOp &op)
 {
@@ -105,13 +98,144 @@ OooCore::countRegAccess(const MicroOp &op)
     }
 }
 
-void
+bool
 OooCore::tick(Cycle now)
 {
+    // Occupancy integrals over the state at the start of the cycle.
+    // Between ticks the structures are frozen, so creditStalledTicks()
+    // can reproduce these samples exactly for skipped cycles.
+    ++ctrs_.ticks;
+    ctrs_.robOccCycles += rob_.size();
+    ctrs_.iqOccCycles += iq_.size();
+    ctrs_.lsqOccCycles += lsqCount_;
+
+    const uint64_t c0 = committedOps_;
+    const size_t r0 = rob_.size();
+    const size_t i0 = iq_.size();
+    const size_t f0 = fetchQueue_.size();
+    const bool h0 = haveStaged_;
+    const bool b0 = atBarrier_;
+
     commit(now);
     issue(now);
     dispatch(now);
     fetch(now);
+
+    // Progress hint for the chip-level skip loop: did this tick move
+    // anything between pipeline structures? Purely an optimization
+    // signal -- the runner only consults nextEventCycle() (which is
+    // exact on its own) once a tick reports no motion, so a wrong
+    // answer in either direction costs cycles, never correctness.
+    return committedOps_ != c0 || rob_.size() != r0 ||
+        iq_.size() != i0 || fetchQueue_.size() != f0 ||
+        haveStaged_ != h0 || atBarrier_ != b0;
+}
+
+OooCore::DispatchGate
+OooCore::dispatchGate() const
+{
+    if (atBarrier_ || fetchQueue_.empty())
+        return DispatchGate::NoWork;
+    const MicroOp &op = fetchQueue_.front().op;
+    if (op.cls == OpClass::Barrier) {
+        return rob_.empty() ? DispatchGate::Progress
+                            : DispatchGate::BarrierDrain;
+    }
+    if (rob_.size() >= params_.robSize)
+        return DispatchGate::RobFull;
+    if (iq_.size() >= params_.iqSize)
+        return DispatchGate::IqFull;
+    if (isMemClass(op.cls) && lsqCount_ >= params_.lsqSize)
+        return DispatchGate::LsqFull;
+    if (op.dst >= 0) {
+        if (op.dst < kNumIntRegs) {
+            if (freeIntRegs_ == 0)
+                return DispatchGate::IntRf;
+        } else if (freeFpRegs_ == 0) {
+            return DispatchGate::FpRf;
+        }
+    }
+    return DispatchGate::Progress;
+}
+
+mem::Cycle
+OooCore::nextEventCycle(Cycle from) const
+{
+    if (finished() || atBarrier_)
+        return mem::kNoEvent;
+
+    Cycle best = mem::kNoEvent;
+
+    // Commit: the oldest op retires when it completes.
+    if (!rob_.empty() && rob_.front().issued)
+        best = std::min(best, std::max(from, rob_.front().doneCycle));
+
+    // Issue: the cached wakeup horizon. A dispatch since the last
+    // scan may have put a new entry in the select window, in which
+    // case the next tick must rescan.
+    if (!iq_.empty()) {
+        if (issueScanNeeded_)
+            return from;
+        if (iqNextReady_ != mem::kNoEvent)
+            best = std::min(best, std::max(from, iqNextReady_));
+    }
+
+    // Dispatch: makes progress next tick unless blocked, and every
+    // blocked case resolves through a commit or issue event that is
+    // already accounted above.
+    if (dispatchGate() == DispatchGate::Progress)
+        return from;
+
+    // Fetch: gated by IL1 miss stalls and mispredict redirects. A
+    // pending redirect with no resume cycle yet wakes up via the
+    // blocking branch's issue event.
+    if (fetchQueue_.size() < kFetchQueueCap &&
+        !(traceDone_ && !haveStaged_)) {
+        Cycle c = std::max(from, fetchStallUntil_);
+        if (fetchBlocked_) {
+            c = fetchResumeAt_ == 0 ? mem::kNoEvent
+                                    : std::max(c, fetchResumeAt_);
+        }
+        best = std::min(best, c);
+    }
+
+    return best;
+}
+
+void
+OooCore::creditStalledTicks(uint64_t n)
+{
+    if (n == 0)
+        return;
+    ctrs_.ticks += n;
+    ctrs_.robOccCycles += n * rob_.size();
+    ctrs_.iqOccCycles += n * iq_.size();
+    ctrs_.lsqOccCycles += n * lsqCount_;
+    switch (dispatchGate()) {
+      case DispatchGate::BarrierDrain:
+        ctrs_.barrierDrainStalls += n;
+        break;
+      case DispatchGate::RobFull:
+        ctrs_.robFullStalls += n;
+        break;
+      case DispatchGate::IqFull:
+        ctrs_.iqFullStalls += n;
+        break;
+      case DispatchGate::LsqFull:
+        ctrs_.lsqFullStalls += n;
+        break;
+      case DispatchGate::IntRf:
+        ctrs_.intRfStalls += n;
+        break;
+      case DispatchGate::FpRf:
+        ctrs_.fpRfStalls += n;
+        break;
+      case DispatchGate::NoWork:
+        break;
+      case DispatchGate::Progress:
+        hetsim_assert(false, "credited a cycle that would dispatch");
+        break;
+    }
 }
 
 void
@@ -302,6 +426,8 @@ OooCore::dispatch(Cycle now)
         HETSIM_TRACE(traceBuf_, now, coreId_,
                      obs::TraceEvent::Dispatch, op.pc, 0);
         iq_.push_back(e.seq);
+        if (iq_.size() <= params_.issueReach)
+            issueScanNeeded_ = true; // landed in the select window
         rob_.push_back(e);
         fetchQueue_.pop_front();
         ++dispatched;
@@ -312,32 +438,77 @@ OooCore::dispatch(Cycle now)
 void
 OooCore::issue(Cycle now)
 {
+    // Wakeup-driven select: skip the window scan entirely while no
+    // cached wakeup is due and dispatch has not refilled the window.
+    // A skipped scan is exactly a scan that issues nothing (scans
+    // mutate no state unless an op issues).
+    if (params_.wakeupIssue && !issueScanNeeded_ &&
+        (iqNextReady_ == mem::kNoEvent || iqNextReady_ > now))
+        return;
+    issueScanNeeded_ = false;
+    iqNextReady_ = mem::kNoEvent;
+
     uint32_t issued = 0;
     uint32_t scanned = 0;
-    for (auto it = iq_.begin();
-         it != iq_.end() && issued < params_.issueWidth &&
-         scanned < params_.issueReach;
+    auto it = iq_.begin();
+    for (; it != iq_.end() && issued < params_.issueWidth &&
+           scanned < params_.issueReach;
          ++scanned) {
         RobEntry *e = entryBySeq(*it);
         hetsim_assert(e && !e->issued, "IQ entry out of sync");
-        if (!depReady(e->dep1, now) || !depReady(e->dep2, now)) {
+
+        // One producer walk decides readiness and, when every
+        // producer has issued, the exact cycle this op wakes up.
+        Cycle ready_at = 0;
+        bool resolved = true;
+        const uint64_t deps[2] = {e->dep1, e->dep2};
+        for (uint64_t dep : deps) {
+            if (dep == 0)
+                continue;
+            const RobEntry *p = entryBySeq(dep);
+            if (!p)
+                continue; // producer already committed
+            if (!p->issued) {
+                resolved = false; // completion time unknown
+                break;
+            }
+            ready_at = std::max(ready_at, p->doneCycle);
+        }
+        const RobEntry *dep_store = nullptr;
+        if (resolved && e->op.cls == OpClass::Load &&
+            e->storeDep != 0) {
+            dep_store = entryBySeq(e->storeDep);
+            if (dep_store) {
+                // Wait for the forwarding store's address.
+                if (!dep_store->issued)
+                    resolved = false;
+                else
+                    ready_at =
+                        std::max(ready_at, dep_store->doneCycle);
+            }
+        }
+        if (!resolved) {
+            // An unissued producer sits in an older window slot, so
+            // its own wakeup contribution re-arms the scan that will
+            // resolve this entry; no contribution needed here.
             ++it;
             continue;
         }
-
-        const RobEntry *dep_store = nullptr;
-        if (e->op.cls == OpClass::Load && e->storeDep != 0) {
-            dep_store = entryBySeq(e->storeDep);
-            if (dep_store &&
-                (!dep_store->issued || dep_store->doneCycle > now)) {
-                ++it;
-                continue; // wait for the forwarding store's address
-            }
+        if (ready_at > now) {
+            iqNextReady_ = std::min(iqNextReady_, ready_at);
+            ++it;
+            continue;
         }
 
         const FuIssue fi = fuPool_.tryIssue(e->op.cls, now,
                                             e->preferFast);
         if (!fi.ok) {
+            // Lost on functional units: it can go no earlier than
+            // the next tick and no earlier than a unit freeing up.
+            iqNextReady_ = std::min(
+                iqNextReady_,
+                std::max<Cycle>(now + 1,
+                                fuPool_.nextFreeCycle(e->op.cls)));
             ++it;
             continue;
         }
@@ -411,6 +582,13 @@ OooCore::issue(Cycle now)
         it = iq_.erase(it);
         ++issued;
     }
+    // Window slots this scan did not examine carry no contribution in
+    // iqNextReady_: erases shift younger entries into the window, and
+    // an exhausted issue width leaves older ones unread. Rescan next
+    // tick; a no-issue scan always covers its whole window.
+    if ((issued > 0 && !iq_.empty()) ||
+        (it != iq_.end() && scanned < params_.issueReach))
+        issueScanNeeded_ = true;
 }
 
 void

@@ -57,6 +57,13 @@ struct CoreParams
     /** AdvHet: steer producer ops with nearby consumers to the CMOS
      *  ALU at dispatch. */
     bool steerDependents = false;
+    /** Wakeup-driven select: cache the earliest wakeup in the select
+     *  window and skip the issue scan until it is due. False runs the
+     *  reference scheduler (full window scan every cycle); the runner
+     *  clears this under --no-skip so that path reproduces the plain
+     *  per-cycle loop the bit-identity check compares against. Either
+     *  setting issues the same ops on the same cycles. */
+    bool wakeupIssue = true;
 };
 
 /** One core of the simulated multicore. */
@@ -66,8 +73,38 @@ class OooCore
     OooCore(const CoreParams &params, uint32_t core_id,
             mem::MemHierarchy *hierarchy, TraceSource *trace);
 
-    /** Advance one cycle. */
-    void tick(mem::Cycle now);
+    /** Advance one cycle. Returns true if the tick moved work between
+     *  pipeline structures (a progress hint the chip runner uses to
+     *  decide when computing the event horizon is worthwhile). */
+    bool tick(mem::Cycle now);
+
+    /**
+     * Event horizon: the earliest cycle >= `from` at which this core
+     * can change architectural or counted state, assuming it is not
+     * ticked before then. mem::kNoEvent means the core will never act
+     * again on its own (finished, or parked at a barrier waiting for
+     * an external release). The bound is exact for the counted stall
+     * signature: every cycle in [from, nextEventCycle()) would be a
+     * pure stall tick whose only effects are reproduced by
+     * creditStalledTicks(), which is what makes event-horizon skipping
+     * bit-identical to per-cycle ticking.
+     */
+    mem::Cycle nextEventCycle(mem::Cycle from) const;
+
+    /**
+     * Account `n` skipped stall ticks: the tick counter, occupancy
+     * integrals, and the one dispatch-stall counter a real tick()
+     * would have bumped (state is frozen across a skipped range, so
+     * every skipped tick bumps the same counter).
+     */
+    void creditStalledTicks(uint64_t n);
+
+    /** Live occupancies, sampled by tick(); exposed so tests can
+     *  replay the per-cycle walk against the incremental counters. @{ */
+    size_t robOccupancy() const { return rob_.size(); }
+    size_t iqOccupancy() const { return iq_.size(); }
+    size_t lsqOccupancy() const { return lsqCount_; }
+    /** @} */
 
     /** Trace fully consumed and pipeline drained. */
     bool finished() const;
@@ -118,6 +155,21 @@ class OooCore
         bool forwardable = false;
     };
 
+    /** First resource a dispatch attempt would block on (the counter
+     *  the blocked tick bumps), Progress if the front op dispatches,
+     *  NoWork if there is nothing to dispatch. */
+    enum class DispatchGate
+    {
+        Progress,
+        NoWork,
+        BarrierDrain,
+        RobFull,
+        IqFull,
+        LsqFull,
+        IntRf,
+        FpRf,
+    };
+
     void fetch(mem::Cycle now);
     void dispatch(mem::Cycle now);
     void issue(mem::Cycle now);
@@ -125,8 +177,8 @@ class OooCore
 
     RobEntry *entryBySeq(uint64_t seq);
     const RobEntry *entryBySeq(uint64_t seq) const;
-    bool depReady(uint64_t seq, mem::Cycle now) const;
     void countRegAccess(const MicroOp &op);
+    DispatchGate dispatchGate() const;
 
     CoreParams params_;
     uint32_t coreId_;
@@ -163,6 +215,15 @@ class OooCore
     uint32_t lsqCount_ = 0;
     bool atBarrier_ = false;
 
+    /** Wakeup-driven select state: the earliest cycle any entry in the
+     *  select window (oldest issueReach IQ slots) can issue, or
+     *  mem::kNoEvent when nothing is pending. issue() skips its scan
+     *  entirely while now < iqNextReady_ and no dispatch has refilled
+     *  the window since the last scan. @{ */
+    mem::Cycle iqNextReady_ = mem::kNoEvent;
+    bool issueScanNeeded_ = false;
+    /** @} */
+
     struct StoreRec
     {
         uint64_t seq;
@@ -194,6 +255,13 @@ class OooCore
         Counter &forwardedLoads;
         Counter &partialForwardReplays;
         Counter &mispredictRedirects;
+        /** Incremental occupancy integrals (summed structure sizes at
+         *  the start of each ticked or credited cycle): mean occupancy
+         *  = *_occ_cycles / ticks, without any per-cycle ROB walk. */
+        Counter &ticks;
+        Counter &robOccCycles;
+        Counter &iqOccCycles;
+        Counter &lsqOccCycles;
     };
     CoreCounters ctrs_;
     obs::TraceBuffer *traceBuf_ = nullptr;

@@ -82,6 +82,7 @@ ComputeUnit::launchWorkgroup(GpuKernel &kernel, uint32_t workgroup)
         wf.assign(kernel.makeWavefront(workgroup, launched), gslot);
         ++launched;
     }
+    horizonDirty_ = true;
     ++ctrs_.workgroupsLaunched;
 }
 
@@ -236,9 +237,10 @@ ComputeUnit::tryIssue(Wavefront &wf, Cycle now)
     return false;
 }
 
-void
+bool
 ComputeUnit::checkBarriers()
 {
+    bool released = false;
     for (uint32_t g = 0; g < groups_.size(); ++g) {
         if (!groups_[g].valid)
             continue;
@@ -260,16 +262,20 @@ ComputeUnit::checkBarriers()
                     wf.releaseBarrier();
             }
             ++ctrs_.barrierReleases;
+            released = true;
         }
     }
+    return released;
 }
 
-void
+bool
 ComputeUnit::reapFinished()
 {
+    bool reaped = false;
     for (Wavefront &wf : slots_) {
         if (wf.state() != WavefrontState::Done)
             continue;
+        reaped = true;
         const uint32_t g = wf.workgroupSlot();
         hetsim_assert(groups_[g].valid && groups_[g].wavefronts > 0,
                       "group accounting broken");
@@ -280,13 +286,15 @@ ComputeUnit::reapFinished()
         }
         wf.release();
     }
+    return reaped;
 }
 
-void
+bool
 ComputeUnit::tick(Cycle now)
 {
     // Round-robin: try each wavefront once, starting after the last
     // issuer; at most one instruction issues per cycle.
+    bool progress = false;
     const uint32_t n = static_cast<uint32_t>(slots_.size());
     for (uint32_t i = 0; i < n; ++i) {
         Wavefront &wf = slots_[(rrNext_ + i) % n];
@@ -302,12 +310,42 @@ ComputeUnit::tick(Cycle now)
             HETSIM_TRACE(traceBuf_, now, cuId_,
                          obs::TraceEvent::WavefrontIssue, staged.addr,
                          static_cast<uint8_t>(staged.cls));
+            progress = true;
             break;
         }
     }
-    checkBarriers();
-    reapFinished();
+    progress |= checkBarriers();
+    progress |= reapFinished();
     ++activity_[unitIdx(GpuUnit::ClockTree)];
+    if (progress)
+        horizonDirty_ = true;
+    return progress;
+}
+
+Cycle
+ComputeUnit::nextEventCycle(Cycle from) const
+{
+    // Only Active wavefronts act on their own. AtBarrier slots wake
+    // through another wavefront's issue reaching the barrier, Done
+    // slots are reaped in the tick that completes them, and Idle
+    // slots wait for an external launch.
+    if (horizonDirty_) {
+        minReady_ = mem::kNoEvent;
+        for (const Wavefront &wf : slots_) {
+            if (wf.state() != WavefrontState::Active)
+                continue;
+            minReady_ = std::min(minReady_, wf.nextReadyCycle());
+        }
+        horizonDirty_ = false;
+    }
+    return minReady_ == mem::kNoEvent ? mem::kNoEvent
+                                      : std::max(from, minReady_);
+}
+
+void
+ComputeUnit::creditIdleTicks(uint64_t n)
+{
+    activity_[unitIdx(GpuUnit::ClockTree)] += n;
 }
 
 bool

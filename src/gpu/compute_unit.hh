@@ -84,8 +84,25 @@ class ComputeUnit
      *  Requires freeSlots() >= kernel.wavefrontsPerGroup(). */
     void launchWorkgroup(GpuKernel &kernel, uint32_t workgroup);
 
-    /** Advance one cycle. */
-    void tick(Cycle now);
+    /** Advance one cycle. Returns true if the tick issued an op,
+     *  released a barrier, or reaped a wavefront (a progress hint the
+     *  run loop uses to decide when the event horizon is worth
+     *  computing). */
+    bool tick(Cycle now);
+
+    /**
+     * Event horizon: the earliest cycle >= `from` at which any
+     * resident wavefront can issue (a safe lower bound; execution
+     * ports are ignored). mem::kNoEvent when no wavefront is Active —
+     * notably for a fully idle() CU, which is what lets the run loop
+     * fast-forward an all-idle CU set to the next memory response.
+     * Every skipped tick would only have bumped the clock-tree
+     * activity, which creditIdleTicks() reproduces.
+     */
+    Cycle nextEventCycle(Cycle from) const;
+
+    /** Account `n` skipped ticks (clock tree toggles every cycle). */
+    void creditIdleTicks(uint64_t n);
 
     /** True when no wavefront is resident. */
     bool idle() const;
@@ -114,11 +131,13 @@ class ComputeUnit
     /** Destination write latency (and RF-cache allocation). */
     uint32_t writeLatency(Wavefront &wf, int16_t vreg);
 
-    /** Release workgroup barriers that every member reached. */
-    void checkBarriers();
+    /** Release workgroup barriers that every member reached; true if
+     *  any barrier released. */
+    bool checkBarriers();
 
-    /** Reap Done wavefronts and retire completed groups. */
-    void reapFinished();
+    /** Reap Done wavefronts and retire completed groups; true if any
+     *  wavefront was reaped. */
+    bool reapFinished();
 
     CuParams params_;
     uint32_t cuId_;
@@ -131,6 +150,16 @@ class ComputeUnit
     Cycle ldsFreeAt_ = 0;
     Cycle memFreeAt_ = 0;
     uint32_t rrNext_ = 0; ///< Round-robin scheduling pointer.
+    /** Cached horizon: minimum nextReadyCycle() over Active
+     *  wavefronts (absolute cycle, mem::kNoEvent when none are
+     *  Active). Wavefront timing state only changes on launches and
+     *  progress ticks, so the cache stays valid across the no-progress
+     *  ticks where the run loop actually asks for the horizon --
+     *  notably port-bound stretches, where a ready-but-blocked
+     *  wavefront pins the horizon at `now` every tick. @{ */
+    mutable Cycle minReady_ = 0;
+    mutable bool horizonDirty_ = true;
+    /** @} */
     uint64_t issuedOps_ = 0;
     power::GpuActivity activity_{};
     StatGroup stats_;

@@ -1,5 +1,7 @@
 #include "gpu/gpu.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace hetsim::gpu
@@ -88,6 +90,7 @@ Gpu::run(GpuKernel &kernel)
     Cycle now = 0;
 
     bool timed_out = false;
+    uint64_t skipped = 0;
     while (true) {
         if (params_.watchdogCycles > 0 &&
             now >= params_.watchdogCycles) {
@@ -108,20 +111,61 @@ Gpu::run(GpuKernel &kernel)
         }
 
         bool all_idle = true;
+        bool any_progress = false;
         for (auto &cu : cus_) {
-            cu->tick(now);
+            any_progress |= cu->tick(now);
             all_idle = all_idle && cu->idle();
         }
         ++now;
 
         if (next_group >= total_groups && all_idle)
             break;
+
+        // The horizon is only worth computing once a whole tick
+        // passes without an issue, release, or reap: during active
+        // phases it is almost always `now`, so walking every
+        // wavefront for it would be pure overhead.
+        if (params_.skipEnabled && !any_progress) {
+            // Event horizon: the earliest cycle any wavefront can
+            // issue. Launches block skipping: a CU with free slots
+            // and pending workgroups acts next cycle.
+            Cycle target = mem::kNoEvent;
+            for (auto &cu : cus_) {
+                target = std::min(target, cu->nextEventCycle(now));
+                if (target == now)
+                    break; // no skip possible; stop walking
+            }
+            if (next_group < total_groups && target > now) {
+                for (auto &cu : cus_) {
+                    if (cu->freeSlots() >= wpg) {
+                        target = now;
+                        break;
+                    }
+                }
+            }
+            // Never skip past where the reference loop would stop. A
+            // kNoEvent horizon (a deadlocked kernel) degenerates to a
+            // jump to that same stopping point.
+            const Cycle limit = params_.watchdogCycles > 0
+                ? params_.watchdogCycles : params_.maxCycles;
+            if (target > limit)
+                target = limit;
+            if (target > now) {
+                // Every skipped tick is issue-free on every CU: only
+                // the per-cycle clock-tree toggle needs crediting.
+                for (auto &cu : cus_)
+                    cu->creditIdleTicks(target - now);
+                skipped += target - now;
+                now = target;
+            }
+        }
     }
 
     GpuResult res;
     res.timedOut = timed_out;
+    res.skippedCycles = skipped;
     res.cycles = now;
-    res.seconds = static_cast<double>(now) / (params_.freqGhz * 1e9);
+    res.seconds = power::secondsAtFreq(now, params_.freqGhz);
     for (auto &cu : cus_) {
         res.issuedOps += cu->issuedOps();
         const power::GpuActivity &a = cu->activity();

@@ -40,6 +40,11 @@ struct GpuParams
     /** Recoverable cycle watchdog: when non-zero, run() stops at this
      *  many cycles and reports timedOut instead of panicking. */
     uint64_t watchdogCycles = 0;
+    /** Event-horizon cycle skipping: when no CU can issue until cycle
+     *  C and no workgroup launch is pending, jump the clock to C and
+     *  credit the skipped clock-tree ticks. Reports are bit-identical
+     *  either way; off is the `--no-skip` reference behavior. */
+    bool skipEnabled = true;
 };
 
 /** Aggregate outcome of one kernel launch. */
@@ -49,6 +54,9 @@ struct GpuResult
     double seconds = 0.0;
     uint64_t issuedOps = 0;
     power::GpuActivity activity{};
+    /** Cycles fast-forwarded by the event-horizon scheduler
+     *  (introspection only; deliberately not part of run reports). */
+    uint64_t skippedCycles = 0;
     /** True when the run was cut short by watchdogCycles. */
     bool timedOut = false;
 };

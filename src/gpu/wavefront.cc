@@ -1,5 +1,7 @@
 #include "gpu/wavefront.hh"
 
+#include <algorithm>
+
 #include "common/logging.hh"
 
 namespace hetsim::gpu
@@ -58,6 +60,20 @@ Wavefront::canIssue(Cycle now) const
             return false;
     }
     return true;
+}
+
+Cycle
+Wavefront::nextReadyCycle() const
+{
+    hetsim_assert(state_ == WavefrontState::Active,
+                  "ready cycle of a non-active wavefront");
+    Cycle ready = nextIssueCycle_;
+    for (int i = 0; i < current_.numSrcs; ++i) {
+        const int16_t r = current_.src[i];
+        if (r >= 0)
+            ready = std::max(ready, regReady_[r]);
+    }
+    return ready;
 }
 
 void

@@ -57,6 +57,12 @@ class Wavefront
      *  issue at `now` (per-wavefront one-issue-per-cycle respected). */
     bool canIssue(Cycle now) const;
 
+    /** Earliest cycle canIssue() can become true: the one-issue-per-
+     *  cycle gate joined with the staged op's source readiness. Valid
+     *  while Active; execution-port availability is not included, so
+     *  this is a safe lower bound for the event-horizon scheduler. */
+    Cycle nextReadyCycle() const;
+
     /**
      * Commit the issue of the staged op: marks the destination ready
      * at `dst_ready`, advances to the next op (possibly entering

@@ -66,6 +66,12 @@ class Cache
     /** Look up without disturbing replacement state. */
     LookupResult probe(Addr addr) const;
 
+    /** Event horizon: always kNoEvent — the cache is a passive array
+     *  that only changes state inside a requester's access()/fill()
+     *  walk, so requester-side horizons bound chip progress. Present
+     *  for API uniformity with the active components. */
+    Cycle nextEventCycle(Cycle) const { return kNoEvent; }
+
     /**
      * Allocate a line in the given state, returning any displaced line.
      * In an asymmetric cache the fill lands in the fast way and the

@@ -42,6 +42,24 @@ class Dram
      *  returned to the requester). */
     void writeback(Addr addr, Cycle now);
 
+    /**
+     * Event horizon: when the earliest busy channel frees up, or
+     * kNoEvent with no transfer in flight. Informational — the DRAM
+     * model is passive (access() computes queuing at request time and
+     * never initiates anything), so requester-side horizons already
+     * bound chip progress; this exposes channel occupancy to the same
+     * API for introspection and tooling.
+     */
+    Cycle nextEventCycle(Cycle from) const
+    {
+        Cycle best = kNoEvent;
+        for (Cycle f : channelFree_) {
+            if (f > from)
+                best = best < f ? best : f;
+        }
+        return best;
+    }
+
     uint32_t latencyCycles() const { return latencyCycles_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }

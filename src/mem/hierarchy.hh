@@ -97,6 +97,22 @@ class MemHierarchy
     AccessResult access(uint32_t core, Addr addr, AccessType type,
                         Cycle now);
 
+    /**
+     * Event horizon of the memory side: the hierarchy is a passive
+     * pull model — the entire coherence walk (lookups, recalls,
+     * fills, DRAM queuing) runs synchronously inside a core's
+     * access() call, and its effects are folded into the returned
+     * latency, i.e. into the requesting op's doneCycle. The memory
+     * system therefore never wakes a core the core is not already
+     * waiting on, and the cores' own horizons are sufficient bounds
+     * for event-horizon skipping. Delegates to the DRAM channels
+     * (the only component with busy-until state) for introspection.
+     */
+    Cycle nextEventCycle(Cycle from) const
+    {
+        return dram_.nextEventCycle(from);
+    }
+
     const HierarchyParams &params() const { return params_; }
 
     Cache &il1(uint32_t core) { return *il1_[core]; }

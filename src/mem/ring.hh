@@ -16,6 +16,7 @@
 #include <cstdint>
 
 #include "common/stats.hh"
+#include "mem/types.hh"
 
 namespace hetsim::mem
 {
@@ -37,6 +38,12 @@ class RingNetwork
 
     /** One-way message latency in cycles; records the traversal. */
     uint32_t latency(uint32_t from, uint32_t to);
+
+    /** Event horizon: always kNoEvent — the ring is contention-free
+     *  and stateless between messages, so it never initiates events;
+     *  requester-side horizons bound chip progress. Present for API
+     *  uniformity with the active components. */
+    Cycle nextEventCycle(Cycle) const { return kNoEvent; }
 
     uint32_t numNodes() const { return numNodes_; }
     StatGroup &stats() { return stats_; }

@@ -14,6 +14,14 @@ namespace hetsim::mem
 using Addr = uint64_t;
 using Cycle = uint64_t;
 
+/**
+ * "No scheduled event" sentinel for nextEventCycle() horizons: a
+ * component returns kNoEvent when, absent external stimulus, it will
+ * never act again (an idle CU, a core parked at a barrier, a passive
+ * cache). min() over components treats it as +infinity.
+ */
+constexpr Cycle kNoEvent = ~static_cast<Cycle>(0);
+
 /** Cache line size used throughout the simulated hierarchy (Table III). */
 constexpr uint32_t kLineBytes = 64;
 constexpr uint32_t kLineShift = 6;

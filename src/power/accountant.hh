@@ -25,6 +25,22 @@
 namespace hetsim::power
 {
 
+/**
+ * Wall-clock seconds of a run, from its cycle count and clock.
+ *
+ * This is the only place simulated time enters the energy model:
+ * dynamic energy depends on activity counts alone and leakage on
+ * seconds alone. Event-horizon cycle skipping relies on exactly that —
+ * a skipped range leaves `cycles` and every activity count identical
+ * to per-cycle ticking (stall/idle ticks are credited), so the energy
+ * breakdown is bit-identical with skipping on or off.
+ */
+constexpr double
+secondsAtFreq(uint64_t cycles, double freq_ghz)
+{
+    return static_cast<double>(cycles) / (freq_ghz * 1e9);
+}
+
 /** Activity counts per CPU unit, indexed by CpuUnit. */
 using CpuActivity = std::array<uint64_t, kNumCpuUnits>;
 

@@ -483,3 +483,52 @@ TEST_P(OooCorePropertyTest, RandomProgramsCommitCompletely)
 
 INSTANTIATE_TEST_SUITE_P(Seeds, OooCorePropertyTest,
                          ::testing::Values(1, 2, 3, 5, 8, 13, 21, 42));
+
+TEST(OooCore, IncrementalOccupancyMatchesPerCycleWalk)
+{
+    // The occupancy integrals are maintained incrementally (satellite
+    // of the event-horizon work); replay the per-cycle structure walk
+    // they replaced and require exact agreement.
+    Rng rng(7);
+    std::vector<MicroOp> ops;
+    for (int i = 0; i < 2000; ++i) {
+        const double r = rng.uniform();
+        if (r < 0.25)
+            ops.push_back(load(1 + static_cast<int16_t>(rng.range(30)),
+                               0x200000 + rng.range(1 << 14) * 8,
+                               static_cast<int16_t>(rng.range(31))));
+        else if (r < 0.35)
+            ops.push_back(store(0x200000 + rng.range(1 << 14) * 8,
+                                static_cast<int16_t>(rng.range(31))));
+        else
+            ops.push_back(alu(1 + static_cast<int16_t>(rng.range(30)),
+                              static_cast<int16_t>(rng.range(31)),
+                              static_cast<int16_t>(rng.range(31)),
+                              0x1000 + 4 * i));
+    }
+
+    CoreRig rig(ops);
+    uint64_t ticks = 0;
+    uint64_t rob_occ = 0;
+    uint64_t iq_occ = 0;
+    uint64_t lsq_occ = 0;
+    mem::Cycle now = 0;
+    while (!rig.core.finished() && now < 1000000) {
+        ++ticks;
+        rob_occ += rig.core.robOccupancy();
+        iq_occ += rig.core.iqOccupancy();
+        lsq_occ += rig.core.lsqOccupancy();
+        rig.core.tick(now);
+        ++now;
+    }
+    ASSERT_TRUE(rig.core.finished());
+
+    const StatGroup &s = rig.core.stats();
+    EXPECT_EQ(s.value("ticks"), ticks);
+    EXPECT_EQ(s.value("rob_occ_cycles"), rob_occ);
+    EXPECT_EQ(s.value("iq_occ_cycles"), iq_occ);
+    EXPECT_EQ(s.value("lsq_occ_cycles"), lsq_occ);
+    EXPECT_GT(rob_occ, 0u);
+    EXPECT_GT(iq_occ, 0u);
+    EXPECT_GT(lsq_occ, 0u);
+}

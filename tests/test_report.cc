@@ -7,7 +7,9 @@
 #include <gtest/gtest.h>
 
 #include <cmath>
+#include <cstdlib>
 #include <fstream>
+#include <memory>
 #include <sstream>
 
 #include "common/report.hh"
@@ -359,4 +361,55 @@ TEST(Report, SweepJsonCapturesCells)
     EXPECT_NE(doc.find("\"config\": \"BaseCMOS\""),
               std::string::npos);
     EXPECT_NE(doc.find("\"outcome\": \"ok\""), std::string::npos);
+}
+
+TEST(Trace, SkippedRangesRecordNoEventsAndExportMonotonic)
+{
+    // Event-horizon skipping must be invisible in the pipeline trace:
+    // a skipped range is pure stall, so the recorded event stream has
+    // to match the per-cycle reference run record for record. The
+    // Chrome export must also emit monotonic timestamps even though
+    // Complete events are recorded at issue time with a future ts.
+    const auto app = workload::findCpuApp("canneal");
+    ASSERT_TRUE(app.ok());
+
+    auto record = [&](bool no_skip) {
+        core::ExperimentOptions opts = smallOpts();
+        opts.noSkip = no_skip;
+        auto buf = std::make_unique<obs::TraceBuffer>(1 << 15);
+        core::runCpuExperiment(core::CpuConfig::AdvHet, *app.value(),
+                               opts, nullptr, buf.get());
+        return buf;
+    };
+    const auto skip = record(false);
+    const auto ref = record(true);
+
+    ASSERT_EQ(skip->recorded(), ref->recorded());
+    const auto a = skip->snapshot();
+    const auto b = ref->snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].cycle, b[i].cycle) << i;
+        EXPECT_EQ(a[i].unit, b[i].unit) << i;
+        EXPECT_EQ(a[i].event, b[i].event) << i;
+        EXPECT_EQ(a[i].arg, b[i].arg) << i;
+        EXPECT_EQ(a[i].detail, b[i].detail) << i;
+    }
+
+    const std::string path =
+        testing::TempDir() + "/hetsim_trace_skip.json";
+    ASSERT_TRUE(obs::writeChromeTrace(*skip, path).ok());
+    const std::string doc = slurp(path);
+    uint64_t prev = 0;
+    size_t pos = 0;
+    size_t seen = 0;
+    while ((pos = doc.find("\"ts\":", pos)) != std::string::npos) {
+        pos += 5;
+        const uint64_t ts = std::strtoull(doc.c_str() + pos, nullptr,
+                                          10);
+        EXPECT_GE(ts, prev) << "timestamps not monotonic";
+        prev = ts;
+        ++seen;
+    }
+    EXPECT_GT(seen, 0u);
 }
