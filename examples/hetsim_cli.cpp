@@ -29,6 +29,8 @@
  *                    [--scale S] [--seed K] [--freq F]
  *                    [--timeout-ms T] [--watchdog-cycles N]
  *                    [--no-isolate 1] [--csv out.csv]
+ *                    [--store DIR] [--resume 1] [--retries N]
+ *                    [--retry-backoff-ms B]
  *       Run a batch (config x workload) sweep; each cell executes in
  *       an isolated child process with watchdogs, so corrupt traces,
  *       crashes, and runaway cells are recorded per cell while the
@@ -36,6 +38,13 @@
  *       "app:fft@scale=2", "trace:file.bin", "kernel:dct" (kernel
  *       cells use GPU configs named via --gpu-configs).
  *       --report-json writes the deterministic per-cell JSON report.
+ *       --store DIR journals each cell's terminal outcome into a
+ *       checksummed on-disk result store as it completes; --resume 1
+ *       replays journaled cells instead of re-executing them, so a
+ *       killed sweep restarted with the same flags re-runs only the
+ *       missing cells and produces a byte-identical --report-json.
+ *       --retries N re-runs transient failures (worker crashes,
+ *       wall-clock kills) up to N times with exponential backoff.
  *       Exits 0 as long as the sweep itself ran; per-cell failures
  *       are reported in the summary, not via the exit code.
  *   hetsim_cli dse [--space cpu|gpu] [--app fft | --kernel matrixmul]
@@ -51,24 +60,58 @@
  *       re-runs the search to demonstrate the cache (every repeated
  *       cell is a hit, not a re-simulation). --report-json writes the
  *       evaluated points as JSON, byte-identical for any --jobs.
+ *       --store DIR adds a durable second cache tier: memo misses
+ *       consult the on-disk store before simulating, so a repeated
+ *       exploration in a new process is warm.
+ *   hetsim_cli serve --socket /tmp/hetsim.sock [--store DIR]
+ *                    [--jobs N] [--timeout-ms T]
+ *                    [--watchdog-cycles N] [--retries R]
+ *                    [--retry-backoff-ms B] [--report-json out.json]
+ *       Resident batch daemon: accepts length-prefixed flat-JSON
+ *       run/gpu/sweep/dse jobs over a unix socket (higher "priority"
+ *       fields run first), executes every cell through the
+ *       fork-isolated sweep runner with the shared result store, and
+ *       drains gracefully on SIGTERM/SIGINT — answering every queued
+ *       job, then writing its lifetime counters (jobs, store
+ *       hits/misses/quarantines, retries) as a RunReport.
+ *   hetsim_cli submit --socket /tmp/hetsim.sock
+ *                     --request '{"cmd":"run","config":"AdvHet",
+ *                     "workload":"fft","scale":0.05}'
+ *                     [--timeout-ms T]
+ *       Send one job to a serve daemon and print the JSON response
+ *       (exit 0 when the response says ok, 2 when it reports an
+ *       error). Connect retries until the deadline, so a submit
+ *       racing a freshly spawned server just works.
+ *
+ *   run and gpu also accept --store DIR: the full RunReport is
+ *   memoized durably, and an identical re-invocation prints the same
+ *   table and writes byte-identical --report-json output without
+ *   re-simulating (bypassed when --trace-out is requested).
  *
  * The library reports input errors as Status values; this front end
  * is where they become messages and a nonzero process exit.
  */
 
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
+#include <unistd.h>
+
+#include "common/file.hh"
 #include "common/logging.hh"
 #include "common/status.hh"
 #include "common/table.hh"
 #include "common/thread_pool.hh"
 #include "core/dse.hh"
 #include "core/experiment.hh"
+#include "core/result_store.hh"
+#include "core/server.hh"
 #include "core/sweep.hh"
 #include "cpu/multicore.hh"
 #include "workload/cpu_trace_gen.hh"
@@ -206,6 +249,103 @@ cmdList()
     return 0;
 }
 
+/** Open the --store directory when given; dies on open failure. */
+std::optional<core::ResultStore>
+openStoreArg(const Args &args)
+{
+    const std::string dir = args.get("store");
+    if (dir.empty())
+        return std::nullopt;
+    Result<core::ResultStore> store = core::ResultStore::open(dir);
+    if (!store.ok())
+        dieOn(store.status());
+    return std::optional<core::ResultStore>(std::move(store.value()));
+}
+
+/** Store key of one run/gpu invocation: command identity plus every
+ *  ExperimentOptions field that feeds the result. */
+std::string
+runStoreKey(const char *kind, const std::string &config,
+            const std::string &workload,
+            const core::ExperimentOptions &opts)
+{
+    char buf[160];
+    std::snprintf(buf, sizeof(buf),
+                  "|s%llu|x%.9g|f%.9g|c%u|w%llu|k%d|g%d",
+                  static_cast<unsigned long long>(opts.seed),
+                  opts.scale, opts.freqGhz, opts.coresOverride,
+                  static_cast<unsigned long long>(
+                      opts.watchdogCycles),
+                  opts.noSkip ? 1 : 0,
+                  opts.variationGuardband ? 1 : 0);
+    return std::string("run-report-v1|") + kind + "|" + config +
+           "|" + workload + buf;
+}
+
+/** Durable memo of one run/gpu invocation: the table scalars plus
+ *  the full RunReport document, so a warm hit reproduces both the
+ *  printed table and byte-identical --report-json output. */
+struct RunMemo
+{
+    uint64_t cycles = 0;
+    uint64_t ops = 0;
+    double seconds = 0.0;
+    double energyJ = 0.0;
+    std::string reportJson;
+};
+
+struct [[gnu::packed]] RunMemoHead
+{
+    uint64_t cycles;
+    uint64_t ops;
+    double seconds;
+    double energyJ;
+    uint32_t reportLen;
+};
+
+std::string
+encodeRunMemo(const RunMemo &memo)
+{
+    const RunMemoHead head = {
+        memo.cycles, memo.ops, memo.seconds, memo.energyJ,
+        static_cast<uint32_t>(memo.reportJson.size())};
+    std::string out(reinterpret_cast<const char *>(&head),
+                    sizeof(head));
+    out += memo.reportJson;
+    return out;
+}
+
+bool
+decodeRunMemo(const std::string &payload, RunMemo *out)
+{
+    RunMemoHead head;
+    if (payload.size() < sizeof(head))
+        return false;
+    std::memcpy(&head, payload.data(), sizeof(head));
+    if (payload.size() != sizeof(head) + head.reportLen)
+        return false;
+    out->cycles = head.cycles;
+    out->ops = head.ops;
+    out->seconds = head.seconds;
+    out->energyJ = head.energyJ;
+    out->reportJson = payload.substr(sizeof(head));
+    return true;
+}
+
+/** Write pre-serialized report bytes verbatim (the warm-hit path
+ *  must reproduce the cold run's file exactly). */
+void
+writeReportBytes(const std::string &path, const std::string &bytes)
+{
+    Result<FileHandle> file = openFile(path, "wb");
+    if (!file.ok())
+        dieOn(file.status());
+    if (std::fwrite(bytes.data(), 1, bytes.size(),
+                    file.value().get()) != bytes.size())
+        dieOn(ioError("write failed", path));
+    std::printf("report: %s\n", path.c_str());
+}
+
 /** Write the --report-json / --trace-out artifacts of one run. */
 void
 writeRunArtifacts(const Args &args, obs::RunReport &report,
@@ -248,28 +388,71 @@ cmdRun(const Args &args)
     obs::RunReport report;
     obs::TraceBuffer trace(
         static_cast<size_t>(args.getU("trace-capacity", 65536)));
-    const bool want_report = !args.get("report-json").empty();
+    const std::string report_path = args.get("report-json");
     const bool want_trace = !args.get("trace-out").empty();
 
-    const core::CpuOutcome out = core::runCpuExperiment(
-        cfg, *app.value(), opts, want_report ? &report : nullptr,
-        want_trace ? &trace : nullptr);
-    report.designHash =
-        core::designHash(core::cpuHybridFromConfig(cfg));
-    TablePrinter t("hetsim run: " + out.config + " / " + out.app,
+    std::optional<core::ResultStore> store = openStoreArg(args);
+    const std::string key = store
+        ? runStoreKey("cpu", core::cpuConfigName(cfg),
+                      app.value()->name, opts)
+        : "";
+
+    RunMemo memo;
+    bool from_store = false;
+    // Tracing records live pipeline events, so a traced run always
+    // executes; it still journals its result below.
+    if (store && !want_trace) {
+        if (Result<std::string> hit = store->get(key); hit.ok())
+            from_store = decodeRunMemo(hit.value(), &memo);
+    }
+
+    if (!from_store) {
+        // Fill the report whenever it is journaled, not only when
+        // --report-json asked for it: a later warm hit needs it.
+        const bool want_report = !report_path.empty() || store;
+        const core::CpuOutcome out = core::runCpuExperiment(
+            cfg, *app.value(), opts, want_report ? &report : nullptr,
+            want_trace ? &trace : nullptr);
+        report.designHash =
+            core::designHash(core::cpuHybridFromConfig(cfg));
+        memo.cycles = out.cycles;
+        memo.ops = out.committedOps;
+        memo.seconds = out.metrics.seconds;
+        memo.energyJ = out.metrics.energyJ;
+        if (want_report)
+            memo.reportJson = report.toJson();
+        if (store) {
+            if (Status s = store->put(key, encodeRunMemo(memo));
+                !s.ok())
+                warn("run: store put failed: %s",
+                     s.toString().c_str());
+        }
+    }
+
+    const double power_w =
+        memo.seconds > 0.0 ? memo.energyJ / memo.seconds : 0.0;
+    TablePrinter t("hetsim run: " +
+                       std::string(core::cpuConfigName(cfg)) + " / " +
+                       app.value()->name,
                    {"metric", "value"});
-    t.addRow({"cycles", std::to_string(out.cycles)});
-    t.addRow({"committed ops", std::to_string(out.committedOps)});
-    t.addRow({"time (ms)",
-              formatDouble(out.metrics.seconds * 1e3, 4)});
-    t.addRow({"energy (mJ)",
-              formatDouble(out.metrics.energyJ * 1e3, 4)});
-    t.addRow({"power (W)", formatDouble(out.metrics.powerW(), 3)});
+    t.addRow({"cycles", std::to_string(memo.cycles)});
+    t.addRow({"committed ops", std::to_string(memo.ops)});
+    t.addRow({"time (ms)", formatDouble(memo.seconds * 1e3, 4)});
+    t.addRow({"energy (mJ)", formatDouble(memo.energyJ * 1e3, 4)});
+    t.addRow({"power (W)", formatDouble(power_w, 3)});
     char ed2[32];
-    std::snprintf(ed2, sizeof(ed2), "%.3e", out.metrics.ed2Js2());
+    std::snprintf(ed2, sizeof(ed2), "%.3e",
+                  memo.energyJ * memo.seconds * memo.seconds);
     t.addRow({"ED^2 (J s^2)", ed2});
     t.print();
-    writeRunArtifacts(args, report, trace);
+    if (from_store) {
+        std::printf("store: verified hit (%s)\n",
+                    store->entryPath(key).c_str());
+        if (!report_path.empty())
+            writeReportBytes(report_path, memo.reportJson);
+    } else {
+        writeRunArtifacts(args, report, trace);
+    }
     const std::string csv = args.get("csv");
     if (!csv.empty() && !t.writeCsv(csv))
         die("cannot write '%s'", csv.c_str());
@@ -292,25 +475,64 @@ cmdGpu(const Args &args)
     obs::RunReport report;
     obs::TraceBuffer trace(
         static_cast<size_t>(args.getU("trace-capacity", 65536)));
-    const bool want_report = !args.get("report-json").empty();
+    const std::string report_path = args.get("report-json");
     const bool want_trace = !args.get("trace-out").empty();
 
-    const core::GpuOutcome out = core::runGpuExperiment(
-        cfg, *kernel.value(), opts, want_report ? &report : nullptr,
-        want_trace ? &trace : nullptr);
-    report.designHash =
-        core::designHash(core::gpuHybridFromConfig(cfg));
-    TablePrinter t("hetsim gpu: " + out.config + " / " + out.kernel,
+    std::optional<core::ResultStore> store = openStoreArg(args);
+    const std::string key = store
+        ? runStoreKey("gpu", core::gpuConfigName(cfg),
+                      kernel.value()->name, opts)
+        : "";
+
+    RunMemo memo;
+    bool from_store = false;
+    if (store && !want_trace) {
+        if (Result<std::string> hit = store->get(key); hit.ok())
+            from_store = decodeRunMemo(hit.value(), &memo);
+    }
+
+    if (!from_store) {
+        const bool want_report = !report_path.empty() || store;
+        const core::GpuOutcome out = core::runGpuExperiment(
+            cfg, *kernel.value(), opts,
+            want_report ? &report : nullptr,
+            want_trace ? &trace : nullptr);
+        report.designHash =
+            core::designHash(core::gpuHybridFromConfig(cfg));
+        memo.cycles = out.cycles;
+        memo.ops = out.issuedOps;
+        memo.seconds = out.metrics.seconds;
+        memo.energyJ = out.metrics.energyJ;
+        if (want_report)
+            memo.reportJson = report.toJson();
+        if (store) {
+            if (Status s = store->put(key, encodeRunMemo(memo));
+                !s.ok())
+                warn("gpu: store put failed: %s",
+                     s.toString().c_str());
+        }
+    }
+
+    const double power_w =
+        memo.seconds > 0.0 ? memo.energyJ / memo.seconds : 0.0;
+    TablePrinter t("hetsim gpu: " +
+                       std::string(core::gpuConfigName(cfg)) + " / " +
+                       kernel.value()->name,
                    {"metric", "value"});
-    t.addRow({"cycles", std::to_string(out.cycles)});
-    t.addRow({"issued ops", std::to_string(out.issuedOps)});
-    t.addRow({"time (ms)",
-              formatDouble(out.metrics.seconds * 1e3, 4)});
-    t.addRow({"energy (mJ)",
-              formatDouble(out.metrics.energyJ * 1e3, 4)});
-    t.addRow({"power (W)", formatDouble(out.metrics.powerW(), 3)});
+    t.addRow({"cycles", std::to_string(memo.cycles)});
+    t.addRow({"issued ops", std::to_string(memo.ops)});
+    t.addRow({"time (ms)", formatDouble(memo.seconds * 1e3, 4)});
+    t.addRow({"energy (mJ)", formatDouble(memo.energyJ * 1e3, 4)});
+    t.addRow({"power (W)", formatDouble(power_w, 3)});
     t.print();
-    writeRunArtifacts(args, report, trace);
+    if (from_store) {
+        std::printf("store: verified hit (%s)\n",
+                    store->entryPath(key).c_str());
+        if (!report_path.empty())
+            writeReportBytes(report_path, memo.reportJson);
+    } else {
+        writeRunArtifacts(args, report, trace);
+    }
     return 0;
 }
 
@@ -437,6 +659,15 @@ cmdSweep(const Args &args)
     opts.isolate = args.getU("no-isolate", 0) == 0;
     opts.verbose = true;
 
+    std::optional<core::ResultStore> store = openStoreArg(args);
+    opts.store = store ? &*store : nullptr;
+    opts.resume = args.getU("resume", 0) != 0;
+    opts.maxRetries =
+        static_cast<uint32_t>(args.getU("retries", 0));
+    opts.retryBackoffMs = args.getD("retry-backoff-ms", 50.0);
+    if (opts.resume && !opts.store)
+        die("--resume 1 needs --store <dir> (nothing to replay)");
+
     const core::SweepReport report = core::runSweep(cells, opts);
     const Status printed =
         printSweepReport(report, args.get("csv"));
@@ -506,6 +737,9 @@ cmdDse(const Args &args)
             strategy.c_str());
     const uint64_t repeat = std::max<uint64_t>(
         args.getU("repeat", 1), 1);
+
+    std::optional<core::ResultStore> store = openStoreArg(args);
+    opts.store = store ? &*store : nullptr;
 
     ThreadPool pool(opts.jobs);
     core::DseCache cache;
@@ -588,6 +822,15 @@ cmdDse(const Args &args)
                 static_cast<unsigned long long>(cache.hits()),
                 static_cast<unsigned long long>(cache.misses()),
                 static_cast<unsigned long long>(repeat));
+    if (store) {
+        const core::ResultStore::Counters sc = store->counters();
+        std::printf("store: %llu hits, %llu misses, %llu writes, "
+                    "%llu quarantined\n",
+                    static_cast<unsigned long long>(sc.hits),
+                    static_cast<unsigned long long>(sc.misses),
+                    static_cast<unsigned long long>(sc.puts),
+                    static_cast<unsigned long long>(sc.quarantined));
+    }
 
     const std::string report_path = args.get("report-json");
     if (!report_path.empty()) {
@@ -607,6 +850,104 @@ cmdDse(const Args &args)
     return 0;
 }
 
+/** Self-pipe fd of the running serve daemon; written once before the
+ *  handlers are installed, read by the (async-signal-safe) handler. */
+volatile sig_atomic_t g_serve_drain_fd = -1;
+
+extern "C" void
+onServeDrainSignal(int)
+{
+    if (g_serve_drain_fd >= 0) {
+        const char byte = 'q';
+        [[maybe_unused]] const ssize_t n =
+            ::write(g_serve_drain_fd, &byte, 1);
+    }
+}
+
+int
+cmdServe(const Args &args)
+{
+    core::ServeOptions opts;
+    opts.socketPath = args.get("socket");
+    if (opts.socketPath.empty())
+        die("serve needs --socket <path>");
+    opts.storeDir = args.get("store");
+    opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
+    opts.wallLimitMs = args.getD("timeout-ms", 0.0);
+    opts.watchdogCycles = args.getU("watchdog-cycles", 0);
+    opts.maxRetries =
+        static_cast<uint32_t>(args.getU("retries", 1));
+    opts.retryBackoffMs = args.getD("retry-backoff-ms", 50.0);
+    opts.requestTimeoutMs =
+        args.getD("request-timeout-ms", 10000.0);
+    opts.verbose = args.getU("verbose", 1) != 0;
+
+    core::BatchServer server(opts);
+    if (Status s = server.start(); !s.ok())
+        dieOn(s);
+
+    g_serve_drain_fd = server.drainWakeupFd();
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onServeDrainSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+    ::sigaction(SIGINT, &sa, nullptr);
+
+    std::printf("serving on %s%s%s (SIGTERM drains gracefully)\n",
+                opts.socketPath.c_str(),
+                opts.storeDir.empty() ? "" : ", store ",
+                opts.storeDir.c_str());
+    std::fflush(stdout);
+
+    const Status served = server.serve();
+    if (!served.ok())
+        dieOn(served);
+
+    const core::ServerCounters c = server.counters();
+    std::printf("drained: %llu jobs completed, %llu rejected "
+                "(%llu cells ok, %llu failed, %llu timed out, "
+                "%llu retries)\n",
+                static_cast<unsigned long long>(c.jobsCompleted),
+                static_cast<unsigned long long>(c.jobsRejected),
+                static_cast<unsigned long long>(c.cellsOk),
+                static_cast<unsigned long long>(c.cellsFailed),
+                static_cast<unsigned long long>(c.cellsTimedOut),
+                static_cast<unsigned long long>(c.retries));
+
+    const std::string report_path = args.get("report-json");
+    if (!report_path.empty()) {
+        const Status s =
+            server.buildReport().writeJson(report_path);
+        if (!s.ok())
+            dieOn(s);
+        std::printf("report: %s\n", report_path.c_str());
+    }
+    return 0;
+}
+
+int
+cmdSubmit(const Args &args)
+{
+    const std::string socket_path = args.get("socket");
+    if (socket_path.empty())
+        die("submit needs --socket <path>");
+    const std::string request = args.get("request");
+    if (request.empty())
+        die("submit needs --request '<flat json job>'");
+
+    Result<std::string> response = core::submitJob(
+        socket_path, request, args.getD("timeout-ms", 60000.0));
+    if (!response.ok())
+        dieOn(response.status());
+    std::fputs(response.value().c_str(), stdout);
+    // Exit 2 when the daemon answered with an error document so
+    // scripts can branch without parsing JSON.
+    const bool ok =
+        response.value().find("\"ok\":true") != std::string::npos;
+    return ok ? 0 : 2;
+}
+
 } // namespace
 
 int
@@ -615,8 +956,8 @@ main(int argc, char **argv)
     if (argc < 2) {
         std::fprintf(stderr,
                      "usage: hetsim_cli "
-                     "{list|run|gpu|record|replay|sweep|dse} "
-                     "[--opt value]...\n"
+                     "{list|run|gpu|record|replay|sweep|dse|"
+                     "serve|submit} [--opt value]...\n"
                      "see the file header for details\n");
         return 1;
     }
@@ -636,5 +977,9 @@ main(int argc, char **argv)
         return cmdSweep(args);
     if (cmd == "dse")
         return cmdDse(args);
+    if (cmd == "serve")
+        return cmdServe(args);
+    if (cmd == "submit")
+        return cmdSubmit(args);
     die("unknown command '%s'", cmd.c_str());
 }

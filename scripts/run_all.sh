@@ -12,9 +12,10 @@ ctest --test-dir build --output-on-failure
 # or trips UB fails the run.
 cmake -B build-asan -G Ninja -DHETSIM_SANITIZE="address;undefined"
 cmake --build build-asan --target test_status test_trace_file \
-      test_fault_inject test_sweep
+      test_fault_inject test_sweep test_result_store test_json \
+      test_server
 ctest --test-dir build-asan --output-on-failure \
-      -R 'test_status|test_trace_file|test_fault_inject|test_sweep'
+      -R 'test_status|test_trace_file|test_fault_inject|test_sweep|test_result_store|test_json|test_server'
 
 # Concurrency pass: the thread-pool and design-space-exploration tests
 # under ThreadSanitizer, so a data race in the parallel evaluator fails
@@ -75,6 +76,74 @@ build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
       --scale 0.02 --no-skip 1 --report-json build/skip_dse_b.json \
       > /dev/null
 cmp build/skip_dse_a.json build/skip_dse_b.json
+
+# Durable-store smoke: a warm rerun against the result store must be
+# byte-identical to the cold run that populated it, for single runs
+# and for resumed sweeps alike.
+rm -rf build/store_smoke
+build/examples/hetsim_cli run --config AdvHet --app fft \
+      --scale 0.05 --store build/store_smoke \
+      --report-json build/store_cold.json > /dev/null
+build/examples/hetsim_cli run --config AdvHet --app fft \
+      --scale 0.05 --store build/store_smoke \
+      --report-json build/store_warm.json \
+      | grep -q 'store: verified hit'
+cmp build/store_cold.json build/store_warm.json
+build/examples/hetsim_cli sweep --configs all --workloads fft,lu \
+      --scale 0.05 --store build/store_smoke \
+      --report-json build/sweep_cold.json > /dev/null
+build/examples/hetsim_cli sweep --configs all --workloads fft,lu \
+      --scale 0.05 --store build/store_smoke --resume 1 \
+      --report-json build/sweep_warm.json > /dev/null
+cmp build/sweep_cold.json build/sweep_warm.json
+
+# Kill/resume round trip: SIGKILL a journaling sweep mid-flight, then
+# resume it; the resumed report must match an uninterrupted run byte
+# for byte (the crash costs the in-flight cell, not the prefix).
+rm -rf build/store_kill
+build/examples/hetsim_cli sweep --configs all \
+      --workloads fft,lu,radix,cholesky --scale 0.5 \
+      --report-json build/sweep_ref.json > /dev/null
+build/examples/hetsim_cli sweep --configs all \
+      --workloads fft,lu,radix,cholesky --scale 0.5 \
+      --store build/store_kill > /dev/null 2>&1 &
+sweep_pid=$!
+tries=0
+while [ "$(ls build/store_kill 2>/dev/null | grep -c '\.hres$')" \
+        -eq 0 ] && [ $tries -lt 200 ]; do
+    sleep 0.05; tries=$((tries + 1))
+done
+kill -9 $sweep_pid 2>/dev/null || true
+wait $sweep_pid 2>/dev/null || true
+build/examples/hetsim_cli sweep --configs all \
+      --workloads fft,lu,radix,cholesky --scale 0.5 \
+      --store build/store_kill --resume 1 \
+      --report-json build/sweep_resumed.json > /dev/null
+cmp build/sweep_ref.json build/sweep_resumed.json
+
+# Batch-server smoke: a resident daemon answers ping/run/stats jobs,
+# survives a malformed request, drains cleanly on SIGTERM, and writes
+# a counter-carrying server report.
+rm -rf build/store_serve
+SOCK=build/hetsim_serve.sock
+rm -f "$SOCK" "$SOCK.lock"
+build/examples/hetsim_cli serve --socket "$SOCK" \
+      --store build/store_serve --verbose 0 \
+      --report-json build/serve_report.json &
+serve_pid=$!
+build/examples/hetsim_cli submit --socket "$SOCK" \
+      --request '{"cmd":"ping"}' | grep -q '"ok":true'
+build/examples/hetsim_cli submit --socket "$SOCK" \
+      --request '{"cmd":"run","config":"AdvHet","workload":"fft","scale":0.05}' \
+      | grep -q '"ok":true'
+build/examples/hetsim_cli submit --socket "$SOCK" \
+      --request 'not json at all' && exit 1 || true
+build/examples/hetsim_cli submit --socket "$SOCK" \
+      --request '{"cmd":"stats"}' | grep -q 'jobs_accepted'
+kill -TERM $serve_pid
+wait $serve_pid
+grep -q '"kind":"server"' build/serve_report.json
+test ! -e "$SOCK"
 
 # Substrate microbenchmarks (simulator speed, not simulated machine),
 # exported as machine-readable JSON for regression tracking.

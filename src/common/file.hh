@@ -1,11 +1,16 @@
 /**
  * @file
- * RAII ownership of a C stdio stream.
+ * RAII ownership of file resources + errno-carrying I/O statuses.
  *
  * Trace I/O moved from fatal-on-error to recoverable Status returns;
- * once an error path can return, a raw FILE* leaks unless every exit
- * closes it. FileHandle closes on destruction, so error returns are
- * leak-free by construction.
+ * once an error path can return, a raw FILE* (or POSIX fd) leaks
+ * unless every exit closes it. FileHandle and FdHandle close on
+ * destruction, so error returns are leak-free by construction.
+ *
+ * Every file-I/O failure Status built here carries the operation, the
+ * path, and the symbolic errno ("open failed: /path (EACCES)") so a
+ * sweep summary or server log pinpoints the failing file without a
+ * strace session.
  */
 
 #ifndef HETSIM_COMMON_FILE_HH
@@ -14,6 +19,8 @@
 #include <cstdio>
 #include <string>
 #include <utility>
+
+#include "common/status.hh"
 
 namespace hetsim
 {
@@ -72,6 +79,66 @@ class FileHandle
   private:
     std::FILE *file_ = nullptr;
 };
+
+/**
+ * Owning wrapper around a POSIX file descriptor (sockets, lock files,
+ * O_* opens). Same RAII discipline as FileHandle: an error return can
+ * never leak the descriptor.
+ */
+class FdHandle
+{
+  public:
+    FdHandle() = default;
+
+    /** Takes ownership of an already-open descriptor (may be -1). */
+    explicit FdHandle(int fd) : fd_(fd) {}
+
+    ~FdHandle() { reset(); }
+
+    FdHandle(const FdHandle &) = delete;
+    FdHandle &operator=(const FdHandle &) = delete;
+
+    FdHandle(FdHandle &&other) noexcept
+        : fd_(std::exchange(other.fd_, -1))
+    {
+    }
+
+    FdHandle &
+    operator=(FdHandle &&other) noexcept
+    {
+        if (this != &other) {
+            reset();
+            fd_ = std::exchange(other.fd_, -1);
+        }
+        return *this;
+    }
+
+    int get() const { return fd_; }
+    explicit operator bool() const { return fd_ >= 0; }
+
+    /** Close now (also called by the destructor). */
+    void reset();
+
+    /** Release ownership without closing. */
+    int release() { return std::exchange(fd_, -1); }
+
+  private:
+    int fd_ = -1;
+};
+
+/** Symbolic name of an errno value ("EACCES"); "errno=N" fallback. */
+std::string errnoName(int err);
+
+/**
+ * Build an IoError Status with operation, path, and errno context:
+ * "open failed: /etc/shadow (EACCES)". `err` defaults to the current
+ * errno (pass it explicitly if other calls may have clobbered it).
+ */
+Status ioError(const char *op, const std::string &path, int err);
+Status ioError(const char *op, const std::string &path);
+
+/** fopen() with full error context instead of a null handle. */
+Result<FileHandle> openFile(const std::string &path, const char *mode);
 
 } // namespace hetsim
 

@@ -1,0 +1,254 @@
+#include "common/json.hh"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace hetsim
+{
+
+std::string
+JsonObject::getString(const std::string &key,
+                      const std::string &dflt) const
+{
+    const auto it = fields_.find(key);
+    if (it == fields_.end() || it->second.kind != JsonValue::Kind::String)
+        return dflt;
+    return it->second.str;
+}
+
+double
+JsonObject::getNumber(const std::string &key, double dflt) const
+{
+    const auto it = fields_.find(key);
+    if (it == fields_.end() || it->second.kind != JsonValue::Kind::Number)
+        return dflt;
+    return it->second.num;
+}
+
+bool
+JsonObject::getBool(const std::string &key, bool dflt) const
+{
+    const auto it = fields_.find(key);
+    if (it == fields_.end() || it->second.kind != JsonValue::Kind::Bool)
+        return dflt;
+    return it->second.boolean;
+}
+
+namespace
+{
+
+/** Cursor over the request text; every helper reports by Status. */
+struct Parser
+{
+    const std::string &text;
+    size_t pos = 0;
+
+    bool atEnd() const { return pos >= text.size(); }
+    char peek() const { return text[pos]; }
+
+    void
+    skipSpace()
+    {
+        while (!atEnd() && (text[pos] == ' ' || text[pos] == '\t' ||
+                            text[pos] == '\n' || text[pos] == '\r'))
+            ++pos;
+    }
+
+    Status
+    fail(const char *what) const
+    {
+        return Status::error(ErrorCode::InvalidArgument,
+                             "json parse error at byte %zu: %s", pos,
+                             what);
+    }
+};
+
+Status
+parseHex4(Parser &p, std::string *out)
+{
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+        if (p.atEnd())
+            return p.fail("truncated \\u escape");
+        const char c = p.text[p.pos++];
+        code <<= 4;
+        if (c >= '0' && c <= '9')
+            code |= static_cast<unsigned>(c - '0');
+        else if (c >= 'a' && c <= 'f')
+            code |= static_cast<unsigned>(c - 'a' + 10);
+        else if (c >= 'A' && c <= 'F')
+            code |= static_cast<unsigned>(c - 'A' + 10);
+        else
+            return p.fail("bad \\u escape digit");
+    }
+    // UTF-8 encode (surrogate pairs are rejected: job fields are
+    // config/workload names, all ASCII in practice).
+    if (code >= 0xd800 && code <= 0xdfff)
+        return p.fail("surrogate \\u escapes unsupported");
+    if (code < 0x80) {
+        out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+        out->push_back(static_cast<char>(0xc0 | (code >> 6)));
+        out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    } else {
+        out->push_back(static_cast<char>(0xe0 | (code >> 12)));
+        out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+        out->push_back(static_cast<char>(0x80 | (code & 0x3f)));
+    }
+    return Status();
+}
+
+Status
+parseString(Parser &p, std::string *out)
+{
+    if (p.atEnd() || p.peek() != '"')
+        return p.fail("expected '\"'");
+    ++p.pos;
+    out->clear();
+    while (true) {
+        if (p.atEnd())
+            return p.fail("unterminated string");
+        const char c = p.text[p.pos++];
+        if (c == '"')
+            return Status();
+        if (static_cast<unsigned char>(c) < 0x20)
+            return p.fail("raw control character in string");
+        if (c != '\\') {
+            out->push_back(c);
+            continue;
+        }
+        if (p.atEnd())
+            return p.fail("truncated escape");
+        const char esc = p.text[p.pos++];
+        switch (esc) {
+          case '"':
+            out->push_back('"');
+            break;
+          case '\\':
+            out->push_back('\\');
+            break;
+          case '/':
+            out->push_back('/');
+            break;
+          case 'b':
+            out->push_back('\b');
+            break;
+          case 'f':
+            out->push_back('\f');
+            break;
+          case 'n':
+            out->push_back('\n');
+            break;
+          case 'r':
+            out->push_back('\r');
+            break;
+          case 't':
+            out->push_back('\t');
+            break;
+          case 'u':
+          {
+            const Status s = parseHex4(p, out);
+            if (!s.ok())
+                return s;
+            break;
+          }
+          default:
+            return p.fail("unknown escape");
+        }
+    }
+}
+
+Status
+parseValue(Parser &p, JsonValue *out)
+{
+    if (p.atEnd())
+        return p.fail("expected value");
+    const char c = p.peek();
+    if (c == '"') {
+        out->kind = JsonValue::Kind::String;
+        return parseString(p, &out->str);
+    }
+    if (c == '{' || c == '[')
+        return p.fail("nested objects/arrays unsupported "
+                      "(flat scalar fields only)");
+    if (p.text.compare(p.pos, 4, "true") == 0) {
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = true;
+        p.pos += 4;
+        return Status();
+    }
+    if (p.text.compare(p.pos, 5, "false") == 0) {
+        out->kind = JsonValue::Kind::Bool;
+        out->boolean = false;
+        p.pos += 5;
+        return Status();
+    }
+    if (p.text.compare(p.pos, 4, "null") == 0) {
+        out->kind = JsonValue::Kind::Null;
+        p.pos += 4;
+        return Status();
+    }
+    if (c == '-' || (c >= '0' && c <= '9')) {
+        char *end = nullptr;
+        const double v = std::strtod(p.text.c_str() + p.pos, &end);
+        if (end == p.text.c_str() + p.pos)
+            return p.fail("bad number");
+        out->kind = JsonValue::Kind::Number;
+        out->num = v;
+        p.pos = static_cast<size_t>(end - p.text.c_str());
+        return Status();
+    }
+    return p.fail("unexpected token");
+}
+
+} // namespace
+
+Result<JsonObject>
+parseFlatJsonObject(const std::string &text)
+{
+    Parser p{text};
+    p.skipSpace();
+    if (p.atEnd() || p.peek() != '{')
+        return p.fail("expected '{'");
+    ++p.pos;
+
+    JsonObject::Map fields;
+    p.skipSpace();
+    if (!p.atEnd() && p.peek() == '}') {
+        ++p.pos;
+    } else {
+        while (true) {
+            p.skipSpace();
+            std::string key;
+            Status s = parseString(p, &key);
+            if (!s.ok())
+                return s;
+            p.skipSpace();
+            if (p.atEnd() || p.peek() != ':')
+                return p.fail("expected ':'");
+            ++p.pos;
+            p.skipSpace();
+            JsonValue value;
+            s = parseValue(p, &value);
+            if (!s.ok())
+                return s;
+            if (!fields.emplace(std::move(key), std::move(value))
+                     .second)
+                return p.fail("duplicate key");
+            p.skipSpace();
+            if (p.atEnd())
+                return p.fail("unterminated object");
+            const char c = p.text[p.pos++];
+            if (c == '}')
+                break;
+            if (c != ',')
+                return p.fail("expected ',' or '}'");
+        }
+    }
+    p.skipSpace();
+    if (!p.atEnd())
+        return p.fail("trailing data after object");
+    return JsonObject(std::move(fields));
+}
+
+} // namespace hetsim

@@ -1,0 +1,84 @@
+/**
+ * @file
+ * Minimal flat JSON object parsing for the batch-server wire protocol.
+ *
+ * The serve subcommand accepts length-prefixed JSON job requests. A
+ * job is a flat object of string / number / boolean fields
+ * ({"cmd":"run","config":"AdvHet","scale":0.05,"priority":2}), so
+ * this parser deliberately supports exactly that: one object, scalar
+ * values, full RFC 8259 string escapes, no nesting. Anything else is
+ * an InvalidArgument Status — a malformed request must poison one
+ * job, never the daemon. Serialization back out reuses the obs layer
+ * (jsonEscape / jsonDouble), so responses stay deterministic.
+ */
+
+#ifndef HETSIM_COMMON_JSON_HH
+#define HETSIM_COMMON_JSON_HH
+
+#include <map>
+#include <string>
+
+#include "common/status.hh"
+
+namespace hetsim
+{
+
+/** One scalar field of a flat JSON object. */
+struct JsonValue
+{
+    enum class Kind
+    {
+        String,
+        Number,
+        Bool,
+        Null,
+    };
+
+    Kind kind = Kind::Null;
+    std::string str;    ///< Valid when kind == String.
+    double num = 0.0;   ///< Valid when kind == Number.
+    bool boolean = false; ///< Valid when kind == Bool.
+};
+
+/** A parsed flat JSON object: field name -> scalar value. */
+class JsonObject
+{
+  public:
+    using Map = std::map<std::string, JsonValue>;
+
+    explicit JsonObject(Map fields = {}) : fields_(std::move(fields))
+    {
+    }
+
+    bool has(const std::string &key) const
+    {
+        return fields_.count(key) != 0;
+    }
+
+    /** String field, or `dflt` when absent. Numbers and booleans do
+     *  not coerce: a non-string field returns `dflt`. */
+    std::string getString(const std::string &key,
+                          const std::string &dflt = "") const;
+
+    /** Number field, or `dflt` when absent / not a number. */
+    double getNumber(const std::string &key, double dflt = 0.0) const;
+
+    /** Boolean field, or `dflt` when absent / not a boolean. */
+    bool getBool(const std::string &key, bool dflt = false) const;
+
+    const Map &fields() const { return fields_; }
+
+  private:
+    Map fields_;
+};
+
+/**
+ * Parse one flat JSON object. InvalidArgument on anything that is not
+ * a single well-formed object of scalar fields: trailing garbage,
+ * nested objects/arrays, bad escapes, duplicate keys, bare words.
+ */
+Result<JsonObject> parseFlatJsonObject(const std::string &text);
+
+} // namespace hetsim
+
+#endif // HETSIM_COMMON_JSON_HH

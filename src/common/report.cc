@@ -274,17 +274,13 @@ RunReport::toJson() const
 Status
 RunReport::writeJson(const std::string &path) const
 {
-    FileHandle f(path, "wb");
-    if (!f)
-        return Status::error(ErrorCode::IoError,
-                             "cannot open report file '%s' for writing",
-                             path.c_str());
+    Result<FileHandle> f = openFile(path, "wb");
+    if (!f.ok())
+        return f.status();
     const std::string json = toJson();
-    if (std::fwrite(json.data(), 1, json.size(), f.get())
+    if (std::fwrite(json.data(), 1, json.size(), f->get())
         != json.size())
-        return Status::error(ErrorCode::IoError,
-                             "short write to report '%s'",
-                             path.c_str());
+        return ioError("write failed", path);
     return Status();
 }
 

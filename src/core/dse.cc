@@ -1,7 +1,9 @@
 #include "core/dse.hh"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
+#include <cstring>
 
 #include "common/file.hh"
 #include "common/logging.hh"
@@ -590,15 +592,34 @@ struct PreparedCell
     uint32_t cores = 0;
 };
 
+/** Durable-store payload of one evaluated point. Name, hash, area,
+ *  and core count are recomputed from the design at admission time,
+ *  so only the simulated metrics need to persist. */
+#pragma pack(push, 1)
+struct DseCellPayload
+{
+    double seconds;
+    double energyJ;
+};
+#pragma pack(pop)
+
+std::string
+dseStoreKey(const std::string &memo_key)
+{
+    return "dse-cell-v1|" + memo_key;
+}
+
 /**
- * Shared fan-out: every prepared cell runs `simulate` unless the memo
- * cache already holds its key. Each cell writes only slot i, so the
- * result vector is identical for any job count.
+ * Shared fan-out: every prepared cell runs `simulate` unless the
+ * in-memory memo holds its key, or — behind that — the durable store
+ * does. Fresh simulations are journaled back to the store. Each cell
+ * writes only slot i, so the result vector is identical for any job
+ * count and any mix of memo/store/simulated sources.
  */
 template <typename Bundle, typename Simulate>
 std::vector<DsePoint>
 evaluateCells(const std::vector<PreparedCell<Bundle>> &cells,
-              ThreadPool &pool, DseCache &cache,
+              ThreadPool &pool, DseCache &cache, ResultStore *store,
               const Simulate &simulate)
 {
     std::vector<DsePoint> results(cells.size());
@@ -610,7 +631,36 @@ evaluateCells(const std::vector<PreparedCell<Bundle>> &cells,
             p.hash = cell.hash;
             p.areaMm2 = cell.areaMm2;
             p.cores = cell.cores;
-            simulate(cell, &p);
+            bool from_store = false;
+            if (store != nullptr) {
+                const Result<std::string> hit =
+                    store->get(dseStoreKey(cell.key));
+                DseCellPayload payload;
+                if (hit.ok() &&
+                    hit.value().size() == sizeof(payload)) {
+                    std::memcpy(&payload, hit.value().data(),
+                                sizeof(payload));
+                    p.seconds = payload.seconds;
+                    p.energyJ = payload.energyJ;
+                    from_store = true;
+                }
+            }
+            if (!from_store) {
+                simulate(cell, &p);
+                if (store != nullptr) {
+                    DseCellPayload payload;
+                    payload.seconds = p.seconds;
+                    payload.energyJ = p.energyJ;
+                    const Status s = store->put(
+                        dseStoreKey(cell.key),
+                        std::string(reinterpret_cast<const char *>(
+                                        &payload),
+                                    sizeof(payload)));
+                    if (!s.ok())
+                        warn("dse store write failed: %s",
+                             s.toString().c_str());
+                }
+            }
             cache.insert(cell.key, p);
         }
         results[i] = p;
@@ -650,7 +700,7 @@ evaluateCpuDesigns(const std::vector<CpuHybridDesign> &designs,
     }
 
     return evaluateCells(
-        cells, pool, cache,
+        cells, pool, cache, opts.store,
         [&](const PreparedCell<CpuConfigBundle> &cell, DsePoint *p) {
             const CpuOutcome out =
                 runCpuBundle(cell.bundle, cell.name, app, opts.exp);
@@ -684,7 +734,7 @@ evaluateGpuDesigns(const std::vector<GpuHybridDesign> &designs,
     }
 
     return evaluateCells(
-        cells, pool, cache,
+        cells, pool, cache, opts.store,
         [&](const PreparedCell<GpuConfigBundle> &cell, DsePoint *p) {
             const GpuOutcome out = runGpuBundle(cell.bundle,
                                                 cell.name, kernel,
@@ -869,10 +919,9 @@ paretoFront(const std::vector<DsePoint> &points,
     return front;
 }
 
-Status
-writeDseReportJson(const std::vector<DsePoint> &points,
-                   const std::string &workload,
-                   DseObjective objective, const std::string &path)
+std::string
+dseReportToJson(const std::vector<DsePoint> &points,
+                const std::string &workload, DseObjective objective)
 {
     char hash_buf[32];
     std::string j;
@@ -904,16 +953,21 @@ writeDseReportJson(const std::vector<DsePoint> &points,
     }
     j += "  ]\n";
     j += "}\n";
+    return j;
+}
 
-    FileHandle f(path, "wb");
-    if (!f)
-        return Status::error(ErrorCode::IoError,
-                             "cannot write dse report '%s'",
-                             path.c_str());
-    if (std::fwrite(j.data(), 1, j.size(), f.get()) != j.size())
-        return Status::error(ErrorCode::IoError,
-                             "short write to dse report '%s'",
-                             path.c_str());
+Status
+writeDseReportJson(const std::vector<DsePoint> &points,
+                   const std::string &workload,
+                   DseObjective objective, const std::string &path)
+{
+    const std::string j = dseReportToJson(points, workload, objective);
+    Result<FileHandle> f = openFile(path, "wb");
+    if (!f.ok())
+        return f.status();
+    if (std::fwrite(j.data(), 1, j.size(), f.value().get()) !=
+        j.size())
+        return ioError("short write to dse report", path, errno);
     return Status();
 }
 

@@ -34,6 +34,7 @@
 #include "common/status.hh"
 #include "common/thread_pool.hh"
 #include "core/experiment.hh"
+#include "core/result_store.hh"
 
 namespace hetsim::core
 {
@@ -193,6 +194,12 @@ struct DseOptions
     unsigned jobs = 1;          ///< Thread-pool width.
     double areaBudgetMm2 = 0.0; ///< Skip designs above this (0=off).
     DseObjective objective = DseObjective::Ed2;
+    /** Durable second cache tier behind the in-memory memo
+     *  (optional, not owned): memo misses consult the store before
+     *  simulating, and fresh simulations are journaled back, so a
+     *  repeated exploration in a *new process* is warm. Verified,
+     *  checksummed reads only — see core/result_store. */
+    ResultStore *store = nullptr;
 };
 
 /**
@@ -236,12 +243,19 @@ std::vector<size_t> paretoFront(const std::vector<DsePoint> &points,
                                 DseObjective objective);
 
 /**
- * Write evaluated points as a deterministic JSON document
+ * Evaluated points as a deterministic JSON document
  * ("hetsim-dse-report-v1"). The memo-cache `cached` flag is excluded
  * on purpose: it depends on thread timing, while the document must be
  * byte-identical for any job count (diffing a jobs=1 report against a
- * jobs=8 report is the determinism smoke test).
+ * jobs=8 report is the determinism smoke test). Store provenance is
+ * excluded for the same reason: a warm-store rerun must produce the
+ * same bytes as a cold run.
  */
+std::string dseReportToJson(const std::vector<DsePoint> &points,
+                            const std::string &workload,
+                            DseObjective objective);
+
+/** dseReportToJson() to a file. */
 Status writeDseReportJson(const std::vector<DsePoint> &points,
                           const std::string &workload,
                           DseObjective objective,

@@ -11,6 +11,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "common/file.hh"
 #include "common/logging.hh"
 #include "common/table.hh"
 #include "cpu/multicore.hh"
@@ -30,7 +31,9 @@ monotonicMs()
     return ts.tv_sec * 1e3 + ts.tv_nsec / 1e6;
 }
 
-/** Fixed-size prefix of the result a child sends up its pipe. */
+/** Fixed-size prefix of the result a child sends up its pipe; also
+ *  the layout of a journaled cell payload in the ResultStore (the
+ *  store's own header supplies versioning and checksums). */
 #pragma pack(push, 1)
 struct WireResult
 {
@@ -43,6 +46,51 @@ struct WireResult
     uint32_t msgLen;
 };
 #pragma pack(pop)
+
+/** Journal payload: WireResult + the status message bytes. */
+std::string
+encodeCellPayload(const CellResult &res)
+{
+    WireResult wire;
+    wire.outcome = static_cast<uint8_t>(res.outcome);
+    wire.code = static_cast<uint8_t>(res.status.code());
+    wire.cycles = res.cycles;
+    wire.ops = res.ops;
+    wire.seconds = res.seconds;
+    wire.energyJ = res.energyJ;
+    const std::string &msg = res.status.message();
+    wire.msgLen = static_cast<uint32_t>(msg.size());
+    std::string payload(reinterpret_cast<const char *>(&wire),
+                        sizeof(wire));
+    payload += msg;
+    return payload;
+}
+
+/** Inverse of encodeCellPayload; false on a malformed payload (the
+ *  caller then re-executes — a journal can only ever cost a rerun). */
+bool
+decodeCellPayload(const std::string &payload, CellResult *res)
+{
+    WireResult wire;
+    if (payload.size() < sizeof(wire))
+        return false;
+    std::memcpy(&wire, payload.data(), sizeof(wire));
+    if (payload.size() != sizeof(wire) + wire.msgLen)
+        return false;
+    if (wire.outcome > static_cast<uint8_t>(CellOutcome::TimedOut))
+        return false;
+    res->outcome = static_cast<CellOutcome>(wire.outcome);
+    const auto code = static_cast<ErrorCode>(wire.code);
+    const std::string msg = payload.substr(sizeof(wire), wire.msgLen);
+    res->status = code == ErrorCode::Ok
+        ? Status()
+        : Status::error(code, "%s", msg.c_str());
+    res->cycles = wire.cycles;
+    res->ops = wire.ops;
+    res->seconds = wire.seconds;
+    res->energyJ = wire.energyJ;
+    return true;
+}
 
 double
 effectiveScale(const SweepCell &cell, const SweepOptions &opts)
@@ -298,6 +346,7 @@ runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
             ErrorCode::Timeout,
             "wall-clock watchdog fired after %.0f ms",
             opts.wallLimitMs);
+        res.transient = true; // Host-load dependent: retryable.
         return res;
     }
 
@@ -317,6 +366,89 @@ runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
     res.outcome = CellOutcome::Failed;
     res.status = Status::error(ErrorCode::Crashed, "cell process %s",
                                describeChildDeath(wstatus).c_str());
+    res.transient = true; // Crashes may be environmental: retryable.
+    return res;
+}
+
+/** Bounded exponential backoff before retry `attempt` (1-based). */
+void
+sleepBackoff(double first_ms, uint32_t attempt)
+{
+    double ms = first_ms;
+    for (uint32_t i = 1; i < attempt; ++i)
+        ms *= 2.0;
+    if (ms > 5000.0)
+        ms = 5000.0;
+    if (ms <= 0.0)
+        return;
+    struct timespec ts;
+    ts.tv_sec = static_cast<time_t>(ms / 1e3);
+    ts.tv_nsec = static_cast<long>(
+        (ms - ts.tv_sec * 1e3) * 1e6);
+    ::nanosleep(&ts, nullptr);
+}
+
+/**
+ * One cell, end to end: journal replay (resume), execution with the
+ * chosen isolation, the inline soft wall-clock deadline, bounded
+ * retry of transient failures, and the durable journal write.
+ */
+CellResult
+executeCell(const SweepCell &cell, const SweepOptions &opts)
+{
+    std::string key;
+    if (opts.store != nullptr)
+        key = cellStoreKey(cell, opts);
+
+    if (opts.store != nullptr && opts.resume) {
+        const Result<std::string> hit = opts.store->get(key);
+        CellResult replay;
+        if (hit.ok() && decodeCellPayload(hit.value(), &replay)) {
+            replay.fromStore = true;
+            return replay;
+        }
+    }
+
+    CellResult res;
+    for (uint32_t attempt = 0;; ++attempt) {
+        if (opts.isolate) {
+            res = runCellIsolated(cell, opts);
+        } else {
+            const double start = monotonicMs();
+            res = runCellInProcess(cell, opts);
+            const double elapsed = monotonicMs() - start;
+            // Soft wall-clock deadline: the cell cannot be preempted
+            // without a child process, but an overrun is reported
+            // loudly instead of silently dropping the guarantee.
+            if (opts.wallLimitMs > 0.0 &&
+                elapsed > opts.wallLimitMs &&
+                res.outcome == CellOutcome::Ok) {
+                res.outcome = CellOutcome::TimedOut;
+                res.status = Status::error(
+                    ErrorCode::Timeout,
+                    "soft wall-clock deadline (%.0f ms) exceeded: "
+                    "inline cell ran %.0f ms to completion "
+                    "(no preemption without isolation)",
+                    opts.wallLimitMs, elapsed);
+                res.transient = true;
+            }
+        }
+        res.retries = attempt;
+        if (!res.transient || attempt >= opts.maxRetries)
+            break;
+        sleepBackoff(opts.retryBackoffMs, attempt + 1);
+    }
+
+    // Journal only deterministic terminal outcomes: a replayed crash
+    // or wall-clock kill would freeze a nondeterministic failure into
+    // every future resume.
+    if (opts.store != nullptr && !res.transient) {
+        const Status put =
+            opts.store->put(key, encodeCellPayload(res));
+        if (!put.ok())
+            warn("sweep journal write failed: %s",
+                 put.toString().c_str());
+    }
     return res;
 }
 
@@ -454,6 +586,53 @@ SweepReport::count(CellOutcome outcome) const
     return n;
 }
 
+size_t
+SweepReport::fromStoreCount() const
+{
+    size_t n = 0;
+    for (const CellResult &r : results)
+        if (r.fromStore)
+            ++n;
+    return n;
+}
+
+uint64_t
+SweepReport::totalRetries() const
+{
+    uint64_t n = 0;
+    for (const CellResult &r : results)
+        n += r.retries;
+    return n;
+}
+
+std::string
+cellStoreKey(const SweepCell &cell, const SweepOptions &opts)
+{
+    const char *kind = "app";
+    switch (cell.kind) {
+      case SweepCell::Kind::CpuTrace:
+        kind = "trace";
+        break;
+      case SweepCell::Kind::GpuKernel:
+        kind = "kernel";
+        break;
+      default:
+        break;
+    }
+    char buf[128];
+    std::snprintf(buf, sizeof(buf),
+                  "|x%.9g|w%llu|s%llu|f%.9g|g%d|c%u|k%d",
+                  effectiveScale(cell, opts),
+                  static_cast<unsigned long long>(
+                      effectiveWatchdog(cell, opts)),
+                  static_cast<unsigned long long>(opts.exp.seed),
+                  opts.exp.freqGhz,
+                  opts.exp.variationGuardband ? 1 : 0,
+                  opts.exp.coresOverride, opts.exp.noSkip ? 1 : 0);
+    return std::string("sweep-cell-v1|") + kind + "|" +
+        cellConfigName(cell) + "|" + cell.workload + buf;
+}
+
 std::string
 cellConfigName(const SweepCell &cell)
 {
@@ -479,21 +658,28 @@ SweepReport
 runSweep(const std::vector<SweepCell> &cells,
          const SweepOptions &opts)
 {
+    if (!opts.isolate && opts.wallLimitMs > 0.0)
+        warn("sweep: inline cells honor the wall-clock limit as a "
+             "soft deadline only (no preemption without isolation); "
+             "pair it with a cycle watchdog to bound hung cells");
+    if (opts.resume && opts.store == nullptr)
+        warn("sweep: resume requested without a result store; "
+             "every cell will re-execute");
+
     SweepReport report;
     report.cells = cells;
     report.results.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &cell = cells[i];
         const double start = monotonicMs();
-        CellResult res = opts.isolate
-            ? runCellIsolated(cell, opts)
-            : runCellInProcess(cell, opts);
+        CellResult res = executeCell(cell, opts);
         res.wallMs = monotonicMs() - start;
         if (opts.verbose)
-            inform("sweep [%zu/%zu] %s / %s: %s%s%s", i + 1,
+            inform("sweep [%zu/%zu] %s / %s: %s%s%s%s", i + 1,
                    cells.size(), cellConfigName(cell).c_str(),
                    cellWorkloadName(cell).c_str(),
                    cellOutcomeName(res.outcome),
+                   res.fromStore ? " (replayed)" : "",
                    res.status.ok() ? "" : " - ",
                    res.status.ok() ? ""
                                    : res.status.toString().c_str());
@@ -528,15 +714,19 @@ printSweepReport(const SweepReport &report,
                 "(of %zu)\n",
                 report.okCount(), report.failedCount(),
                 report.timedOutCount(), report.results.size());
+    if (report.fromStoreCount() > 0 || report.totalRetries() > 0)
+        std::printf("journal: %zu cells replayed from the store, "
+                    "%llu transient-failure retries\n",
+                    report.fromStoreCount(),
+                    static_cast<unsigned long long>(
+                        report.totalRetries()));
     if (!csv_path.empty() && !t.writeCsv(csv_path))
-        return Status::error(ErrorCode::IoError,
-                             "cannot write '%s'", csv_path.c_str());
+        return ioError("cannot write csv", csv_path, errno);
     return Status();
 }
 
-Status
-writeSweepReportJson(const SweepReport &report,
-                     const std::string &path)
+std::string
+sweepReportToJson(const SweepReport &report)
 {
     std::string j;
     j += "{\n";
@@ -567,16 +757,20 @@ writeSweepReportJson(const SweepReport &report,
     }
     j += "  ]\n";
     j += "}\n";
+    return j;
+}
 
-    FileHandle f(path, "wb");
-    if (!f)
-        return Status::error(ErrorCode::IoError,
-                             "cannot write sweep report '%s'",
-                             path.c_str());
-    if (std::fwrite(j.data(), 1, j.size(), f.get()) != j.size())
-        return Status::error(ErrorCode::IoError,
-                             "short write to sweep report '%s'",
-                             path.c_str());
+Status
+writeSweepReportJson(const SweepReport &report,
+                     const std::string &path)
+{
+    const std::string j = sweepReportToJson(report);
+    Result<FileHandle> f = openFile(path, "wb");
+    if (!f.ok())
+        return f.status();
+    if (std::fwrite(j.data(), 1, j.size(), f.value().get()) !=
+        j.size())
+        return ioError("short write to sweep report", path, errno);
     return Status();
 }
 

@@ -17,6 +17,16 @@
  *
  * The summary records one row per cell (ok / failed / timed-out plus
  * metrics), printable as a table or CSV.
+ *
+ * Durability (PR 6): cells can journal their terminal outcome into a
+ * persistent ResultStore as they finish. A sweep re-invoked with
+ * `resume` replays journaled cells from disk and re-executes only the
+ * remainder, so a SIGKILL'd batch run costs the in-flight cell, not
+ * the completed prefix — and the resumed report is byte-identical to
+ * an uninterrupted run. Transient failures (worker crashes,
+ * wall-clock kills) are retried with bounded exponential backoff and
+ * never journaled; deterministic Status errors are journaled and
+ * never retried.
  */
 
 #ifndef HETSIM_CORE_SWEEP_HH
@@ -27,6 +37,7 @@
 
 #include "common/status.hh"
 #include "core/experiment.hh"
+#include "core/result_store.hh"
 
 namespace hetsim::core
 {
@@ -92,6 +103,13 @@ struct CellResult
     double seconds = 0.0;  ///< Simulated time.
     double energyJ = 0.0;
     double wallMs = 0.0;   ///< Host wall-clock spent on the cell.
+    /** Nondeterministic failure (child crash, wall-clock kill):
+     *  eligible for retry, excluded from the durable journal. */
+    bool transient = false;
+    /** Replayed from the ResultStore journal, not executed. */
+    bool fromStore = false;
+    /** Transient-failure retries spent before this outcome. */
+    uint32_t retries = 0;
 };
 
 /** Sweep-wide knobs. */
@@ -99,14 +117,31 @@ struct SweepOptions
 {
     /** Seed/scale/frequency/cycle-watchdog for every cell. */
     ExperimentOptions exp;
-    /** Per-cell wall-clock limit in ms (0 = none). Needs isolate. */
+    /** Per-cell wall-clock limit in ms (0 = none). Isolated cells
+     *  are SIGKILLed at the limit; inline cells (isolate == false)
+     *  get a *soft* deadline — the cell runs to completion and is
+     *  then marked TimedOut if it overran, never a silent drop of
+     *  the guarantee (a hung inline cell still needs the cycle
+     *  watchdog; runSweep warns about the downgrade). */
     double wallLimitMs = 0.0;
     /** Fork one child per cell so crashes/kills stay contained.
-     *  When false everything runs in-process (no wall-clock guard,
-     *  no crash isolation; cycle watchdog still applies). */
+     *  When false everything runs in-process (soft wall-clock
+     *  deadline only, no crash isolation; cycle watchdog still
+     *  applies). */
     bool isolate = true;
     /** inform() one line per cell as the sweep progresses. */
     bool verbose = false;
+
+    /** Durable journal/memo tier (optional, not owned). Terminal
+     *  deterministic outcomes are written as cells finish. */
+    ResultStore *store = nullptr;
+    /** Replay journaled cells from `store` instead of re-executing
+     *  them (crash resume / warm-store rerun). Requires `store`. */
+    bool resume = false;
+    /** Transient-failure retries per cell (0 = fail fast). */
+    uint32_t maxRetries = 0;
+    /** First retry backoff; doubles per retry, capped at 5 s. */
+    double retryBackoffMs = 50.0;
 };
 
 /** All cells plus their results, in plan order. */
@@ -123,7 +158,25 @@ struct SweepReport
         return count(CellOutcome::TimedOut);
     }
     bool allOk() const { return okCount() == results.size(); }
+
+    /** Cells replayed from the ResultStore journal. */
+    size_t fromStoreCount() const;
+    /** Transient-failure retries spent across the whole sweep. */
+    uint64_t totalRetries() const;
 };
+
+/**
+ * Durable-journal key of one cell under the given options: cell
+ * identity (kind, config, workload, effective scale and watchdog)
+ * plus every ExperimentOptions field that feeds the result. Two
+ * identical cells share a key — and, the workloads being
+ * deterministic, identical journaled bytes. Trace cells are keyed by
+ * path: re-recording a trace in place without clearing the store is
+ * the caller's responsibility (the trace *format* is fenced by the
+ * store's trace-version field).
+ */
+std::string cellStoreKey(const SweepCell &cell,
+                         const SweepOptions &opts);
 
 /** Display helpers for summaries. */
 std::string cellConfigName(const SweepCell &cell);
@@ -145,11 +198,16 @@ Status printSweepReport(const SweepReport &report,
                         const std::string &csv_path = "");
 
 /**
- * Write the sweep as a deterministic JSON document ("hetsim-sweep-
+ * The sweep as a deterministic JSON document ("hetsim-sweep-
  * report-v1"): one entry per cell with its outcome and metrics. Host
- * wall-clock time is deliberately excluded so two identical sweeps
- * produce byte-identical files.
+ * wall-clock time, retry counts, and store provenance are
+ * deliberately excluded so two identical sweeps — including a
+ * crash-resumed one replaying journaled cells — produce byte-
+ * identical documents.
  */
+std::string sweepReportToJson(const SweepReport &report);
+
+/** sweepReportToJson() to a file. */
 Status writeSweepReportJson(const SweepReport &report,
                             const std::string &path);
 

@@ -1,0 +1,105 @@
+/**
+ * @file
+ * Tests for the flat JSON object parser behind the batch-server wire
+ * protocol. The contract under test: any well-formed flat object of
+ * scalars parses; everything else — nesting, trailing bytes, bad
+ * escapes, duplicate keys — degrades to an InvalidArgument Status
+ * that names the failing byte offset.
+ */
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/json.hh"
+
+using namespace hetsim;
+
+TEST(FlatJson, ParsesEveryScalarKind)
+{
+    auto r = parseFlatJsonObject(
+        "{\"cmd\":\"run\",\"scale\":0.05,\"n\":-3e2,"
+        "\"deep\":true,\"flat\":false,\"nothing\":null}");
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    const JsonObject &o = r.value();
+    EXPECT_EQ(o.fields().size(), 6u);
+    EXPECT_EQ(o.getString("cmd"), "run");
+    EXPECT_DOUBLE_EQ(o.getNumber("scale"), 0.05);
+    EXPECT_DOUBLE_EQ(o.getNumber("n"), -300.0);
+    EXPECT_TRUE(o.getBool("deep"));
+    EXPECT_FALSE(o.getBool("flat", true));
+    EXPECT_TRUE(o.has("nothing"));
+}
+
+TEST(FlatJson, EmptyObjectAndWhitespace)
+{
+    EXPECT_TRUE(parseFlatJsonObject("{}").ok());
+    EXPECT_TRUE(parseFlatJsonObject("  { \n\t} \r\n").ok());
+    auto r = parseFlatJsonObject(" { \"a\" : 1 , \"b\" : 2 } ");
+    ASSERT_TRUE(r.ok());
+    EXPECT_DOUBLE_EQ(r.value().getNumber("b"), 2.0);
+}
+
+TEST(FlatJson, StringEscapes)
+{
+    auto r = parseFlatJsonObject(
+        "{\"s\":\"a\\\"b\\\\c\\/d\\n\\t\\r\\b\\f\","
+        "\"u\":\"\\u0041\\u00e9\\u20ac\"}");
+    ASSERT_TRUE(r.ok()) << r.status().toString();
+    EXPECT_EQ(r.value().getString("s"), "a\"b\\c/d\n\t\r\b\f");
+    EXPECT_EQ(r.value().getString("u"), "A\xc3\xa9\xe2\x82\xac");
+}
+
+TEST(FlatJson, TypedGettersDoNotCoerce)
+{
+    auto r = parseFlatJsonObject("{\"n\":5,\"s\":\"five\"}");
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r.value().getString("n", "dflt"), "dflt");
+    EXPECT_DOUBLE_EQ(r.value().getNumber("s", -1.0), -1.0);
+    EXPECT_TRUE(r.value().getBool("n", true));
+    EXPECT_EQ(r.value().getString("missing", "x"), "x");
+}
+
+TEST(FlatJson, RejectsMalformedInput)
+{
+    const char *bad[] = {
+        "",                        // No object at all.
+        "   ",                     // Only whitespace.
+        "null",                    // Not an object.
+        "[1,2]",                   // Array at top level.
+        "{\"a\":1",                // Unterminated object.
+        "{\"a\"1}",                // Missing colon.
+        "{\"a\":}",                // Missing value.
+        "{a:1}",                   // Unquoted key.
+        "{\"a\":'x'}",             // Single quotes.
+        "{\"a\":1,}",              // Trailing comma.
+        "{\"a\":1}{",              // Trailing garbage.
+        "{\"a\":1} x",             // Trailing bare word.
+        "{\"a\":{}}",              // Nested object.
+        "{\"a\":[1]}",             // Nested array.
+        "{\"a\":1,\"a\":2}",       // Duplicate key.
+        "{\"a\":truthy}",          // Bad keyword.
+        "{\"a\":\"\\q\"}",         // Bad escape.
+        "{\"a\":\"\\u12\"}",       // Short \u escape.
+        "{\"a\":\"\\ud800\"}",     // Lone surrogate.
+        "{\"a\":\"\tb\"}",         // Raw control char in string.
+        "{\"a\":+1}",              // Leading plus.
+    };
+    for (const char *text : bad) {
+        auto r = parseFlatJsonObject(text);
+        ASSERT_FALSE(r.ok()) << "input: " << text;
+        EXPECT_EQ(r.status().code(), ErrorCode::InvalidArgument)
+            << "input: " << text;
+        EXPECT_NE(r.status().message().find("byte"),
+                  std::string::npos)
+            << "input: " << text;
+    }
+}
+
+TEST(FlatJson, ErrorNamesByteOffset)
+{
+    auto r = parseFlatJsonObject("{\"key\":@}");
+    ASSERT_FALSE(r.ok());
+    EXPECT_NE(r.status().message().find("byte 7"), std::string::npos)
+        << r.status().message();
+}

@@ -1,17 +1,25 @@
 /**
  * @file
  * Tests for the crash-isolating batch sweep runner, including the
- * headline robustness scenario: a full config sweep with one poisoned
- * trace and one runaway cell completes, reporting exactly those two
- * cells as failed/timed-out.
+ * headline robustness scenarios: a full config sweep with one
+ * poisoned trace and one runaway cell completes, reporting exactly
+ * those two cells as failed/timed-out; and a SIGKILLed sweep resumed
+ * from its durable journal produces a byte-identical report.
  */
 
 #include <gtest/gtest.h>
 
+#include <dirent.h>
+#include <signal.h>
+#include <sys/wait.h>
+#include <unistd.h>
+
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
+#include "core/result_store.hh"
 #include "core/sweep.hh"
 #include "workload/cpu_profiles.hh"
 #include "workload/cpu_trace_gen.hh"
@@ -272,4 +280,280 @@ TEST(Sweep, CycleWatchdogIsDeterministic)
     EXPECT_EQ(a.results[0].outcome, CellOutcome::TimedOut);
     EXPECT_EQ(a.results[0].cycles, b.results[0].cycles);
     EXPECT_EQ(a.results[0].ops, b.results[0].ops);
+}
+
+namespace
+{
+
+std::string
+makeStoreDir(const char *tag)
+{
+    std::string tmpl =
+        "/tmp/hetsim_sweepstore_" + std::string(tag) + "_XXXXXX";
+    EXPECT_NE(::mkdtemp(tmpl.data()), nullptr);
+    return tmpl;
+}
+
+void
+removeDir(const std::string &dir)
+{
+    const std::string cmd = "rm -rf " + dir;
+    [[maybe_unused]] int rc = std::system(cmd.c_str());
+}
+
+/** Entries (*.hres) currently journaled in `dir`. */
+size_t
+countEntries(const std::string &dir)
+{
+    size_t n = 0;
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return 0;
+    while (struct dirent *e = ::readdir(d)) {
+        const std::string name = e->d_name;
+        if (name.size() > 5 &&
+            name.compare(name.size() - 5, 5, ".hres") == 0)
+            ++n;
+    }
+    ::closedir(d);
+    return n;
+}
+
+std::vector<SweepCell>
+smallPlan()
+{
+    return {cpuAppCell(CpuConfig::BaseCmos, "fft", 0.05),
+            cpuAppCell(CpuConfig::AdvHet, "fft", 0.05),
+            cpuAppCell(CpuConfig::BaseCmos, "nosuchapp"),
+            gpuKernelCell(GpuConfig::AdvHet, "dct", 0.05)};
+}
+
+} // namespace
+
+TEST(SweepStoreKey, EncodesCellAndOptionIdentity)
+{
+    SweepOptions opts;
+    const SweepCell a = cpuAppCell(CpuConfig::BaseCmos, "fft");
+    EXPECT_EQ(cellStoreKey(a, opts), cellStoreKey(a, opts));
+
+    // Anything that changes the result changes the key.
+    EXPECT_NE(cellStoreKey(a, opts),
+              cellStoreKey(cpuAppCell(CpuConfig::AdvHet, "fft"),
+                           opts));
+    EXPECT_NE(cellStoreKey(a, opts),
+              cellStoreKey(cpuAppCell(CpuConfig::BaseCmos, "lu"),
+                           opts));
+    EXPECT_NE(
+        cellStoreKey(a, opts),
+        cellStoreKey(cpuAppCell(CpuConfig::BaseCmos, "fft", 2.0),
+                     opts));
+    SweepOptions seeded = opts;
+    seeded.exp.seed = 7;
+    EXPECT_NE(cellStoreKey(a, opts), cellStoreKey(a, seeded));
+    SweepOptions watchdogged = opts;
+    watchdogged.exp.watchdogCycles = 123;
+    EXPECT_NE(cellStoreKey(a, opts), cellStoreKey(a, watchdogged));
+
+    // Execution strategy (isolation, retries) does NOT change the
+    // key: the simulated result is the same either way.
+    SweepOptions inlined = opts;
+    inlined.isolate = false;
+    inlined.maxRetries = 3;
+    EXPECT_EQ(cellStoreKey(a, opts), cellStoreKey(a, inlined));
+}
+
+TEST(SweepStore, ResumeReplaysJournaledCellsByteIdentically)
+{
+    const std::string dir = makeStoreDir("resume");
+    SweepOptions opts;
+    opts.isolate = false; // In-process: fast unit-test cells.
+
+    // Reference run: no store at all.
+    const SweepReport plain = runSweep(smallPlan(), opts);
+    const std::string plain_json = sweepReportToJson(plain);
+
+    // Cold run journals every cell (including the deterministic
+    // not-found failure).
+    {
+        auto store = core::ResultStore::open(dir);
+        ASSERT_TRUE(store.ok());
+        opts.store = &store.value();
+        const SweepReport cold = runSweep(smallPlan(), opts);
+        EXPECT_EQ(cold.fromStoreCount(), 0u);
+        EXPECT_EQ(sweepReportToJson(cold), plain_json);
+        EXPECT_EQ(countEntries(dir), smallPlan().size());
+    }
+
+    // Resumed run replays all cells from the journal: byte-identical
+    // report, zero re-execution.
+    {
+        auto store = core::ResultStore::open(dir);
+        ASSERT_TRUE(store.ok());
+        opts.store = &store.value();
+        opts.resume = true;
+        const SweepReport warm = runSweep(smallPlan(), opts);
+        EXPECT_EQ(warm.fromStoreCount(), smallPlan().size());
+        EXPECT_EQ(sweepReportToJson(warm), plain_json);
+        EXPECT_EQ(store.value().counters().hits,
+                  smallPlan().size());
+    }
+    removeDir(dir);
+}
+
+TEST(SweepStore, CorruptJournalEntryIsQuarantinedAndRecomputed)
+{
+    const std::string dir = makeStoreDir("corrupt");
+    SweepOptions opts;
+    opts.isolate = false;
+
+    auto store = core::ResultStore::open(dir);
+    ASSERT_TRUE(store.ok());
+    opts.store = &store.value();
+    const SweepReport cold = runSweep(smallPlan(), opts);
+    const std::string cold_json = sweepReportToJson(cold);
+
+    // Flip one payload byte in one journaled entry.
+    const std::string victim =
+        store.value().entryPath(cellStoreKey(smallPlan()[0], opts));
+    const uint64_t size = workload::fileSize(victim).valueOr(0);
+    ASSERT_GT(size, 0u);
+    ASSERT_TRUE(workload::flipBitInFile(victim, size - 3, 2).ok());
+
+    opts.resume = true;
+    const SweepReport resumed = runSweep(smallPlan(), opts);
+    // The corrupt cell re-executed; the other three replayed. The
+    // report is still byte-identical to the cold run.
+    EXPECT_EQ(resumed.fromStoreCount(), smallPlan().size() - 1);
+    EXPECT_EQ(sweepReportToJson(resumed), cold_json);
+    EXPECT_EQ(store.value().counters().quarantined, 1u);
+    // And the recompute re-journaled it: a third pass replays all.
+    const SweepReport again = runSweep(smallPlan(), opts);
+    EXPECT_EQ(again.fromStoreCount(), smallPlan().size());
+    removeDir(dir);
+}
+
+TEST(SweepStore, TransientFailuresRetryAndAreNeverJournaled)
+{
+    const std::string dir = makeStoreDir("retry");
+    auto store = core::ResultStore::open(dir);
+    ASSERT_TRUE(store.ok());
+
+    // A huge isolated cell against a tiny wall clock: every attempt
+    // is SIGKILLed (a transient, wall-clock-dependent outcome).
+    SweepOptions opts;
+    opts.wallLimitMs = 30.0;
+    opts.maxRetries = 2;
+    opts.retryBackoffMs = 1.0;
+    opts.store = &store.value();
+    const SweepReport report =
+        runSweep({cpuAppCell(CpuConfig::BaseCmos, "fft", 5000.0)},
+                 opts);
+    ASSERT_EQ(report.results.size(), 1u);
+    const CellResult &res = report.results[0];
+    EXPECT_EQ(res.outcome, CellOutcome::TimedOut);
+    EXPECT_TRUE(res.transient);
+    EXPECT_EQ(res.retries, 2u);
+    EXPECT_EQ(report.totalRetries(), 2u);
+    // Transient outcomes must not poison the journal: a resume would
+    // otherwise replay this kill forever.
+    EXPECT_EQ(countEntries(dir), 0u);
+    EXPECT_EQ(store.value().counters().puts, 0u);
+    removeDir(dir);
+}
+
+TEST(SweepStore, DeterministicFailuresAreNotRetried)
+{
+    SweepOptions opts;
+    opts.isolate = false;
+    opts.maxRetries = 5;
+    opts.retryBackoffMs = 1.0;
+    const SweepReport report = runSweep(
+        {cpuAppCell(CpuConfig::BaseCmos, "nosuchapp")}, opts);
+    ASSERT_EQ(report.results.size(), 1u);
+    EXPECT_EQ(report.results[0].outcome, CellOutcome::Failed);
+    EXPECT_FALSE(report.results[0].transient);
+    EXPECT_EQ(report.results[0].retries, 0u);
+}
+
+TEST(Sweep, InlineSoftWallClockDeadlineIsExplicit)
+{
+    // Satellite fix: the inline (no-fork) path used to silently drop
+    // the wall-clock watchdog. Now an overrunning inline cell is
+    // loudly marked TimedOut with a soft-deadline explanation.
+    SweepOptions opts;
+    opts.isolate = false;
+    opts.wallLimitMs = 1e-6; // Any real cell overruns this.
+    const SweepReport report = runSweep(
+        {cpuAppCell(CpuConfig::BaseCmos, "fft", 0.05)}, opts);
+    ASSERT_EQ(report.results.size(), 1u);
+    const CellResult &res = report.results[0];
+    EXPECT_EQ(res.outcome, CellOutcome::TimedOut);
+    EXPECT_EQ(res.status.code(), ErrorCode::Timeout);
+    EXPECT_NE(res.status.message().find("soft wall-clock deadline"),
+              std::string::npos)
+        << res.status.message();
+    // Wall-clock overruns are timing-dependent: transient, so a
+    // retry budget applies and the journal stays clean.
+    EXPECT_TRUE(res.transient);
+    // The cell ran to completion before being flagged.
+    EXPECT_GT(res.cycles, 0u);
+}
+
+/**
+ * The acceptance scenario: SIGKILL a sweep mid-run, resume it with
+ * the same flags, and the final report is byte-identical to an
+ * uninterrupted run — completed cells replay from the journal
+ * instead of re-executing.
+ */
+TEST(SweepStore, KilledSweepResumesByteIdentically)
+{
+    const std::string dir = makeStoreDir("kill");
+
+    // Reference: the uninterrupted run.
+    SweepOptions opts;
+    opts.isolate = false;
+    std::vector<SweepCell> plan;
+    for (const char *app : {"fft", "lu", "radix", "cholesky"})
+        plan.push_back(
+            cpuAppCell(CpuConfig::BaseCmos, app, 0.5));
+    const std::string reference =
+        sweepReportToJson(runSweep(plan, opts));
+
+    // Victim: same sweep, journaling to the store, killed from
+    // outside once at least one cell has committed.
+    const pid_t child = ::fork();
+    ASSERT_GE(child, 0);
+    if (child == 0) {
+        auto store = core::ResultStore::open(dir);
+        if (!store.ok())
+            _exit(2);
+        SweepOptions child_opts;
+        child_opts.isolate = false;
+        child_opts.store = &store.value();
+        runSweep(plan, child_opts);
+        _exit(0); // Finished before the kill: also fine.
+    }
+    // Wait for the first journaled entry, then SIGKILL mid-sweep.
+    for (int i = 0; i < 2000 && countEntries(dir) == 0; ++i)
+        ::usleep(1000);
+    ::kill(child, SIGKILL);
+    int wstatus = 0;
+    ASSERT_EQ(::waitpid(child, &wstatus, 0), child);
+
+    const size_t journaled = countEntries(dir);
+    EXPECT_GE(journaled, 1u);
+
+    // Resume with the same flags: replay the committed prefix,
+    // execute the rest, produce identical bytes.
+    auto store = core::ResultStore::open(dir);
+    ASSERT_TRUE(store.ok());
+    opts.store = &store.value();
+    opts.resume = true;
+    const SweepReport resumed = runSweep(plan, opts);
+    EXPECT_EQ(sweepReportToJson(resumed), reference);
+    EXPECT_GE(resumed.fromStoreCount(), journaled > plan.size()
+                                            ? plan.size()
+                                            : journaled);
+    EXPECT_EQ(store.value().counters().quarantined, 0u);
+    removeDir(dir);
 }
