@@ -8,7 +8,15 @@
  *                  [--cores N] [--seed K] [--no-skip 1]
  *                  [--csv out.csv] [--report-json report.json]
  *                  [--trace-out t.json] [--trace-capacity N]
+ *                  [--checkpoint ck.hckp] [--checkpoint-every N]
  *       Simulate one CPU experiment and print its metrics.
+ *       --checkpoint enables checkpoint/restore: the run saves a
+ *       verified, atomically-rotated checkpoint every N cycles
+ *       (--checkpoint-every; 0 = only on SIGTERM), drains to one on
+ *       SIGTERM (exit 3), auto-resumes when the file exists, and
+ *       removes it on completion. A run killed at any point and
+ *       re-invoked identically produces byte-identical --report-json
+ *       output to an uninterrupted run with the same flags.
  *       --no-skip 1 disables event-horizon cycle skipping (the
  *       slower reference path; reports are byte-identical either
  *       way — run/gpu/sweep/dse all accept it).
@@ -44,7 +52,12 @@
  *       killed sweep restarted with the same flags re-runs only the
  *       missing cells and produces a byte-identical --report-json.
  *       --retries N re-runs transient failures (worker crashes,
- *       wall-clock kills) up to N times with exponential backoff.
+ *       wall-clock kills) up to N times with exponential backoff
+ *       (deterministically jittered per cell).
+ *       --checkpoint-every N (needs --store) adds mid-run cell
+ *       checkpoints in the store directory: SIGTERM drains the
+ *       in-flight cell to a checkpoint and stops (exit 3), and
+ *       --resume 1 then continues that cell mid-run.
  *       Exits 0 as long as the sweep itself ran; per-cell failures
  *       are reported in the summary, not via the exit code.
  *   hetsim_cli dse [--space cpu|gpu] [--app fft | --kernel matrixmul]
@@ -74,6 +87,18 @@
  *       drains gracefully on SIGTERM/SIGINT — answering every queued
  *       job, then writing its lifetime counters (jobs, store
  *       hits/misses/quarantines, retries) as a RunReport.
+ *       --checkpoint-every N (needs --store) lets the drain signal
+ *       preempt the in-flight cell at its next checkpoint instead of
+ *       running it to completion; re-submitting the job after a
+ *       restart resumes the cell from its journaled checkpoint.
+ *   hetsim_cli store fsck --dir DIR
+ *   hetsim_cli store gc --dir DIR
+ *       Offline store maintenance: verify every .hres entry exactly
+ *       as get() would (quarantining corrupt ones) and report
+ *       quarantined files and orphaned atomic-write temp files.
+ *       fsck only reports (exit 1 while problem files remain); gc
+ *       additionally deletes quarantined files and orphan temps
+ *       (never live entries or checkpoints).
  *   hetsim_cli submit --socket /tmp/hetsim.sock
  *                     --request '{"cmd":"run","config":"AdvHet",
  *                     "workload":"fft","scale":0.05}'
@@ -228,6 +253,31 @@ splitCsvList(const std::string &list)
     return out;
 }
 
+/** Preemption flag shared by the SIGTERM handler and checkpointed
+ *  commands; forked sweep children inherit the handler, so a signal
+ *  to the process group preempts the in-flight cell too. */
+volatile sig_atomic_t g_preempt = 0;
+
+extern "C" void
+onPreemptSignal(int)
+{
+    g_preempt = 1;
+}
+
+void
+installPreemptHandler()
+{
+    struct sigaction sa;
+    std::memset(&sa, 0, sizeof(sa));
+    sa.sa_handler = onPreemptSignal;
+    sigemptyset(&sa.sa_mask);
+    ::sigaction(SIGTERM, &sa, nullptr);
+}
+
+/** Exit code of a run stopped at a preemption checkpoint (1 is a
+ *  plain error, 2 a submit error-response). */
+constexpr int kExitPreempted = 3;
+
 int
 cmdList()
 {
@@ -269,15 +319,19 @@ runStoreKey(const char *kind, const std::string &config,
             const std::string &workload,
             const core::ExperimentOptions &opts)
 {
-    char buf[160];
+    // The checkpoint cadence participates: drains pause fetch, so
+    // runs with different cadences report different cycle counts.
+    char buf[176];
     std::snprintf(buf, sizeof(buf),
-                  "|s%llu|x%.9g|f%.9g|c%u|w%llu|k%d|g%d",
+                  "|s%llu|x%.9g|f%.9g|c%u|w%llu|k%d|g%d|e%llu",
                   static_cast<unsigned long long>(opts.seed),
                   opts.scale, opts.freqGhz, opts.coresOverride,
                   static_cast<unsigned long long>(
                       opts.watchdogCycles),
                   opts.noSkip ? 1 : 0,
-                  opts.variationGuardband ? 1 : 0);
+                  opts.variationGuardband ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      opts.checkpointEveryCycles));
     return std::string("run-report-v1|") + kind + "|" + config +
            "|" + workload + buf;
 }
@@ -384,6 +438,15 @@ cmdRun(const Args &args)
     opts.coresOverride =
         static_cast<uint32_t>(args.getU("cores", 0));
     opts.noSkip = args.getU("no-skip", 0) != 0;
+    opts.checkpointPath = args.get("checkpoint");
+    opts.checkpointEveryCycles = args.getU("checkpoint-every", 0);
+    if (opts.checkpointPath.empty() &&
+        opts.checkpointEveryCycles > 0)
+        die("--checkpoint-every needs --checkpoint <path>");
+    if (!opts.checkpointPath.empty()) {
+        installPreemptHandler();
+        opts.preempt = &g_preempt;
+    }
 
     obs::RunReport report;
     obs::TraceBuffer trace(
@@ -413,6 +476,13 @@ cmdRun(const Args &args)
         const core::CpuOutcome out = core::runCpuExperiment(
             cfg, *app.value(), opts, want_report ? &report : nullptr,
             want_trace ? &trace : nullptr);
+        if (out.preempted) {
+            std::printf("preempted at cycle %llu: checkpoint saved "
+                        "to %s; rerun the same command to resume\n",
+                        static_cast<unsigned long long>(out.cycles),
+                        opts.checkpointPath.c_str());
+            return kExitPreempted;
+        }
         report.designHash =
             core::designHash(core::cpuHybridFromConfig(cfg));
         memo.cycles = out.cycles;
@@ -471,6 +541,15 @@ cmdGpu(const Args &args)
     opts.scale = args.getD("scale", 1.0);
     opts.seed = args.getU("seed", 1);
     opts.noSkip = args.getU("no-skip", 0) != 0;
+    opts.checkpointPath = args.get("checkpoint");
+    opts.checkpointEveryCycles = args.getU("checkpoint-every", 0);
+    if (opts.checkpointPath.empty() &&
+        opts.checkpointEveryCycles > 0)
+        die("--checkpoint-every needs --checkpoint <path>");
+    if (!opts.checkpointPath.empty()) {
+        installPreemptHandler();
+        opts.preempt = &g_preempt;
+    }
 
     obs::RunReport report;
     obs::TraceBuffer trace(
@@ -497,6 +576,13 @@ cmdGpu(const Args &args)
             cfg, *kernel.value(), opts,
             want_report ? &report : nullptr,
             want_trace ? &trace : nullptr);
+        if (out.preempted) {
+            std::printf("preempted at cycle %llu: checkpoint saved "
+                        "to %s; rerun the same command to resume\n",
+                        static_cast<unsigned long long>(out.cycles),
+                        opts.checkpointPath.c_str());
+            return kExitPreempted;
+        }
         report.designHash =
             core::designHash(core::gpuHybridFromConfig(cfg));
         memo.cycles = out.cycles;
@@ -667,12 +753,28 @@ cmdSweep(const Args &args)
     opts.retryBackoffMs = args.getD("retry-backoff-ms", 50.0);
     if (opts.resume && !opts.store)
         die("--resume 1 needs --store <dir> (nothing to replay)");
+    opts.exp.checkpointEveryCycles =
+        args.getU("checkpoint-every", 0);
+    if (opts.exp.checkpointEveryCycles > 0) {
+        if (!opts.store)
+            die("--checkpoint-every needs --store <dir> "
+                "(mid-run checkpoints live in the store directory)");
+        opts.checkpointDir = store->dir();
+        installPreemptHandler();
+        opts.exp.preempt = &g_preempt;
+    }
 
     const core::SweepReport report = core::runSweep(cells, opts);
     const Status printed =
         printSweepReport(report, args.get("csv"));
     if (!printed.ok())
         dieOn(printed);
+    if (report.preempted()) {
+        std::printf("preempted: mid-run checkpoints journaled in "
+                    "%s; rerun with --resume 1 to continue\n",
+                    store->dir().c_str());
+        return kExitPreempted;
+    }
     const std::string report_path = args.get("report-json");
     if (!report_path.empty()) {
         const Status s =
@@ -857,6 +959,11 @@ volatile sig_atomic_t g_serve_drain_fd = -1;
 extern "C" void
 onServeDrainSignal(int)
 {
+    // Also raise the preemption flag: with --checkpoint-every, the
+    // in-flight cell drains to a checkpoint instead of running to
+    // completion (children inherit this handler, so a process-group
+    // signal reaches forked cells too).
+    g_preempt = 1;
     if (g_serve_drain_fd >= 0) {
         const char byte = 'q';
         [[maybe_unused]] const ssize_t n =
@@ -881,6 +988,11 @@ cmdServe(const Args &args)
     opts.requestTimeoutMs =
         args.getD("request-timeout-ms", 10000.0);
     opts.verbose = args.getU("verbose", 1) != 0;
+    opts.checkpointEveryCycles = args.getU("checkpoint-every", 0);
+    if (opts.checkpointEveryCycles > 0 && opts.storeDir.empty())
+        die("--checkpoint-every needs --store <dir> "
+            "(mid-run checkpoints live in the store directory)");
+    opts.preempt = &g_preempt;
 
     core::BatchServer server(opts);
     if (Status s = server.start(); !s.ok())
@@ -927,6 +1039,44 @@ cmdServe(const Args &args)
 }
 
 int
+cmdStore(int argc, char **argv)
+{
+    if (argc < 3)
+        die("store needs a subcommand: fsck or gc");
+    const std::string sub = argv[2];
+    if (sub != "fsck" && sub != "gc")
+        die("unknown store subcommand '%s' (expected fsck or gc)",
+            sub.c_str());
+    const Args args(argc, argv, 3);
+    const std::string dir = args.get("dir");
+    if (dir.empty())
+        die("store %s needs --dir <store directory>", sub.c_str());
+
+    Result<core::StoreFsckReport> rep = core::fsckStore(
+        dir, workload::kTraceVersion, /*prune=*/sub == "gc");
+    if (!rep.ok())
+        dieOn(rep.status());
+    const core::StoreFsckReport &r = rep.value();
+    for (const std::string &note : r.notes)
+        std::printf("%s\n", note.c_str());
+    std::printf("store %s %s: %llu entries ok, %llu corrupt "
+                "(quarantined), %llu quarantined files, "
+                "%llu orphan temps, %llu checkpoints, %llu pruned\n",
+                sub.c_str(), dir.c_str(),
+                static_cast<unsigned long long>(r.okEntries),
+                static_cast<unsigned long long>(r.corruptEntries),
+                static_cast<unsigned long long>(r.quarantined),
+                static_cast<unsigned long long>(r.orphanTemps),
+                static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(r.pruned));
+    // Nonzero while problem files remain on disk (fsck reports, gc
+    // removes), so cron-style health checks can alert on fsck.
+    const uint64_t remaining =
+        r.quarantined + r.orphanTemps - r.pruned;
+    return remaining > 0 ? 1 : 0;
+}
+
+int
 cmdSubmit(const Args &args)
 {
     const std::string socket_path = args.get("socket");
@@ -957,11 +1107,13 @@ main(int argc, char **argv)
         std::fprintf(stderr,
                      "usage: hetsim_cli "
                      "{list|run|gpu|record|replay|sweep|dse|"
-                     "serve|submit} [--opt value]...\n"
+                     "serve|submit|store} [--opt value]...\n"
                      "see the file header for details\n");
         return 1;
     }
     const std::string cmd = argv[1];
+    if (cmd == "store")
+        return cmdStore(argc, argv);
     const Args args(argc, argv, 2);
     if (cmd == "list")
         return cmdList();

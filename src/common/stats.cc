@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstdio>
 
+#include "common/serialize.hh"
+
 namespace hetsim
 {
 
@@ -33,6 +35,26 @@ Distribution::reset()
 {
     count_ = 0;
     min_ = max_ = mean_ = m2_ = 0.0;
+}
+
+void
+Distribution::saveState(Serializer &ser) const
+{
+    ser.putU64(count_);
+    ser.putDouble(min_);
+    ser.putDouble(max_);
+    ser.putDouble(mean_);
+    ser.putDouble(m2_);
+}
+
+void
+Distribution::restoreState(Deserializer &des)
+{
+    count_ = des.getU64();
+    min_ = des.getDouble();
+    max_ = des.getDouble();
+    mean_ = des.getDouble();
+    m2_ = des.getDouble();
 }
 
 Counter &
@@ -86,6 +108,36 @@ StatGroup::reset()
         ctr.reset();
     for (auto &[name, dist] : dists_)
         dist.reset();
+}
+
+void
+StatGroup::saveState(Serializer &ser) const
+{
+    ser.putU64(counters_.size());
+    for (const auto &[name, ctr] : counters_) {
+        ser.putString(name);
+        ser.putU64(ctr.value());
+    }
+    ser.putU64(dists_.size());
+    for (const auto &[name, dist] : dists_) {
+        ser.putString(name);
+        dist.saveState(ser);
+    }
+}
+
+void
+StatGroup::restoreState(Deserializer &des)
+{
+    const uint64_t nc = des.getU64();
+    for (uint64_t i = 0; i < nc && des.ok(); ++i) {
+        const std::string name = des.getString();
+        counters_[name].set(des.getU64());
+    }
+    const uint64_t nd = des.getU64();
+    for (uint64_t i = 0; i < nd && des.ok(); ++i) {
+        const std::string name = des.getString();
+        dists_[name].restoreState(des);
+    }
 }
 
 double

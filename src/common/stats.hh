@@ -19,6 +19,9 @@
 namespace hetsim
 {
 
+class Serializer;
+class Deserializer;
+
 /** A named monotonically increasing event counter. */
 class Counter
 {
@@ -42,6 +45,9 @@ class Counter
     uint64_t value() const { return value_; }
     void reset() { value_ = 0; }
 
+    /** Restore to a checkpointed value (checkpoint restore only). */
+    void set(uint64_t v) { value_ = v; }
+
   private:
     uint64_t value_ = 0;
 };
@@ -63,6 +69,10 @@ class Distribution
     double stddev() const;
 
     void reset();
+
+    /** Serialize the raw Welford accumulators (bit-exact doubles). */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
 
   private:
     uint64_t count_ = 0;
@@ -114,6 +124,15 @@ class StatGroup
 
     /** Reset every counter and distribution to zero. */
     void reset();
+
+    /**
+     * Serialize every counter and distribution by name. restoreState
+     * sets values *in place* (creating missing entries) and never
+     * clears the maps, so Counter&/Distribution& references cached by
+     * hot paths at construction stay valid across a restore.
+     */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
 
   private:
     std::string name_;

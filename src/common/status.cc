@@ -36,6 +36,8 @@ errorCodeName(ErrorCode code)
         return "crashed";
       case ErrorCode::Internal:
         return "internal";
+      case ErrorCode::Preempted:
+        return "preempted";
       default:
         return "?";
     }

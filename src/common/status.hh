@@ -47,6 +47,7 @@ enum class ErrorCode
     Timeout,            ///< Watchdog (cycle or wall-clock) expired.
     Crashed,            ///< Isolated child process died abnormally.
     Internal,           ///< Unexpected condition; likely a bug.
+    Preempted,          ///< Stopped at a preemption checkpoint.
 };
 
 /** Stable lowercase name for summaries and test matching. */

@@ -1,8 +1,11 @@
 #include "core/experiment.hh"
 
+#include <cstring>
 #include <memory>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
+#include "core/checkpoint.hh"
 #include "cpu/multicore.hh"
 #include "gpu/gpu.hh"
 #include "workload/cpu_trace_gen.hh"
@@ -114,6 +117,56 @@ fillGpuReport(obs::RunReport &rep, gpu::Gpu &g,
     rep.groups.push_back(obs::snapshotGroup(mem.dram().stats()));
 }
 
+/** Exact (bit-level) double rendering for identity keys, independent
+ *  of locale and formatting width. */
+std::string
+keyBits(double v)
+{
+    uint64_t bits;
+    std::memcpy(&bits, &v, sizeof(bits));
+    return std::to_string(bits);
+}
+
+/** Run-identity key for checkpoint fencing: every option that changes
+ *  the simulated machine or workload participates, so a checkpoint is
+ *  only ever restored into the exact invocation that wrote it. The
+ *  cadence is included because only a matching cadence preserves the
+ *  restore-equals-uninterrupted guarantee. */
+std::string
+checkpointKeyFor(const char *kind, const std::string &config,
+                 const std::string &workload,
+                 const ExperimentOptions &opts)
+{
+    if (!opts.checkpointKey.empty())
+        return opts.checkpointKey;
+    return std::string(kind) + "|" + config + "|" + workload +
+           "|seed=" + std::to_string(opts.seed) +
+           "|scale=" + keyBits(opts.scale) +
+           "|freq=" + keyBits(opts.freqGhz) +
+           "|cores=" + std::to_string(opts.coresOverride) +
+           "|wd=" + std::to_string(opts.watchdogCycles) +
+           "|skip=" + (opts.noSkip ? "0" : "1") +
+           "|every=" + std::to_string(opts.checkpointEveryCycles);
+}
+
+/** Build the save/preempt hook for a checkpointed run. */
+CheckpointHook
+makeHook(const ExperimentOptions &opts, const std::string &key)
+{
+    CheckpointHook hook;
+    hook.everyCycles = opts.checkpointEveryCycles;
+    hook.preempt = opts.preempt;
+    const std::string path = opts.checkpointPath;
+    hook.save = [path, key](uint64_t cycle,
+                            const std::string &payload) {
+        const Status st = saveCheckpoint(path, key, cycle, payload);
+        if (!st.ok())
+            warn("checkpoint save failed (%s): %s", path.c_str(),
+                 st.message().c_str());
+    };
+    return hook;
+}
+
 } // namespace
 
 CpuOutcome
@@ -147,18 +200,48 @@ runCpuBundle(const CpuConfigBundle &bundle_in,
     for (auto &t : traces)
         ptrs.push_back(t.get());
 
-    cpu::Multicore mc(bundle.sim, ptrs);
+    auto mc = std::make_unique<cpu::Multicore>(bundle.sim, ptrs);
+    if (!opts.checkpointPath.empty()) {
+        const std::string key =
+            checkpointKeyFor("cpu", config_name, app.name, opts);
+        auto loaded = loadCheckpoint(opts.checkpointPath, key);
+        if (loaded.ok()) {
+            Deserializer des(loaded->payload);
+            if (mc->restoreState(des)) {
+                inform("resumed %s/%s from %s (cycle %llu)",
+                       config_name.c_str(), app.name,
+                       loaded->path.c_str(),
+                       static_cast<unsigned long long>(
+                           loaded->cycle));
+            } else {
+                warn("checkpoint restore failed (%s); cold start",
+                     des.status().message().c_str());
+                // The failed restore part-consumed the seeded traces:
+                // rebuild workload and chip from scratch.
+                traces = workload::makeCpuWorkload(
+                    app, bundle.numCores, opts.seed, opts.scale);
+                ptrs.clear();
+                for (auto &t : traces)
+                    ptrs.push_back(t.get());
+                mc = std::make_unique<cpu::Multicore>(bundle.sim,
+                                                      ptrs);
+            }
+        }
+        mc->setCheckpointHook(makeHook(opts, key));
+    }
     if (trace != nullptr)
-        mc.attachTrace(trace);
-    cpu::MulticoreResult run = mc.run();
+        mc->attachTrace(trace);
+    cpu::MulticoreResult run = mc->run();
+    if (!opts.checkpointPath.empty() && !run.preempted)
+        removeCheckpoint(opts.checkpointPath);
 
     // Split ALU activity between the clusters of a dual-speed design.
     power::CpuActivity activity = run.activity;
     if (bundle.sim.core.fu.dualSpeedAlu) {
         uint64_t fast_ops = 0;
-        for (uint32_t c = 0; c < mc.numCores(); ++c)
+        for (uint32_t c = 0; c < mc->numCores(); ++c)
             fast_ops +=
-                mc.core(c).fuPool().stats().value("fast_alu_ops");
+                mc->core(c).fuPool().stats().value("fast_alu_ops");
         const int alu = static_cast<int>(CpuUnit::Alu);
         const int fast = static_cast<int>(CpuUnit::AluFast);
         hetsim_assert(activity[alu] >= fast_ops,
@@ -179,13 +262,14 @@ runCpuBundle(const CpuConfigBundle &bundle_in,
     out.cycles = run.cycles;
     out.committedOps = run.committedOps;
     out.timedOut = run.timedOut;
+    out.preempted = run.preempted;
     out.energy = power::computeCpuEnergy(activity, bundle.units,
                                          run.seconds, bundle.numCores,
                                          op.scales);
     out.metrics.seconds = run.seconds;
     out.metrics.energyJ = out.energy.totalJ();
     if (report != nullptr)
-        fillCpuReport(*report, mc, activity, out, opts);
+        fillCpuReport(*report, *mc, activity, out, opts);
     return out;
 }
 
@@ -213,10 +297,34 @@ runGpuBundle(const GpuConfigBundle &bundle_in,
     bundle.sim.skipEnabled = !opts.noSkip;
 
     workload::SyntheticKernel k(kernel, opts.seed, opts.scale);
-    gpu::Gpu gpu(bundle.sim);
+    auto gpu = std::make_unique<gpu::Gpu>(bundle.sim);
+    if (!opts.checkpointPath.empty()) {
+        const std::string key =
+            checkpointKeyFor("gpu", config_name, kernel.name, opts);
+        auto loaded = loadCheckpoint(opts.checkpointPath, key);
+        if (loaded.ok()) {
+            Deserializer des(loaded->payload);
+            if (gpu->restoreState(des)) {
+                inform("resumed %s/%s from %s (cycle %llu)",
+                       config_name.c_str(), kernel.name,
+                       loaded->path.c_str(),
+                       static_cast<unsigned long long>(
+                           loaded->cycle));
+            } else {
+                warn("checkpoint restore failed (%s); cold start",
+                     des.status().message().c_str());
+                // SyntheticKernel is stateless per workgroup index,
+                // so only the chip needs rebuilding.
+                gpu = std::make_unique<gpu::Gpu>(bundle.sim);
+            }
+        }
+        gpu->setCheckpointHook(makeHook(opts, key));
+    }
     if (trace != nullptr)
-        gpu.attachTrace(trace);
-    gpu::GpuResult run = gpu.run(k);
+        gpu->attachTrace(trace);
+    gpu::GpuResult run = gpu->run(k);
+    if (!opts.checkpointPath.empty() && !run.preempted)
+        removeCheckpoint(opts.checkpointPath);
 
     GpuOutcome out;
     out.config = config_name;
@@ -224,12 +332,13 @@ runGpuBundle(const GpuConfigBundle &bundle_in,
     out.cycles = run.cycles;
     out.issuedOps = run.issuedOps;
     out.timedOut = run.timedOut;
+    out.preempted = run.preempted;
     out.energy = power::computeGpuEnergy(run.activity, bundle.units,
                                          run.seconds, bundle.numCus);
     out.metrics.seconds = run.seconds;
     out.metrics.energyJ = out.energy.totalJ();
     if (report != nullptr)
-        fillGpuReport(*report, gpu, run.activity, out, opts);
+        fillGpuReport(*report, *gpu, run.activity, out, opts);
     return out;
 }
 

@@ -7,6 +7,7 @@
 #ifndef HETSIM_CORE_EXPERIMENT_HH
 #define HETSIM_CORE_EXPERIMENT_HH
 
+#include <csignal>
 #include <string>
 #include <vector>
 
@@ -38,6 +39,23 @@ struct ExperimentOptions
      *  hatch). Results are bit-identical either way; this exists as
      *  the reference path that proves it. */
     bool noSkip = false;
+
+    /** Checkpoint/restore (core/checkpoint.hh). When `checkpointPath`
+     *  is non-empty the run auto-resumes from a verified checkpoint
+     *  at that path (cold-starting otherwise), saves one every
+     *  `checkpointEveryCycles` chip cycles (0 = only on preemption),
+     *  and removes the file on successful completion. @{ */
+    std::string checkpointPath;
+    uint64_t checkpointEveryCycles = 0;
+    /** Run-identity key stored in the checkpoint; empty derives one
+     *  from the config/workload/seed/scale/flags. A mismatched key is
+     *  refused at restore (never silently resumed). */
+    std::string checkpointKey;
+    /** When non-null and the pointee becomes nonzero (e.g. a SIGTERM
+     *  handler), the run drains, saves a checkpoint, and returns with
+     *  `preempted` set instead of completing. */
+    const volatile sig_atomic_t *preempt = nullptr;
+    /** @} */
 };
 
 /** Outcome of one (config, app) run. */
@@ -47,7 +65,8 @@ struct CpuOutcome
     std::string app;
     uint64_t cycles = 0;
     uint64_t committedOps = 0;
-    bool timedOut = false; ///< Cut short by opts.watchdogCycles.
+    bool timedOut = false;  ///< Cut short by opts.watchdogCycles.
+    bool preempted = false; ///< Stopped at a preemption checkpoint.
     power::RunMetrics metrics;
     power::EnergyBreakdown energy;
 };
@@ -59,7 +78,8 @@ struct GpuOutcome
     std::string kernel;
     uint64_t cycles = 0;
     uint64_t issuedOps = 0;
-    bool timedOut = false; ///< Cut short by opts.watchdogCycles.
+    bool timedOut = false;  ///< Cut short by opts.watchdogCycles.
+    bool preempted = false; ///< Stopped at a preemption checkpoint.
     power::RunMetrics metrics;
     power::EnergyBreakdown energy;
 };

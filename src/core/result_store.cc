@@ -1,8 +1,11 @@
 #include "core/result_store.hh"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
+
+#include <algorithm>
 
 #include <cerrno>
 #include <cstdio>
@@ -269,6 +272,134 @@ ResultStore::put(const std::string &key, const std::string &payload)
     syncDirectory(dir_);
     ++stats_->puts;
     return Status();
+}
+
+namespace
+{
+
+/** True when `name` ends with `suffix`. */
+bool
+endsWith(const std::string &name, const std::string &suffix)
+{
+    return name.size() >= suffix.size() &&
+           name.compare(name.size() - suffix.size(), suffix.size(),
+                        suffix) == 0;
+}
+
+/** The verification get() performs, over raw entry bytes. Returns
+ *  nullptr when the entry is healthy. */
+const char *
+entryProblem(const std::string &raw, uint32_t trace_version)
+{
+    EntryHeader hdr;
+    if (raw.size() < sizeof(hdr))
+        return "truncated header";
+    std::memcpy(&hdr, raw.data(), sizeof(hdr));
+    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
+        return "bad magic";
+    if (hdr.schema != ResultStore::kSchemaVersion)
+        return "store schema version mismatch";
+    if (hdr.traceVersion != trace_version)
+        return "trace format version mismatch";
+    if (raw.size() != sizeof(hdr) + hdr.keyLen + hdr.payloadLen)
+        return "size mismatch";
+    if (storeFnv1a(raw.data() + sizeof(hdr), hdr.keyLen) !=
+        hdr.keyFnv)
+        return "key checksum mismatch";
+    if (storeFnv1a(raw.data() + sizeof(hdr) + hdr.keyLen,
+                   hdr.payloadLen) != hdr.payloadFnv)
+        return "payload checksum mismatch";
+    return nullptr;
+}
+
+} // namespace
+
+Result<StoreFsckReport>
+fsckStore(const std::string &dir, uint32_t trace_version, bool prune)
+{
+    DIR *d = ::opendir(dir.c_str());
+    if (d == nullptr)
+        return ioError("opendir failed", dir, errno);
+
+    // Sorted for deterministic note order (readdir order is not).
+    std::vector<std::string> names;
+    while (struct dirent *ent = ::readdir(d)) {
+        const std::string name = ent->d_name;
+        if (name != "." && name != "..")
+            names.push_back(name);
+    }
+    ::closedir(d);
+    std::sort(names.begin(), names.end());
+
+    StoreFsckReport rep;
+    auto prune_file = [&](const std::string &path) {
+        if (!prune)
+            return;
+        if (::unlink(path.c_str()) == 0)
+            ++rep.pruned;
+        else
+            rep.notes.push_back("cannot remove " + path + ": " +
+                                std::strerror(errno));
+    };
+
+    for (const std::string &name : names) {
+        const std::string path = dir + "/" + name;
+        // Orphaned O_EXCL temps: a put()/saveCheckpoint() killed
+        // between open and rename. Readers never open them; gc may.
+        if (name.find(".tmp.") != std::string::npos) {
+            ++rep.orphanTemps;
+            rep.notes.push_back("orphan temp file: " + path);
+            prune_file(path);
+            continue;
+        }
+        if (endsWith(name, ".quarantined")) {
+            ++rep.quarantined;
+            rep.notes.push_back("quarantined: " + path);
+            prune_file(path);
+            continue;
+        }
+        // Live mid-run checkpoints (and their rotated previous):
+        // resumable state, deliberately left alone.
+        if (endsWith(name, ".hckp") || endsWith(name, ".prev")) {
+            ++rep.checkpoints;
+            continue;
+        }
+        if (!endsWith(name, ResultStore::kEntrySuffix))
+            continue;
+
+        std::string raw;
+        {
+            FdHandle fd(::open(path.c_str(), O_RDONLY));
+            if (!fd) {
+                rep.notes.push_back("cannot open " + path + ": " +
+                                    std::strerror(errno));
+                continue;
+            }
+            const Status read = readAllFd(fd.get(), &raw, path);
+            if (!read.ok()) {
+                rep.notes.push_back(read.toString());
+                continue;
+            }
+        }
+        const char *problem = entryProblem(raw, trace_version);
+        if (problem == nullptr) {
+            ++rep.okEntries;
+            continue;
+        }
+        ++rep.corruptEntries;
+        rep.notes.push_back(std::string("corrupt entry (") + problem +
+                            "): " + path);
+        const std::string side = path + ".quarantined";
+        if (::rename(path.c_str(), side.c_str()) != 0) {
+            ::unlink(path.c_str());
+            rep.notes.push_back("quarantine rename failed; unlinked " +
+                                path);
+        } else {
+            ++rep.quarantined;
+            prune_file(side);
+        }
+    }
+    return rep;
 }
 
 ResultStore::Counters

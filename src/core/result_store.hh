@@ -40,6 +40,7 @@
 #include <cstdint>
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "common/status.hh"
 #include "workload/trace_file.hh"
@@ -122,6 +123,35 @@ class ResultStore
 
 /** Create `dir` and any missing parents (mkdir -p semantics). */
 Status makeDirectories(const std::string &dir);
+
+/** What a store maintenance pass (fsck / gc) found and did. */
+struct StoreFsckReport
+{
+    uint64_t okEntries = 0;      ///< Entries passing every check.
+    uint64_t corruptEntries = 0; ///< Newly quarantined by this pass.
+    uint64_t quarantined = 0;    ///< *.quarantined files present
+                                 ///  (including corruptEntries).
+    uint64_t orphanTemps = 0;    ///< Leftover *.tmp.* files (a write
+                                 ///  killed before its rename).
+    uint64_t checkpoints = 0;    ///< Live checkpoint files (.hckp /
+                                 ///  .prev); never pruned.
+    uint64_t pruned = 0;         ///< Files removed (prune mode only).
+    std::vector<std::string> notes; ///< One line per problem file.
+};
+
+/**
+ * Offline store maintenance. Verifies every "*.hres" entry exactly as
+ * get() would (magic, schema, trace version, sizes, key and payload
+ * checksums), quarantining failures; counts pre-existing quarantined
+ * files and orphaned O_EXCL temp files. With `prune` set (the `store
+ * gc` mode), quarantined files and orphaned temps are deleted — live
+ * entries and checkpoint files are never touched. Returns the report;
+ * errors only when the directory itself cannot be read.
+ */
+Result<StoreFsckReport>
+fsckStore(const std::string &dir,
+          uint32_t trace_version = workload::kTraceVersion,
+          bool prune = false);
 
 } // namespace hetsim::core
 

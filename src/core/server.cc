@@ -555,6 +555,14 @@ BatchServer::sweepOptionsFor(const JsonObject &req)
     opts.resume = store() != nullptr;
     opts.maxRetries = opts_.maxRetries;
     opts.retryBackoffMs = opts_.retryBackoffMs;
+    // Mid-run checkpoints let a drain signal preempt the in-flight
+    // cell without losing its progress; off by default so the
+    // classic drain (finish everything, then exit) is unchanged.
+    if (opts_.checkpointEveryCycles > 0 && store() != nullptr) {
+        opts.exp.checkpointEveryCycles = opts_.checkpointEveryCycles;
+        opts.exp.preempt = opts_.preempt;
+        opts.checkpointDir = opts_.storeDir;
+    }
     return opts;
 }
 

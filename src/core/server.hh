@@ -42,6 +42,7 @@
 #ifndef HETSIM_CORE_SERVER_HH
 #define HETSIM_CORE_SERVER_HH
 
+#include <csignal>
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -79,6 +80,17 @@ struct ServeOptions
      *  connection must not wedge the daemon). */
     double requestTimeoutMs = 10000.0;
     bool verbose = false;
+
+    /** Per-cell mid-run checkpoint cadence (0 = off; needs a store
+     *  directory — checkpoints live there). With it, a drain signal
+     *  preempts the in-flight cell at its next quiesce point instead
+     *  of running it to completion, and re-submitting the job after a
+     *  restart resumes the cell mid-run from its checkpoint. */
+    uint64_t checkpointEveryCycles = 0;
+    /** Preemption flag cells poll; the CLI's drain signal handler
+     *  sets it alongside the self-pipe write. Only consulted when
+     *  checkpointEveryCycles > 0. */
+    const volatile sig_atomic_t *preempt = nullptr;
 };
 
 /** One parsed, accepted job waiting in the queue. */

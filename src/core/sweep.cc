@@ -13,7 +13,9 @@
 
 #include "common/file.hh"
 #include "common/logging.hh"
+#include "common/serialize.hh"
 #include "common/table.hh"
+#include "core/checkpoint.hh"
 #include "cpu/multicore.hh"
 #include "workload/trace_file.hh"
 
@@ -89,6 +91,13 @@ decodeCellPayload(const std::string &payload, CellResult *res)
     res->ops = wire.ops;
     res->seconds = wire.seconds;
     res->energyJ = wire.energyJ;
+    // Defensive: preempted results are never journaled, but an
+    // entry claiming preemption must keep its never-journal / never-
+    // retry semantics if one ever appears.
+    if (code == ErrorCode::Preempted) {
+        res->transient = true;
+        res->preempted = true;
+    }
     return true;
 }
 
@@ -106,6 +115,30 @@ effectiveWatchdog(const SweepCell &cell, const SweepOptions &opts)
                                         : opts.exp.watchdogCycles;
 }
 
+/** Mid-run checkpoint file of one cell, named by the FNV-64 of its
+ *  durable key so any workload name maps to a flat filename. */
+std::string
+cellCheckpointPath(const std::string &cell_key,
+                   const SweepOptions &opts)
+{
+    char hex[24];
+    std::snprintf(hex, sizeof(hex), "%016llx",
+                  static_cast<unsigned long long>(serializeFnv1a(
+                      cell_key.data(), cell_key.size())));
+    return opts.checkpointDir + "/cell-" + hex + kCheckpointSuffix;
+}
+
+/** Mark a result as preempted-at-checkpoint: never journaled, never
+ *  retried; a resumed sweep re-executes (and mid-run-restores) it. */
+void
+markPreempted(CellResult *res, const char *what)
+{
+    res->outcome = CellOutcome::Failed;
+    res->status = Status::error(ErrorCode::Preempted, "%s", what);
+    res->transient = true;
+    res->preempted = true;
+}
+
 /** Execute one cell in this process. Input errors come back as a
  *  Failed result; internal invariants still panic (isolation turns
  *  that into a contained child death). */
@@ -116,6 +149,17 @@ runCellInProcess(const SweepCell &cell, const SweepOptions &opts)
     ExperimentOptions exp = opts.exp;
     exp.scale = effectiveScale(cell, opts);
     exp.watchdogCycles = effectiveWatchdog(cell, opts);
+    // Per-cell mid-run checkpoints (synthetic cells only: a trace
+    // cell's progress is its file cursor, which the journal already
+    // covers at cell granularity).
+    if (!opts.checkpointDir.empty() &&
+        cell.kind != SweepCell::Kind::CpuTrace) {
+        // The cell key already fences the cadence, so it doubles as
+        // the checkpoint identity key.
+        const std::string key = cellStoreKey(cell, opts);
+        exp.checkpointPath = cellCheckpointPath(key, opts);
+        exp.checkpointKey = key;
+    }
 
     switch (cell.kind) {
       case SweepCell::Kind::CpuApp:
@@ -127,6 +171,12 @@ runCellInProcess(const SweepCell &cell, const SweepOptions &opts)
         }
         const CpuOutcome out =
             runCpuExperiment(cell.cpuCfg, *app.value(), exp);
+        if (out.preempted) {
+            markPreempted(&res,
+                          "preempted at a mid-run checkpoint");
+            res.cycles = out.cycles;
+            return res;
+        }
         res.outcome = out.timedOut ? CellOutcome::TimedOut
                                    : CellOutcome::Ok;
         if (out.timedOut)
@@ -181,6 +231,12 @@ runCellInProcess(const SweepCell &cell, const SweepOptions &opts)
         }
         const GpuOutcome out =
             runGpuExperiment(cell.gpuCfg, *kernel.value(), exp);
+        if (out.preempted) {
+            markPreempted(&res,
+                          "preempted at a mid-run checkpoint");
+            res.cycles = out.cycles;
+            return res;
+        }
         res.outcome = out.timedOut ? CellOutcome::TimedOut
                                    : CellOutcome::Ok;
         if (out.timedOut)
@@ -250,6 +306,12 @@ decodeWire(const WireResult &wire, const std::string &msg)
     res.ops = wire.ops;
     res.seconds = wire.seconds;
     res.energyJ = wire.energyJ;
+    // A preempted child saved a checkpoint and stopped: keep the
+    // never-journal / never-retry semantics across the pipe.
+    if (code == ErrorCode::Preempted) {
+        res.transient = true;
+        res.preempted = true;
+    }
     return res;
 }
 
@@ -296,7 +358,20 @@ runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
     std::string buf;
     bool timed_out = false;
     bool eof = false;
+    bool preempt_sent = false;
     while (true) {
+        // A preemption request (SIGTERM to the sweep) must reach the
+        // in-flight cell, which lives in its own process: forward it.
+        // The child inherited the caller's signal disposition, so its
+        // own handler sets its preempt flag and the cell stops at the
+        // next periodic drain with a resumable checkpoint. Only done
+        // when mid-run checkpoints are on — without them, preempting
+        // the cell would just discard its progress.
+        if (!preempt_sent && !opts.checkpointDir.empty() &&
+            opts.exp.preempt && *opts.exp.preempt) {
+            ::kill(pid, SIGTERM);
+            preempt_sent = true;
+        }
         if (buf.size() >= sizeof(WireResult)) {
             WireResult wire;
             std::memcpy(&wire, buf.data(), sizeof(wire));
@@ -370,13 +445,28 @@ runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
     return res;
 }
 
-/** Bounded exponential backoff before retry `attempt` (1-based). */
+/**
+ * Bounded exponential backoff before retry `attempt` (1-based),
+ * scaled by a deterministic jitter factor in [0.5, 1.0) hashed from
+ * (seed, attempt). Jitter decorrelates the retry herd when many cells
+ * fail together (e.g. a shared resource blip under high -j), and
+ * seeding it from the cell key keeps every run of the same sweep
+ * sleeping the same schedule — no hidden wall-clock nondeterminism.
+ */
 void
-sleepBackoff(double first_ms, uint32_t attempt)
+sleepBackoff(double first_ms, uint32_t attempt, uint64_t seed)
 {
     double ms = first_ms;
     for (uint32_t i = 1; i < attempt; ++i)
         ms *= 2.0;
+    // splitmix64-style finalizer over (seed, attempt).
+    uint64_t h = seed + 0x9e3779b97f4a7c15ull * attempt;
+    h ^= h >> 30;
+    h *= 0xbf58476d1ce4e5b9ull;
+    h ^= h >> 27;
+    h *= 0x94d049bb133111ebull;
+    h ^= h >> 31;
+    ms *= 0.5 + 0.5 * static_cast<double>(h >> 11) * 0x1.0p-53;
     if (ms > 5000.0)
         ms = 5000.0;
     if (ms <= 0.0)
@@ -396,9 +486,7 @@ sleepBackoff(double first_ms, uint32_t attempt)
 CellResult
 executeCell(const SweepCell &cell, const SweepOptions &opts)
 {
-    std::string key;
-    if (opts.store != nullptr)
-        key = cellStoreKey(cell, opts);
+    const std::string key = cellStoreKey(cell, opts);
 
     if (opts.store != nullptr && opts.resume) {
         const Result<std::string> hit = opts.store->get(key);
@@ -434,9 +522,15 @@ executeCell(const SweepCell &cell, const SweepOptions &opts)
             }
         }
         res.retries = attempt;
-        if (!res.transient || attempt >= opts.maxRetries)
+        // Preemption is deliberate, not a fault: never retried. A
+        // pending preemption also stops retries of ordinary transient
+        // failures — the sweep is shutting down, not healing.
+        if (res.preempted || !res.transient ||
+            attempt >= opts.maxRetries ||
+            (opts.exp.preempt && *opts.exp.preempt))
             break;
-        sleepBackoff(opts.retryBackoffMs, attempt + 1);
+        sleepBackoff(opts.retryBackoffMs, attempt + 1,
+                     serializeFnv1a(key.data(), key.size()));
     }
 
     // Journal only deterministic terminal outcomes: a replayed crash
@@ -605,6 +699,15 @@ SweepReport::totalRetries() const
     return n;
 }
 
+bool
+SweepReport::preempted() const
+{
+    for (const CellResult &r : results)
+        if (r.preempted)
+            return true;
+    return false;
+}
+
 std::string
 cellStoreKey(const SweepCell &cell, const SweepOptions &opts)
 {
@@ -619,16 +722,21 @@ cellStoreKey(const SweepCell &cell, const SweepOptions &opts)
       default:
         break;
     }
-    char buf[128];
+    // The checkpoint cadence participates: a drain pauses fetch for
+    // some cycles, so runs with different cadences report different
+    // (equally valid) cycle counts and must not share journal bytes.
+    char buf[144];
     std::snprintf(buf, sizeof(buf),
-                  "|x%.9g|w%llu|s%llu|f%.9g|g%d|c%u|k%d",
+                  "|x%.9g|w%llu|s%llu|f%.9g|g%d|c%u|k%d|e%llu",
                   effectiveScale(cell, opts),
                   static_cast<unsigned long long>(
                       effectiveWatchdog(cell, opts)),
                   static_cast<unsigned long long>(opts.exp.seed),
                   opts.exp.freqGhz,
                   opts.exp.variationGuardband ? 1 : 0,
-                  opts.exp.coresOverride, opts.exp.noSkip ? 1 : 0);
+                  opts.exp.coresOverride, opts.exp.noSkip ? 1 : 0,
+                  static_cast<unsigned long long>(
+                      opts.exp.checkpointEveryCycles));
     return std::string("sweep-cell-v1|") + kind + "|" +
         cellConfigName(cell) + "|" + cell.workload + buf;
 }
@@ -671,6 +779,16 @@ runSweep(const std::vector<SweepCell> &cells,
     report.results.reserve(cells.size());
     for (size_t i = 0; i < cells.size(); ++i) {
         const SweepCell &cell = cells[i];
+        // A preemption request stops the sweep between cells too:
+        // the remaining plan is marked preempted-without-running and
+        // re-executes on resume.
+        if (opts.exp.preempt && *opts.exp.preempt) {
+            CellResult skipped;
+            markPreempted(&skipped,
+                          "sweep preempted before this cell ran");
+            report.results.push_back(std::move(skipped));
+            continue;
+        }
         const double start = monotonicMs();
         CellResult res = executeCell(cell, opts);
         res.wallMs = monotonicMs() - start;

@@ -110,6 +110,11 @@ struct CellResult
     bool fromStore = false;
     /** Transient-failure retries spent before this outcome. */
     uint32_t retries = 0;
+    /** Stopped at a preemption checkpoint (or never started because
+     *  an earlier cell was). Never journaled, never retried; a
+     *  resumed sweep re-executes the cell, replaying its mid-run
+     *  checkpoint when one was journaled. */
+    bool preempted = false;
 };
 
 /** Sweep-wide knobs. */
@@ -140,8 +145,22 @@ struct SweepOptions
     bool resume = false;
     /** Transient-failure retries per cell (0 = fail fast). */
     uint32_t maxRetries = 0;
-    /** First retry backoff; doubles per retry, capped at 5 s. */
+    /** First retry backoff; doubles per retry, capped at 5 s, with
+     *  deterministic per-cell jitter (seeded by the cell key). */
     double retryBackoffMs = 50.0;
+
+    /**
+     * Directory for per-cell mid-run checkpoints (empty = off). With
+     * exp.checkpointEveryCycles > 0, every synthetic cell (CpuApp /
+     * GpuKernel; trace cells are excluded) periodically checkpoints
+     * into "<dir>/cell-<fnv64 of cell key>.hckp" and a re-invoked
+     * sweep resumes the in-flight cell mid-run instead of from
+     * scratch. Completed cells remove their checkpoint; the journal
+     * (`store`) then covers them on resume. exp.preempt additionally
+     * lets a SIGTERM drain the in-flight cell to a checkpoint and
+     * stop the sweep without losing work.
+     */
+    std::string checkpointDir;
 };
 
 /** All cells plus their results, in plan order. */
@@ -163,6 +182,9 @@ struct SweepReport
     size_t fromStoreCount() const;
     /** Transient-failure retries spent across the whole sweep. */
     uint64_t totalRetries() const;
+    /** True when the sweep was stopped by a preemption request; the
+     *  report is partial and should not be persisted as final. */
+    bool preempted() const;
 };
 
 /**

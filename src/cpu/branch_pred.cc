@@ -1,6 +1,7 @@
 #include "cpu/branch_pred.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::cpu
 {
@@ -206,6 +207,76 @@ BranchPredictor::mispredictRate() const
     if (total == 0)
         return 0.0;
     return static_cast<double>(stats_.value("mispredictions")) / total;
+}
+
+void
+BranchPredictor::saveState(Serializer &ser) const
+{
+    ser.beginSection("bpred");
+    ser.putU32(static_cast<uint32_t>(localHistory_.size()));
+    ser.putU32(static_cast<uint32_t>(localPht_.size()));
+    ser.putU32(static_cast<uint32_t>(globalPht_.size()));
+    ser.putU32(static_cast<uint32_t>(chooser_.size()));
+    ser.putU32(static_cast<uint32_t>(btb_.size()));
+    ser.putU32(static_cast<uint32_t>(ras_.size()));
+    for (uint16_t h : localHistory_)
+        ser.putU16(h);
+    for (uint8_t c : localPht_)
+        ser.putU8(c);
+    for (uint8_t c : globalPht_)
+        ser.putU8(c);
+    for (uint8_t c : chooser_)
+        ser.putU8(c);
+    ser.putU64(globalHistory_);
+    for (const BtbEntry &e : btb_) {
+        ser.putU64(e.pc);
+        ser.putU64(e.target);
+        ser.putU64(e.lru);
+        ser.putBool(e.valid);
+    }
+    ser.putU64(btbLru_);
+    for (uint64_t r : ras_)
+        ser.putU64(r);
+    ser.putU32(rasTop_);
+    ser.putU32(rasCount_);
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+BranchPredictor::restoreState(Deserializer &des)
+{
+    des.openSection("bpred");
+    if (des.getU32() != localHistory_.size() ||
+        des.getU32() != localPht_.size() ||
+        des.getU32() != globalPht_.size() ||
+        des.getU32() != chooser_.size() ||
+        des.getU32() != btb_.size() || des.getU32() != ras_.size()) {
+        des.fail("branch predictor geometry mismatch");
+        return;
+    }
+    for (uint16_t &h : localHistory_)
+        h = des.getU16();
+    for (uint8_t &c : localPht_)
+        c = des.getU8();
+    for (uint8_t &c : globalPht_)
+        c = des.getU8();
+    for (uint8_t &c : chooser_)
+        c = des.getU8();
+    globalHistory_ = des.getU64();
+    for (BtbEntry &e : btb_) {
+        e.pc = des.getU64();
+        e.target = des.getU64();
+        e.lru = des.getU64();
+        e.valid = des.getBool();
+    }
+    btbLru_ = des.getU64();
+    for (uint64_t &r : ras_)
+        r = des.getU64();
+    rasTop_ = des.getU32();
+    rasCount_ = des.getU32();
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::cpu

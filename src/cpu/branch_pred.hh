@@ -64,6 +64,11 @@ class BranchPredictor
     /** Misprediction rate over all lookups so far. */
     double mispredictRate() const;
 
+    /** Serialize every table (PHTs, chooser, BTB, RAS, histories)
+     *  and stats; restore requires identical geometry. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
   private:
     void update(const MicroOp &op, const BranchPrediction &pred);
 

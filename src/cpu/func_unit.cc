@@ -1,6 +1,7 @@
 #include "cpu/func_unit.hh"
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::cpu
 {
@@ -199,6 +200,54 @@ FuncUnitPool::tryIssue(OpClass cls, Cycle now, bool prefer_fast)
         return res;
     }
     return res;
+}
+
+namespace
+{
+
+void
+savePool(Serializer &ser, const std::vector<Cycle> &units)
+{
+    ser.putU32(static_cast<uint32_t>(units.size()));
+    for (Cycle f : units)
+        ser.putU64(f);
+}
+
+bool
+restorePool(Deserializer &des, std::vector<Cycle> &units)
+{
+    if (des.getU32() != units.size())
+        return false;
+    for (Cycle &f : units)
+        f = des.getU64();
+    return true;
+}
+
+} // namespace
+
+void
+FuncUnitPool::saveState(Serializer &ser) const
+{
+    ser.beginSection("fu_pool");
+    savePool(ser, aluFree_);
+    savePool(ser, mulDivFree_);
+    savePool(ser, lsuFree_);
+    savePool(ser, fpuFree_);
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+FuncUnitPool::restoreState(Deserializer &des)
+{
+    des.openSection("fu_pool");
+    if (!restorePool(des, aluFree_) || !restorePool(des, mulDivFree_) ||
+        !restorePool(des, lsuFree_) || !restorePool(des, fpuFree_)) {
+        des.fail("functional unit count mismatch");
+        return;
+    }
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::cpu

@@ -89,6 +89,10 @@ class FuncUnitPool
     /** Reset per-run occupancy state. */
     void reset();
 
+    /** Serialize per-unit busy-until cycles (absolute) and stats. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
     const FuPoolParams &params() const { return params_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }

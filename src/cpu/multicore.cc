@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::cpu
 {
@@ -56,8 +57,24 @@ MulticoreResult
 Multicore::run()
 {
     MulticoreResult res;
-    mem::Cycle now = 0;
-    uint64_t running = cores_.size();
+    mem::Cycle now = resumeCycle_;
+    res.barrierReleases = resumeBarrierReleases_;
+    res.skippedCycles = resumeSkippedCycles_;
+    // A restored chip may already have finished cores (or be entirely
+    // finished, when the checkpoint landed at completion); entering
+    // the loop then would tick the clock spuriously.
+    uint64_t running = 0;
+    for (auto &core : cores_)
+        if (!core->finished())
+            ++running;
+
+    // Next periodic checkpoint cycle. Computed the same way at cold
+    // start, after each save, and on resume, so an interrupted run
+    // and its uninterrupted twin drain at identical cycles.
+    mem::Cycle ckpt_target = hook_.everyCycles > 0
+        ? (now / hook_.everyCycles + 1) * hook_.everyCycles
+        : mem::kNoEvent;
+    bool draining = false;
 
     while (running > 0) {
         if (params_.watchdogCycles > 0 &&
@@ -67,6 +84,23 @@ Multicore::run()
         }
         hetsim_assert(now < params_.maxCycles,
                       "exceeded cycle budget; deadlock?");
+
+        // Arm a checkpoint drain when the periodic cadence is due:
+        // cores stop pulling trace ops and the in-flight window
+        // retires toward a quiesce point. A preemption request rides
+        // the next periodic drain — that quiesce point is one the
+        // uninterrupted twin also passes through, which is what keeps
+        // a resumed run byte-identical to it. Only in preempt-only
+        // mode (no cadence) does a preemption drain immediately.
+        if (!draining && hook_.save &&
+            (now >= ckpt_target ||
+             (hook_.everyCycles == 0 && hook_.preempt &&
+              *hook_.preempt))) {
+            draining = true;
+            for (auto &core : cores_)
+                core->setDrainGate(true);
+        }
+
         bool any_progress = false;
         for (uint32_t c = 0; c < cores_.size(); ++c) {
             // Slower (e.g. TFET) cores tick every Nth chip cycle.
@@ -96,6 +130,33 @@ Multicore::run()
             ++res.barrierReleases;
         }
         ++now;
+
+        if (draining) {
+            bool quiesced = true;
+            for (auto &core : cores_) {
+                if (!core->quiescedForCheckpoint()) {
+                    quiesced = false;
+                    break;
+                }
+            }
+            if (quiesced) {
+                Serializer ser;
+                saveState(ser, now, res);
+                hook_.save(now, ser.data());
+                for (auto &core : cores_)
+                    core->setDrainGate(false);
+                draining = false;
+                if (hook_.preempt && *hook_.preempt) {
+                    res.preempted = true;
+                    break;
+                }
+                ckpt_target = hook_.everyCycles > 0
+                    ? (now / hook_.everyCycles + 1) *
+                        hook_.everyCycles
+                    : mem::kNoEvent;
+                continue; // skip decisions belong to ungated state
+            }
+        }
 
         if (params_.skipEnabled && running > 0 && !any_progress) {
             // Event horizon: the earliest cycle any unfinished core
@@ -220,6 +281,39 @@ Multicore::collectMemActivity(power::CpuActivity &activity) const
     const power::CpuActivity shared = sharedActivity();
     for (int i = 0; i < power::kNumCpuUnits; ++i)
         activity[i] += shared[i];
+}
+
+void
+Multicore::saveState(Serializer &ser, uint64_t now,
+                     const MulticoreResult &res) const
+{
+    ser.beginSection("chip");
+    ser.putU32(static_cast<uint32_t>(cores_.size()));
+    ser.putU64(now);
+    ser.putU64(res.barrierReleases);
+    ser.putU64(res.skippedCycles);
+    ser.endSection();
+    hier_->saveState(ser);
+    for (const auto &core : cores_)
+        core->saveState(ser);
+}
+
+bool
+Multicore::restoreState(Deserializer &des)
+{
+    des.openSection("chip");
+    if (des.getU32() != cores_.size()) {
+        des.fail("core count mismatch");
+        return false;
+    }
+    resumeCycle_ = des.getU64();
+    resumeBarrierReleases_ = des.getU64();
+    resumeSkippedCycles_ = des.getU64();
+    des.closeSection();
+    hier_->restoreState(des);
+    for (auto &core : cores_)
+        core->restoreState(des);
+    return des.ok();
 }
 
 } // namespace hetsim::cpu

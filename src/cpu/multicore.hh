@@ -12,8 +12,10 @@
 #define HETSIM_CPU_MULTICORE_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "cpu/ooo_core.hh"
 #include "mem/hierarchy.hh"
 #include "power/accountant.hh"
@@ -68,6 +70,8 @@ struct MulticoreResult
     uint64_t skippedCycles = 0;
     /** True when the run was cut short by watchdogCycles. */
     bool timedOut = false;
+    /** True when the run stopped at a preemption checkpoint. */
+    bool preempted = false;
 };
 
 /** N cores + shared hierarchy, run to completion. */
@@ -83,6 +87,21 @@ class Multicore
 
     /** Run every trace to completion. Fatal on exceeding maxCycles. */
     MulticoreResult run();
+
+    /** Install checkpoint control for the next run(). */
+    void setCheckpointHook(CheckpointHook hook)
+    {
+        hook_ = std::move(hook);
+    }
+
+    /**
+     * Restore a checkpoint payload into this freshly constructed chip
+     * (same config, fresh seeded traces). On success the next run()
+     * resumes from the checkpointed cycle. On failure (false) the
+     * chip is in an undefined state and must be discarded — rebuild
+     * and cold-start.
+     */
+    bool restoreState(Deserializer &des);
 
     mem::MemHierarchy &hierarchy() { return *hier_; }
     OooCore &core(uint32_t i) { return *cores_[i]; }
@@ -105,9 +124,19 @@ class Multicore
     /** Translate cache/ring stats into activity counts. */
     void collectMemActivity(power::CpuActivity &activity) const;
 
+    /** Serialize the full chip at a quiesce point. */
+    void saveState(Serializer &ser, uint64_t now,
+                   const MulticoreResult &res) const;
+
     MulticoreParams params_;
     std::unique_ptr<mem::MemHierarchy> hier_;
     std::vector<std::unique_ptr<OooCore>> cores_;
+    CheckpointHook hook_;
+
+    /** Resume state loaded by restoreState(). */
+    uint64_t resumeCycle_ = 0;
+    uint64_t resumeBarrierReleases_ = 0;
+    uint64_t resumeSkippedCycles_ = 0;
 };
 
 } // namespace hetsim::cpu

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::cpu
 {
@@ -254,10 +255,13 @@ OooCore::fetch(Cycle now)
     while (fetched < params_.fetchWidth &&
            fetchQueue_.size() < kFetchQueueCap) {
         if (!haveStaged_) {
+            if (drainGated_)
+                break; // checkpoint drain: stop pulling new work
             if (traceDone_ || !trace_->next(staged_)) {
                 traceDone_ = true;
                 break;
             }
+            ++traceConsumed_;
             haveStaged_ = true;
         }
 
@@ -667,6 +671,134 @@ OooCore::checkOccupancyBounds() const
     return iq_.size() <= params_.iqSize &&
         lsqCount_ <= params_.lsqSize &&
         rob_.size() <= params_.robSize;
+}
+
+namespace
+{
+
+void
+putMicroOp(Serializer &ser, const MicroOp &op)
+{
+    ser.putU8(static_cast<uint8_t>(op.cls));
+    ser.putU16(static_cast<uint16_t>(op.src1));
+    ser.putU16(static_cast<uint16_t>(op.src2));
+    ser.putU16(static_cast<uint16_t>(op.dst));
+    ser.putU64(op.pc);
+    ser.putU64(op.addr);
+    ser.putU64(op.target);
+    ser.putBool(op.taken);
+    ser.putU8(op.accessSize);
+}
+
+MicroOp
+getMicroOp(Deserializer &des)
+{
+    MicroOp op;
+    op.cls = static_cast<OpClass>(des.getU8());
+    op.src1 = static_cast<int16_t>(des.getU16());
+    op.src2 = static_cast<int16_t>(des.getU16());
+    op.dst = static_cast<int16_t>(des.getU16());
+    op.pc = des.getU64();
+    op.addr = des.getU64();
+    op.target = des.getU64();
+    op.taken = des.getBool();
+    op.accessSize = des.getU8();
+    return op;
+}
+
+} // namespace
+
+void
+OooCore::saveState(Serializer &ser) const
+{
+    hetsim_assert(quiescedForCheckpoint(),
+                  "checkpoint save outside a quiesce point");
+    hetsim_assert(iq_.empty() && storeQueue_.empty() && lsqCount_ == 0,
+                  "ROB empty but in-flight structures are not");
+
+    bpred_.saveState(ser);
+    fuPool_.saveState(ser);
+
+    ser.beginSection("core");
+    ser.putU32(coreId_);
+    ser.putU64(static_cast<uint64_t>(fetchQueue_.size()));
+    for (const FetchedOp &f : fetchQueue_) {
+        putMicroOp(ser, f.op);
+        ser.putBool(f.mispredicted);
+    }
+    ser.putBool(haveStaged_);
+    putMicroOp(ser, staged_);
+    ser.putBool(fetchBlocked_);
+    ser.putU64(fetchResumeAt_);
+    ser.putU64(fetchStallUntil_);
+    ser.putU64(lastFetchLine_);
+    ser.putBool(traceDone_);
+    ser.putU64(traceConsumed_);
+    ser.putU64(nextSeq_);
+    ser.putBool(atBarrier_);
+    ser.putU64(committedOps_);
+    for (uint64_t a : activity_)
+        ser.putU64(a);
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+OooCore::restoreState(Deserializer &des)
+{
+    bpred_.restoreState(des);
+    fuPool_.restoreState(des);
+
+    des.openSection("core");
+    if (des.getU32() != coreId_) {
+        des.fail("core id mismatch");
+        return;
+    }
+    const uint64_t nfetched = des.getU64();
+    if (nfetched > kFetchQueueCap) {
+        des.fail("fetch queue overflow");
+        return;
+    }
+    fetchQueue_.clear();
+    for (uint64_t i = 0; i < nfetched && des.ok(); ++i) {
+        FetchedOp f;
+        f.op = getMicroOp(des);
+        f.mispredicted = des.getBool();
+        fetchQueue_.push_back(f);
+    }
+    haveStaged_ = des.getBool();
+    staged_ = getMicroOp(des);
+    fetchBlocked_ = des.getBool();
+    fetchResumeAt_ = des.getU64();
+    fetchStallUntil_ = des.getU64();
+    lastFetchLine_ = des.getU64();
+    traceDone_ = des.getBool();
+    traceConsumed_ = des.getU64();
+    nextSeq_ = des.getU64();
+    atBarrier_ = des.getBool();
+    committedOps_ = des.getU64();
+    for (uint64_t &a : activity_)
+        a = des.getU64();
+    stats_.restoreState(des);
+    des.closeSection();
+    if (!des.ok())
+        return;
+
+    // Re-seek the fresh trace generator to the checkpoint cursor by
+    // replaying (and discarding) the ops consumed before it.
+    MicroOp discard;
+    for (uint64_t i = 0; i < traceConsumed_; ++i) {
+        if (!trace_->next(discard)) {
+            des.fail("trace ended before the checkpoint cursor");
+            return;
+        }
+    }
+
+    // The serialized state is a quiesce point: the back end is at its
+    // reset state by construction, and the wakeup-select cache
+    // converges from (rescan, no-horizon) with an empty IQ.
+    issueScanNeeded_ = true;
+    iqNextReady_ = mem::kNoEvent;
 }
 
 } // namespace hetsim::cpu

@@ -109,6 +109,40 @@ class OooCore
     /** Trace fully consumed and pipeline drained. */
     bool finished() const;
 
+    /**
+     * Checkpoint drain gate: while set, fetch stops pulling new ops
+     * from the trace (without marking it done), so the in-flight
+     * window drains and the core converges to a quiesce point. The
+     * gate does not disturb ops already fetched.
+     */
+    void setDrainGate(bool gated) { drainGated_ = gated; }
+
+    /**
+     * Quiesced for checkpointing: nothing in flight past the fetch
+     * queue. ROB-empty implies IQ/LSQ/store-queue empty (every entry
+     * there references a ROB slot), so the un-serialized structures
+     * are all at their reset state. Holds for finished cores, cores
+     * parked at a barrier, and drain-gated cores that ran dry.
+     */
+    bool quiescedForCheckpoint() const
+    {
+        return finished() || rob_.empty();
+    }
+
+    /**
+     * Serialize resumable state at a quiesce point: predictor and FU
+     * pool, the fetch front end (including queued/staged ops), the
+     * trace cursor, activity counts, and stats. Asserts quiescence.
+     */
+    void saveState(Serializer &ser) const;
+
+    /**
+     * Restore into a freshly constructed core whose TraceSource is a
+     * fresh instance of the same seeded generator: the cursor is
+     * re-sought by discarding the ops consumed before the checkpoint.
+     */
+    void restoreState(Deserializer &des);
+
     /** Stalled at a barrier micro-op waiting for release. */
     bool waitingAtBarrier() const { return atBarrier_; }
 
@@ -204,6 +238,8 @@ class OooCore
     mem::Cycle fetchStallUntil_ = 0; ///< IL1 miss stall.
     uint64_t lastFetchLine_ = ~0ull;
     bool traceDone_ = false;
+    bool drainGated_ = false;    ///< Checkpoint drain: no trace pulls.
+    uint64_t traceConsumed_ = 0; ///< Successful trace_->next() calls.
 
     // Back end.
     std::deque<RobEntry> rob_;

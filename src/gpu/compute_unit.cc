@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::gpu
 {
@@ -355,6 +356,45 @@ ComputeUnit::idle() const
         if (wf.state() != WavefrontState::Idle)
             return false;
     return true;
+}
+
+void
+ComputeUnit::saveState(Serializer &ser) const
+{
+    hetsim_assert(idle(), "CU checkpoint outside an idle quiesce");
+    ser.beginSection("cu");
+    ser.putU32(cuId_);
+    ser.putU64(simdFreeAt_);
+    ser.putU64(saluFreeAt_);
+    ser.putU64(ldsFreeAt_);
+    ser.putU64(memFreeAt_);
+    ser.putU32(rrNext_);
+    ser.putU64(issuedOps_);
+    for (uint64_t a : activity_)
+        ser.putU64(a);
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+ComputeUnit::restoreState(Deserializer &des)
+{
+    des.openSection("cu");
+    if (des.getU32() != cuId_) {
+        des.fail("CU id mismatch");
+        return;
+    }
+    simdFreeAt_ = des.getU64();
+    saluFreeAt_ = des.getU64();
+    ldsFreeAt_ = des.getU64();
+    memFreeAt_ = des.getU64();
+    rrNext_ = des.getU32();
+    issuedOps_ = des.getU64();
+    for (uint64_t &a : activity_)
+        a = des.getU64();
+    stats_.restoreState(des);
+    des.closeSection();
+    horizonDirty_ = true; // recompute from restored wavefront state
 }
 
 } // namespace hetsim::gpu

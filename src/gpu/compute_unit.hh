@@ -115,6 +115,12 @@ class ComputeUnit
     /** Record wavefront-issue events into `buf` (null detaches). */
     void attachTrace(obs::TraceBuffer *buf) { traceBuf_ = buf; }
 
+    /** Serialize resumable state at an idle() quiesce point: port
+     *  busy-until cycles, scheduling pointer, activity, and stats
+     *  (wavefront slots are empty by definition of idle). */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
   private:
     struct ActiveGroup
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::gpu
 {
@@ -85,12 +86,21 @@ Gpu::run(GpuKernel &kernel)
     hetsim_assert(wpg >= 1 && wpg <= params_.cu.maxWavefronts,
                   "workgroup does not fit a CU (%u wavefronts)", wpg);
 
-    uint32_t next_group = 0;
+    uint32_t next_group = resumeNextGroup_;
     const uint32_t total_groups = kernel.numWorkgroups();
-    Cycle now = 0;
+    Cycle now = resumeCycle_;
 
     bool timed_out = false;
-    uint64_t skipped = 0;
+    bool preempted = false;
+    uint64_t skipped = resumeSkipped_;
+
+    // Next periodic checkpoint cycle; same formula at cold start,
+    // after each save, and on resume (see CheckpointHook).
+    Cycle ckpt_target = hook_.everyCycles > 0
+        ? (now / hook_.everyCycles + 1) * hook_.everyCycles
+        : mem::kNoEvent;
+    bool draining = false;
+
     while (true) {
         if (params_.watchdogCycles > 0 &&
             now >= params_.watchdogCycles) {
@@ -100,13 +110,29 @@ Gpu::run(GpuKernel &kernel)
         hetsim_assert(now < params_.maxCycles,
                       "GPU exceeded cycle budget; deadlock?");
 
-        // Dispatch: each CU may receive one workgroup per cycle.
-        for (auto &cu : cus_) {
-            if (next_group >= total_groups)
-                break;
-            if (cu->freeSlots() >= wpg) {
-                cu->launchWorkgroup(kernel, next_group);
-                ++next_group;
+        // Arm a checkpoint drain when the periodic cadence is due:
+        // workgroup launches stop and the resident wavefronts run to
+        // completion (all-idle quiesce). A preemption request rides
+        // the next periodic drain — a quiesce point the uninterrupted
+        // twin also passes through, which is what keeps a resumed run
+        // byte-identical to it. Only in preempt-only mode (no
+        // cadence) does a preemption drain immediately.
+        if (!draining && hook_.save &&
+            (now >= ckpt_target ||
+             (hook_.everyCycles == 0 && hook_.preempt &&
+              *hook_.preempt)))
+            draining = true;
+
+        // Dispatch: each CU may receive one workgroup per cycle
+        // (gated while a checkpoint drain is in progress).
+        if (!draining) {
+            for (auto &cu : cus_) {
+                if (next_group >= total_groups)
+                    break;
+                if (cu->freeSlots() >= wpg) {
+                    cu->launchWorkgroup(kernel, next_group);
+                    ++next_group;
+                }
             }
         }
 
@@ -120,6 +146,21 @@ Gpu::run(GpuKernel &kernel)
 
         if (next_group >= total_groups && all_idle)
             break;
+
+        if (draining && all_idle) {
+            Serializer ser;
+            saveState(ser, now, next_group, skipped);
+            hook_.save(now, ser.data());
+            draining = false;
+            if (hook_.preempt && *hook_.preempt) {
+                preempted = true;
+                break;
+            }
+            ckpt_target = hook_.everyCycles > 0
+                ? (now / hook_.everyCycles + 1) * hook_.everyCycles
+                : mem::kNoEvent;
+            continue; // re-enter with launches ungated
+        }
 
         // The horizon is only worth computing once a whole tick
         // passes without an issue, release, or reap: during active
@@ -135,7 +176,11 @@ Gpu::run(GpuKernel &kernel)
                 if (target == now)
                     break; // no skip possible; stop walking
             }
-            if (next_group < total_groups && target > now) {
+            // Launches are gated during a drain, so a free slot must
+            // not pin the horizon then — the drain itself skips
+            // forward through the resident wavefronts' memory waits.
+            if (!draining && next_group < total_groups &&
+                target > now) {
                 for (auto &cu : cus_) {
                     if (cu->freeSlots() >= wpg) {
                         target = now;
@@ -163,6 +208,7 @@ Gpu::run(GpuKernel &kernel)
 
     GpuResult res;
     res.timedOut = timed_out;
+    res.preempted = preempted;
     res.skippedCycles = skipped;
     res.cycles = now;
     res.seconds = power::secondsAtFreq(now, params_.freqGhz);
@@ -183,6 +229,57 @@ Gpu::run(GpuKernel &kernel)
     res.activity[static_cast<int>(GpuUnit::L2)] +=
         l2s.value("accesses") + l2s.value("fills");
     return res;
+}
+
+void
+GpuMemSystem::saveState(Serializer &ser) const
+{
+    for (const auto &l1 : l1_)
+        l1->saveState(ser);
+    l2_->saveState(ser);
+    dram_.saveState(ser);
+}
+
+void
+GpuMemSystem::restoreState(Deserializer &des)
+{
+    for (auto &l1 : l1_)
+        l1->restoreState(des);
+    l2_->restoreState(des);
+    dram_.restoreState(des);
+}
+
+void
+Gpu::saveState(Serializer &ser, uint64_t now, uint32_t next_group,
+               uint64_t skipped) const
+{
+    ser.beginSection("gpu");
+    ser.putU32(static_cast<uint32_t>(cus_.size()));
+    ser.putU64(now);
+    ser.putU32(next_group);
+    ser.putU64(skipped);
+    ser.endSection();
+    mem_.saveState(ser);
+    for (const auto &cu : cus_)
+        cu->saveState(ser);
+}
+
+bool
+Gpu::restoreState(Deserializer &des)
+{
+    des.openSection("gpu");
+    if (des.getU32() != cus_.size()) {
+        des.fail("CU count mismatch");
+        return false;
+    }
+    resumeCycle_ = des.getU64();
+    resumeNextGroup_ = des.getU32();
+    resumeSkipped_ = des.getU64();
+    des.closeSection();
+    mem_.restoreState(des);
+    for (auto &cu : cus_)
+        cu->restoreState(des);
+    return des.ok();
 }
 
 } // namespace hetsim::gpu

@@ -13,8 +13,10 @@
 #define HETSIM_GPU_GPU_HH
 
 #include <memory>
+#include <string>
 #include <vector>
 
+#include "common/serialize.hh"
 #include "gpu/compute_unit.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
@@ -59,6 +61,8 @@ struct GpuResult
     uint64_t skippedCycles = 0;
     /** True when the run was cut short by watchdogCycles. */
     bool timedOut = false;
+    /** True when the run stopped at a preemption checkpoint. */
+    bool preempted = false;
 };
 
 /** Per-CU L1s + shared L2 + DRAM. */
@@ -73,6 +77,10 @@ class GpuMemSystem : public GpuMemInterface
     mem::Cache &l1(uint32_t cu) { return *l1_[cu]; }
     mem::Cache &l2() { return *l2_; }
     mem::Dram &dram() { return dram_; }
+
+    /** Serialize/restore every cache array and the DRAM channels. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
 
   private:
     const GpuParams &params_;
@@ -90,6 +98,21 @@ class Gpu
     /** Run one kernel to completion. */
     GpuResult run(GpuKernel &kernel);
 
+    /** Install checkpoint control for the next run(). The quiesce
+     *  point is all-CUs-idle with workgroup launches gated. */
+    void setCheckpointHook(CheckpointHook hook)
+    {
+        hook_ = std::move(hook);
+    }
+
+    /**
+     * Restore a checkpoint payload into this freshly constructed GPU
+     * (same config; run() must get the same seeded kernel, whose
+     * dispatch cursor is part of the payload). On failure (false)
+     * discard the GPU, rebuild, and cold-start.
+     */
+    bool restoreState(Deserializer &des);
+
     ComputeUnit &cu(uint32_t i) { return *cus_[i]; }
     GpuMemSystem &memSystem() { return mem_; }
 
@@ -101,9 +124,19 @@ class Gpu
     }
 
   private:
+    /** Serialize the full GPU at an all-idle quiesce point. */
+    void saveState(Serializer &ser, uint64_t now, uint32_t next_group,
+                   uint64_t skipped) const;
+
     GpuParams params_;
     GpuMemSystem mem_;
     std::vector<std::unique_ptr<ComputeUnit>> cus_;
+    CheckpointHook hook_;
+
+    /** Resume state loaded by restoreState(). */
+    uint64_t resumeCycle_ = 0;
+    uint32_t resumeNextGroup_ = 0;
+    uint64_t resumeSkipped_ = 0;
 };
 
 } // namespace hetsim::gpu

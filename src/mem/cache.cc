@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::mem
 {
@@ -276,6 +277,49 @@ Cache::residentAddrs() const
                 out.push_back(rebuildAddr(set, base[w].tag));
     }
     return out;
+}
+
+void
+Cache::saveState(Serializer &ser) const
+{
+    ser.beginSection("cache");
+    ser.putString(params_.name);
+    ser.putU32(numSets_);
+    ser.putU32(params_.ways);
+    ser.putU64(stampCounter_);
+    for (const Line &l : lines_) {
+        ser.putU64(l.tag);
+        ser.putU8(static_cast<uint8_t>(l.state));
+        ser.putBool(l.dirty);
+        ser.putU64(l.lruStamp);
+    }
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+Cache::restoreState(Deserializer &des)
+{
+    des.openSection("cache");
+    if (des.getString() != params_.name || des.getU32() != numSets_ ||
+        des.getU32() != params_.ways) {
+        des.fail("cache geometry mismatch");
+        return;
+    }
+    stampCounter_ = des.getU64();
+    for (Line &l : lines_) {
+        l.tag = des.getU64();
+        const uint8_t st = des.getU8();
+        if (st > static_cast<uint8_t>(CoherenceState::Modified)) {
+            des.fail("invalid coherence state");
+            return;
+        }
+        l.state = static_cast<CoherenceState>(st);
+        l.dirty = des.getBool();
+        l.lruStamp = des.getU64();
+    }
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::mem

@@ -116,6 +116,11 @@ class Cache
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Serialize the tag/state/LRU arrays and stats into a named
+     *  checkpoint section; restore requires identical geometry. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
   private:
     struct Line
     {

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::mem
 {
@@ -50,6 +51,31 @@ Dram::writeback(Addr addr, Cycle now)
 {
     ++writes_;
     reserveSlot(channelOf(addr), now);
+}
+
+void
+Dram::saveState(Serializer &ser) const
+{
+    ser.beginSection("dram");
+    ser.putU32(static_cast<uint32_t>(channelFree_.size()));
+    for (Cycle f : channelFree_)
+        ser.putU64(f);
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+Dram::restoreState(Deserializer &des)
+{
+    des.openSection("dram");
+    if (des.getU32() != channelFree_.size()) {
+        des.fail("dram channel count mismatch");
+        return;
+    }
+    for (Cycle &f : channelFree_)
+        f = des.getU64();
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::mem

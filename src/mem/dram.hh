@@ -64,6 +64,10 @@ class Dram
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** Serialize channel busy-until cycles (absolute) and stats. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
   private:
     uint32_t channelOf(Addr addr) const;
     Cycle reserveSlot(uint32_t channel, Cycle now);

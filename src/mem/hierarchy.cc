@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::mem
 {
@@ -511,6 +512,92 @@ MemHierarchy::checkDirectoryConsistent() const
             return false;
     }
     return directory_.size() == l3_->residentAddrs().size();
+}
+
+void
+MemHierarchy::saveState(Serializer &ser) const
+{
+    for (uint32_t c = 0; c < params_.numCores; ++c) {
+        il1_[c]->saveState(ser);
+        dl1_[c]->saveState(ser);
+        l2_[c]->saveState(ser);
+    }
+    l3_->saveState(ser);
+
+    ser.beginSection("directory");
+    // unordered_map iteration order is not deterministic; sort so the
+    // serialized bytes are a pure function of the machine state.
+    std::vector<std::pair<Addr, DirEntry>> dir(directory_.begin(),
+                                               directory_.end());
+    std::sort(dir.begin(), dir.end(),
+              [](const auto &a, const auto &b) {
+                  return a.first < b.first;
+              });
+    ser.putU64(dir.size());
+    for (const auto &[addr, e] : dir) {
+        ser.putU64(addr);
+        ser.putU32(e.sharers);
+        ser.putI64(e.owner);
+    }
+    ser.endSection();
+
+    ring_.saveState(ser);
+    dram_.saveState(ser);
+
+    ser.beginSection("hier");
+    ser.putU64(streamLruCounter_);
+    ser.putU32(static_cast<uint32_t>(streams_.size()));
+    for (const auto &core_streams : streams_) {
+        for (const StreamEntry &s : core_streams) {
+            ser.putU64(s.lastLine);
+            ser.putU32(s.run);
+            ser.putU64(s.lru);
+        }
+    }
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+MemHierarchy::restoreState(Deserializer &des)
+{
+    for (uint32_t c = 0; c < params_.numCores; ++c) {
+        il1_[c]->restoreState(des);
+        dl1_[c]->restoreState(des);
+        l2_[c]->restoreState(des);
+    }
+    l3_->restoreState(des);
+
+    des.openSection("directory");
+    directory_.clear();
+    const uint64_t n = des.getU64();
+    for (uint64_t i = 0; i < n && des.ok(); ++i) {
+        const Addr addr = des.getU64();
+        DirEntry e;
+        e.sharers = des.getU32();
+        e.owner = static_cast<int>(des.getI64());
+        directory_.emplace(addr, e);
+    }
+    des.closeSection();
+
+    ring_.restoreState(des);
+    dram_.restoreState(des);
+
+    des.openSection("hier");
+    streamLruCounter_ = des.getU64();
+    if (des.getU32() != streams_.size()) {
+        des.fail("prefetch stream table size mismatch");
+        return;
+    }
+    for (auto &core_streams : streams_) {
+        for (StreamEntry &s : core_streams) {
+            s.lastLine = des.getU64();
+            s.run = des.getU32();
+            s.lru = des.getU64();
+        }
+    }
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::mem

@@ -132,6 +132,16 @@ class MemHierarchy
     /** Record demand hit/miss events into `buf` (null detaches). */
     void attachTrace(obs::TraceBuffer *buf) { traceBuf_ = buf; }
 
+    /**
+     * Serialize every cache array, the directory (sorted by address
+     * for determinism), prefetcher streams, DRAM channel state, and
+     * all stats. Valid only between accesses — the hierarchy is
+     * atomic-with-latency, so there are no in-flight transactions to
+     * capture. Restore requires an identically configured hierarchy.
+     */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
     /** Directory invariant checks, used by property tests. @{ */
     /** At most one core holds the line in M/E state, and if one does,
      *  no other core holds it at all. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/logging.hh"
+#include "common/serialize.hh"
 
 namespace hetsim::mem
 {
@@ -35,6 +36,22 @@ RingNetwork::latency(uint32_t from, uint32_t to)
     hopTraversals_ += h;
     hopDist_.sample(h);
     return injectionCycles_ + h * hopCycles_;
+}
+
+void
+RingNetwork::saveState(Serializer &ser) const
+{
+    ser.beginSection("ring");
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+RingNetwork::restoreState(Deserializer &des)
+{
+    des.openSection("ring");
+    stats_.restoreState(des);
+    des.closeSection();
 }
 
 } // namespace hetsim::mem

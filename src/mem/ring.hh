@@ -49,6 +49,10 @@ class RingNetwork
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
 
+    /** The ring is stateless between messages; only stats persist. */
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
   private:
     uint32_t numNodes_;
     uint32_t hopCycles_;
