@@ -35,14 +35,17 @@
  *       Replay a recorded trace through a single core.
  *   hetsim_cli sweep [--configs all|A,B] [--workloads w1,w2]
  *                    [--scale S] [--seed K] [--freq F]
- *                    [--timeout-ms T] [--watchdog-cycles N]
+ *                    [--jobs N] [--timeout-ms T]
+ *                    [--watchdog-cycles N]
  *                    [--no-isolate 1] [--csv out.csv]
  *                    [--store DIR] [--resume 1] [--retries N]
  *                    [--retry-backoff-ms B]
  *       Run a batch (config x workload) sweep; each cell executes in
  *       an isolated child process with watchdogs, so corrupt traces,
  *       crashes, and runaway cells are recorded per cell while the
- *       rest of the sweep completes. Workload specs: "fft",
+ *       rest of the sweep completes. --jobs N keeps up to N cells in
+ *       flight at once (results stay in plan order, so the report is
+ *       byte-identical to a serial run). Workload specs: "fft",
  *       "app:fft@scale=2", "trace:file.bin", "kernel:dct" (kernel
  *       cells use GPU configs named via --gpu-configs).
  *       --report-json writes the deterministic per-cell JSON report.
@@ -94,11 +97,13 @@
  *   hetsim_cli store fsck --dir DIR
  *   hetsim_cli store gc --dir DIR
  *       Offline store maintenance: verify every .hres entry exactly
- *       as get() would (quarantining corrupt ones) and report
- *       quarantined files and orphaned atomic-write temp files.
- *       fsck only reports (exit 1 while problem files remain); gc
- *       additionally deletes quarantined files and orphan temps
- *       (never live entries or checkpoints).
+ *       as get() would (quarantining corrupt ones), verify every
+ *       .hckp / .prev checkpoint's header and checksums report-only
+ *       (live resumable state is never renamed or removed), and
+ *       report quarantined files and orphaned atomic-write temp
+ *       files. fsck only reports (exit 1 while problem files
+ *       remain); gc additionally deletes quarantined files and
+ *       orphan temps (never live entries or checkpoints).
  *   hetsim_cli submit --socket /tmp/hetsim.sock
  *                     --request '{"cmd":"run","config":"AdvHet",
  *                     "workload":"fft","scale":0.05}'
@@ -743,6 +748,7 @@ cmdSweep(const Args &args)
     opts.exp.noSkip = args.getU("no-skip", 0) != 0;
     opts.wallLimitMs = args.getD("timeout-ms", 0.0);
     opts.isolate = args.getU("no-isolate", 0) == 0;
+    opts.jobs = static_cast<unsigned>(args.getU("jobs", 1));
     opts.verbose = true;
 
     std::optional<core::ResultStore> store = openStoreArg(args);
@@ -1061,18 +1067,25 @@ cmdStore(int argc, char **argv)
         std::printf("%s\n", note.c_str());
     std::printf("store %s %s: %llu entries ok, %llu corrupt "
                 "(quarantined), %llu quarantined files, "
-                "%llu orphan temps, %llu checkpoints, %llu pruned\n",
+                "%llu orphan temps, %llu checkpoints "
+                "(%llu verified, %llu corrupt, left in place), "
+                "%llu pruned\n",
                 sub.c_str(), dir.c_str(),
                 static_cast<unsigned long long>(r.okEntries),
                 static_cast<unsigned long long>(r.corruptEntries),
                 static_cast<unsigned long long>(r.quarantined),
                 static_cast<unsigned long long>(r.orphanTemps),
                 static_cast<unsigned long long>(r.checkpoints),
+                static_cast<unsigned long long>(r.okCheckpoints),
+                static_cast<unsigned long long>(r.corruptCheckpoints),
                 static_cast<unsigned long long>(r.pruned));
     // Nonzero while problem files remain on disk (fsck reports, gc
-    // removes), so cron-style health checks can alert on fsck.
+    // removes; corrupt checkpoints are report-only and stay until
+    // their owning run quarantines or replaces them), so cron-style
+    // health checks can alert on fsck.
     const uint64_t remaining =
-        r.quarantined + r.orphanTemps - r.pruned;
+        r.quarantined + r.orphanTemps - r.pruned +
+        r.corruptCheckpoints;
     return remaining > 0 ? 1 : 0;
 }
 

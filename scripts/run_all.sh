@@ -17,13 +17,14 @@ cmake --build build-asan --target test_status test_trace_file \
 ctest --test-dir build-asan --output-on-failure \
       -R 'test_status|test_trace_file|test_fault_inject|test_sweep|test_result_store|test_json|test_server|test_checkpoint'
 
-# Concurrency pass: the thread-pool and design-space-exploration tests
-# under ThreadSanitizer, so a data race in the parallel evaluator fails
-# the run.
+# Concurrency pass: the thread-pool, design-space-exploration, and
+# shared-memory contention tests under ThreadSanitizer, so a data race
+# in the parallel evaluator or the sync/contention subsystem fails the
+# run.
 cmake -B build-tsan -G Ninja -DHETSIM_SANITIZE=thread
-cmake --build build-tsan --target test_thread_pool test_dse
+cmake --build build-tsan --target test_thread_pool test_dse test_sync
 ctest --test-dir build-tsan --output-on-failure \
-      -R 'test_thread_pool|test_dse'
+      -R 'test_thread_pool|test_dse|test_sync'
 
 # DSE smoke: a parallel exploration must print byte-identical output
 # to a serial one (the core/dse determinism contract).
@@ -76,6 +77,15 @@ build/examples/hetsim_cli dse --space cpu --app fft --jobs 8 \
       --scale 0.02 --no-skip 1 --report-json build/skip_dse_b.json \
       > /dev/null
 cmp build/skip_dse_a.json build/skip_dse_b.json
+# The same invariant must hold when cores contend: lock handoff and
+# barrier blocking go through the event horizon too, so a lock-heavy
+# trace with skipping on must match the per-cycle reference loop.
+build/examples/hetsim_cli run --config BaseHet --app lock_heavy \
+      --scale 0.2 --report-json build/skip_lock_a.json > /dev/null
+build/examples/hetsim_cli run --config BaseHet --app lock_heavy \
+      --scale 0.2 --no-skip 1 --report-json build/skip_lock_b.json \
+      > /dev/null
+cmp build/skip_lock_a.json build/skip_lock_b.json
 
 # Durable-store smoke: a warm rerun against the result store must be
 # byte-identical to the cold run that populated it, for single runs
@@ -96,6 +106,17 @@ build/examples/hetsim_cli sweep --configs all --workloads fft,lu \
       --scale 0.05 --store build/store_smoke --resume 1 \
       --report-json build/sweep_warm.json > /dev/null
 cmp build/sweep_cold.json build/sweep_warm.json
+
+# Parallel sweep smoke: --jobs N keeps several forked cells in flight
+# but results land in plan order, so the report must be byte-identical
+# to a serial sweep — including on a contention workload.
+build/examples/hetsim_cli sweep --configs all \
+      --workloads lock_heavy,fft --scale 0.05 \
+      --report-json build/sweep_jobs1.json > /dev/null
+build/examples/hetsim_cli sweep --configs all \
+      --workloads lock_heavy,fft --scale 0.05 --jobs 4 \
+      --report-json build/sweep_jobs4.json > /dev/null
+cmp build/sweep_jobs1.json build/sweep_jobs4.json
 
 # Kill/resume round trip: SIGKILL a journaling sweep mid-flight, then
 # resume it; the resumed report must match an uninterrupted run byte

@@ -49,6 +49,8 @@ cpuUnitAreaMm2(CpuUnit u)
         return 1.80; // 2 MB slice
       case CpuUnit::Noc:
         return 0.10;
+      case CpuUnit::Scratchpad:
+        return 0.04; // 16 KB direct-addressed array
       default:
         panic("unknown unit %d", static_cast<int>(u));
     }
@@ -69,6 +71,9 @@ coreTileAreaMm2(const CpuConfigBundle &bundle)
         a *= bundle.units[i].sizeScale;
         // The asymmetric fast array only exists when configured.
         if (u == CpuUnit::Dl1Fast && !bundle.sim.mem.asymDl1)
+            a = 0.0;
+        // Likewise the optional scratchpad.
+        if (u == CpuUnit::Scratchpad && !bundle.sim.mem.spad.enabled)
             a = 0.0;
         core += a;
         const bool tfet =

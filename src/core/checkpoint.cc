@@ -92,6 +92,34 @@ quarantineCheckpoint(const std::string &path, const char *reason)
     warn("checkpoint: quarantined %s (%s)", path.c_str(), reason);
 }
 
+/** The full header/checksum validation a load performs, over raw
+ *  file bytes: nullptr when healthy (with *hdr filled in), else the
+ *  failure reason. Identity-key fencing is NOT part of this — key
+ *  ownership is the caller's policy, not a property of the bytes. */
+const char *
+checkpointProblem(const std::string &raw, uint32_t trace_version,
+                  CheckpointHeader *hdr)
+{
+    if (raw.size() < sizeof(*hdr))
+        return "truncated header";
+    std::memcpy(hdr, raw.data(), sizeof(*hdr));
+    if (std::memcmp(hdr->magic, kMagic, sizeof(kMagic)) != 0)
+        return "bad magic";
+    if (hdr->schema != kCheckpointSchemaVersion)
+        return "checkpoint schema version mismatch";
+    if (hdr->traceVersion != trace_version)
+        return "trace format version mismatch";
+    if (raw.size() != sizeof(*hdr) + hdr->keyLen + hdr->payloadLen)
+        return "size mismatch";
+    if (serializeFnv1a(raw.data() + sizeof(*hdr), hdr->keyLen) !=
+        hdr->keyFnv)
+        return "key checksum mismatch";
+    if (serializeFnv1a(raw.data() + sizeof(*hdr) + hdr->keyLen,
+                       hdr->payloadLen) != hdr->payloadFnv)
+        return "payload checksum mismatch";
+    return nullptr;
+}
+
 } // namespace
 
 Status
@@ -169,29 +197,7 @@ loadCheckpointFile(const std::string &path,
     fd.reset();
 
     CheckpointHeader hdr;
-    if (raw.size() < sizeof(hdr)) {
-        quarantineCheckpoint(path, "truncated header");
-        return Status::error(ErrorCode::NotFound,
-                             "checkpoint quarantined: truncated "
-                             "header");
-    }
-    std::memcpy(&hdr, raw.data(), sizeof(hdr));
-
-    const char *reason = nullptr;
-    if (std::memcmp(hdr.magic, kMagic, sizeof(kMagic)) != 0)
-        reason = "bad magic";
-    else if (hdr.schema != kCheckpointSchemaVersion)
-        reason = "checkpoint schema version mismatch";
-    else if (hdr.traceVersion != trace_version)
-        reason = "trace format version mismatch";
-    else if (raw.size() != sizeof(hdr) + hdr.keyLen + hdr.payloadLen)
-        reason = "size mismatch";
-    else if (serializeFnv1a(raw.data() + sizeof(hdr), hdr.keyLen) !=
-             hdr.keyFnv)
-        reason = "key checksum mismatch";
-    else if (serializeFnv1a(raw.data() + sizeof(hdr) + hdr.keyLen,
-                            hdr.payloadLen) != hdr.payloadFnv)
-        reason = "payload checksum mismatch";
+    const char *reason = checkpointProblem(raw, trace_version, &hdr);
     if (reason != nullptr) {
         quarantineCheckpoint(path, reason);
         return Status::error(ErrorCode::NotFound,
@@ -236,6 +242,28 @@ loadCheckpoint(const std::string &path, const std::string &expect_key,
                          "fallback: %s)", path.c_str(),
                          primary.status().message().c_str(),
                          prev.status().message().c_str());
+}
+
+Status
+verifyCheckpointFile(const std::string &path, uint32_t trace_version)
+{
+    FdHandle fd(::open(path.c_str(), O_RDONLY));
+    if (!fd) {
+        if (errno == ENOENT)
+            return Status::error(ErrorCode::NotFound,
+                                 "no checkpoint at %s", path.c_str());
+        return ioError("open failed", path, errno);
+    }
+    std::string raw;
+    const Status read = readAllFd(fd.get(), &raw, path);
+    if (!read.ok())
+        return read;
+    CheckpointHeader hdr;
+    const char *reason = checkpointProblem(raw, trace_version, &hdr);
+    if (reason != nullptr)
+        return Status::error(ErrorCode::InvalidArgument, "%s",
+                             reason);
+    return Status();
 }
 
 void

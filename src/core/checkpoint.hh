@@ -47,8 +47,9 @@ namespace hetsim::core
 {
 
 /** Bump when the checkpoint layout (header or any component section)
- *  changes; older files are quarantined, never reinterpreted. */
-constexpr uint32_t kCheckpointSchemaVersion = 1;
+ *  changes; older files are quarantined, never reinterpreted.
+ *  v2: sync-controller section + core barrier/sync park fields. */
+constexpr uint32_t kCheckpointSchemaVersion = 2;
 
 /** Canonical checkpoint filename extension. */
 constexpr const char *kCheckpointSuffix = ".hckp";
@@ -94,6 +95,20 @@ loadCheckpointFile(const std::string &path,
 Result<LoadedCheckpoint>
 loadCheckpoint(const std::string &path, const std::string &expect_key,
                uint32_t trace_version = workload::kTraceVersion);
+
+/**
+ * Report-only verification of one checkpoint file: magic, schema,
+ * trace version, sizes, and both checksums — exactly the checks a
+ * load performs — without quarantining, renaming, or key-fencing the
+ * file (any run identity is accepted, and the bytes are never
+ * touched, so verifying cannot race the run that owns the
+ * checkpoint). ok() when a load with the right key would restore
+ * from these bytes; InvalidArgument with the failure reason
+ * otherwise; NotFound when the file is absent.
+ */
+Status verifyCheckpointFile(const std::string &path,
+                            uint32_t trace_version =
+                                workload::kTraceVersion);
 
 /** Remove a run's checkpoint files (primary + .prev); used once a
  *  run completes so a finished run never resumes from stale state. */

@@ -200,10 +200,11 @@ makeCpuConfig(CpuConfig cfg, double freq_ghz)
     b.freqGhz = freq_ghz;
     b.numCores = 4;
 
-    // Zero out the fast-way and fast-ALU units by default; configs
-    // that use them restore their leakage share.
+    // Zero out the fast-way, fast-ALU, and scratchpad units by
+    // default; configs that use them restore their leakage share.
     b.units[static_cast<int>(CpuUnit::Dl1Fast)].leakOnlyScale = 0.0;
     b.units[static_cast<int>(CpuUnit::AluFast)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(CpuUnit::Scratchpad)].leakOnlyScale = 0.0;
 
     switch (cfg) {
       case CpuConfig::BaseCmos:

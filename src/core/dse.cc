@@ -73,12 +73,18 @@ designName(const CpuHybridDesign &d)
                       d.numCores);
         return buf;
     }
+    // The scratchpad token appears only when the unit exists, so
+    // every pre-scratchpad design keeps its name (and hash).
+    char spad[16] = "";
+    if (d.scratchpad)
+        std::snprintf(spad, sizeof(spad), " spad=%c",
+                      deviceLetter(d.spadDev));
     std::snprintf(buf, sizeof(buf),
                   "cpu(alu=%c fpu=%c dl1=%c l2=%c l3=%c rob=%u "
-                  "fprf=%u%s%s c%u)",
+                  "fprf=%u%s%s%s c%u)",
                   deviceLetter(d.alu), deviceLetter(d.fpu),
                   deviceLetter(d.dl1), deviceLetter(d.l2),
-                  deviceLetter(d.l3), d.robSize, d.fpRf,
+                  deviceLetter(d.l3), d.robSize, d.fpRf, spad,
                   d.asymDl1 ? " asym" : "",
                   d.dualSpeedAlu ? " split" : "", d.numCores);
     return buf;
@@ -203,9 +209,12 @@ synthesizeCpuBundle(const CpuHybridDesign &d, double freq_ghz)
     CpuConfigBundle b;
     b.freqGhz = freq_ghz;
     b.numCores = d.numCores;
-    // Fast-way and fast-ALU units only leak when configured in.
+    // Fast-way, fast-ALU, and scratchpad units only leak when
+    // configured in.
     b.units[static_cast<int>(CpuUnit::Dl1Fast)].leakOnlyScale = 0.0;
     b.units[static_cast<int>(CpuUnit::AluFast)].leakOnlyScale = 0.0;
+    b.units[static_cast<int>(CpuUnit::Scratchpad)].leakOnlyScale =
+        0.0;
 
     if (d.halfClock) {
         // The all-TFET chip: no deeper pipelining, half the clock.
@@ -328,6 +337,30 @@ synthesizeCpuBundle(const CpuHybridDesign &d, double freq_ghz)
             fast.leakOnlyScale = 0.25; // the CMOS ALU
         }
 
+        if (d.scratchpad) {
+            if (d.spadDev != DeviceClass::Cmos &&
+                d.spadDev != DeviceClass::Tfet)
+                return Status::error(
+                    ErrorCode::InvalidArgument,
+                    "scratchpad must be CMOS or TFET in '%s'",
+                    designName(d).c_str());
+            b.sim.mem.spad.enabled = true;
+            b.sim.mem.spad.sizeKb = 16;
+            // TFET array: 2x deeper pipelining at the common clock.
+            b.sim.mem.spad.latency =
+                d.spadDev == DeviceClass::Tfet ? 4 : 2;
+            auto &sp = b.units[static_cast<int>(CpuUnit::Scratchpad)];
+            sp.dev = d.spadDev;
+            sp.leakOnlyScale = 1.0;
+        } else if (d.spadDev != DeviceClass::Cmos) {
+            // A device choice for a unit that does not exist would
+            // alias the canonical name of the scratchpad-less design.
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "spadDev set but scratchpad disabled in '%s'",
+                designName(d).c_str());
+        }
+
         if (d.asymDl1) {
             // Way 0 becomes a CMOS 4 KB direct-mapped fast array;
             // slow-way round trip depends on the array's device.
@@ -351,6 +384,12 @@ synthesizeCpuBundle(const CpuHybridDesign &d, double freq_ghz)
     // makeCpuConfig: the half-clock chip keeps the cycle count.
     b.sim.mem.lat.dramRt =
         static_cast<uint32_t>(50.0 * freq_ghz + 0.5);
+    // Surface hierarchy-consistency violations (e.g. non-monotone
+    // level round trips) as a Status instead of tripping the
+    // MemHierarchy constructor assertion at simulation time.
+    const Status hv = mem::validateHierarchyParams(b.sim.mem);
+    if (!hv.ok())
+        return hv;
     return b;
 }
 
@@ -419,6 +458,9 @@ enumerateCpuDesigns(const CpuSpaceOptions &space)
     const bool enh_axis[] = {false, true};
     const bool flag_axis[] = {false, true};
 
+    // Scratchpad axis: absent, CMOS array, or TFET array.
+    const int spad_axis[] = {0, 1, 2};
+
     std::vector<CpuHybridDesign> out;
     for (DeviceClass alu : logic)
         for (DeviceClass fpu : logic)
@@ -427,13 +469,16 @@ enumerateCpuDesigns(const CpuSpaceOptions &space)
                     for (DeviceClass l3 : arrays)
                         for (bool enh : enh_axis)
                             for (bool asym : flag_axis)
-                                for (bool split : flag_axis) {
+                                for (bool split : flag_axis)
+                                    for (int spad : spad_axis) {
         if (enh && !space.includeEnh)
             continue;
         if (asym && !space.includeAsymDl1)
             continue;
         if (split &&
             (!space.includeDualSpeed || alu != DeviceClass::Tfet))
+            continue;
+        if (spad != 0 && !space.includeScratchpad)
             continue;
         CpuHybridDesign d;
         d.alu = alu;
@@ -445,6 +490,8 @@ enumerateCpuDesigns(const CpuSpaceOptions &space)
             d.robSize = kEnhRob;
             d.fpRf = kEnhFpRf;
         }
+        d.scratchpad = spad != 0;
+        d.spadDev = spad == 2 ? DeviceClass::Tfet : DeviceClass::Cmos;
         d.asymDl1 = asym;
         d.dualSpeedAlu = split;
         out.push_back(d);
@@ -796,6 +843,20 @@ cpuNeighbors(const CpuHybridDesign &d)
     {
         CpuHybridDesign n = d;
         n.fpRf = d.fpRf == kBaseFpRf ? kEnhFpRf : kBaseFpRf;
+        push(n);
+    }
+    {
+        // Scratchpad toggle always re-enters at the CMOS array (the
+        // canonical off-state keeps spadDev == Cmos).
+        CpuHybridDesign n = d;
+        n.scratchpad = !d.scratchpad;
+        n.spadDev = DeviceClass::Cmos;
+        push(n);
+    }
+    if (d.scratchpad) {
+        CpuHybridDesign n = d;
+        n.spadDev = d.spadDev == DeviceClass::Cmos
+            ? DeviceClass::Tfet : DeviceClass::Cmos;
         push(n);
     }
     {

@@ -59,6 +59,15 @@ struct CpuHybridDesign
     uint32_t robSize = 160; ///< 160 (base) or 192 (Enh).
     uint32_t fpRf = 80;     ///< 80 (base) or 128 (Enh).
 
+    /** Optional per-core software-managed scratchpad: a 16 KB
+     *  direct-addressed array beside the DL1, bypassing the cache
+     *  hierarchy for in-window accesses. `spadDev` picks its device
+     *  (CMOS: 2-cycle access; TFET: 4-cycle, 4x/10x energy/leakage
+     *  advantage) and must stay Cmos while the scratchpad is off so
+     *  the canonical name stays unique. */
+    bool scratchpad = false;
+    power::DeviceClass spadDev = power::DeviceClass::Cmos;
+
     /** AdvHet asymmetric DL1: way 0 becomes a CMOS fast array. */
     bool asymDl1 = false;
     /** AdvHet dual-speed ALU cluster (requires alu == Tfet). */
@@ -121,6 +130,8 @@ struct CpuSpaceOptions
     bool includeAsymDl1 = true;
     bool includeDualSpeed = true;
     bool includeHalfClock = true; ///< The all-TFET corner design.
+    /** Scratchpad axis: off / CMOS / TFET per design. */
+    bool includeScratchpad = true;
 };
 
 /**

@@ -88,6 +88,12 @@ fillCpuReport(obs::RunReport &rep, cpu::Multicore &mc,
     rep.groups.push_back(obs::snapshotGroup(h.ring().stats()));
     rep.groups.push_back(obs::snapshotGroup(h.dram().stats()));
     rep.groups.push_back(obs::snapshotGroup(h.stats()));
+    // Sync observability: lock/barrier/event contention counters and
+    // wait-cycle distributions (zero groups on sharing-free runs).
+    rep.groups.push_back(obs::snapshotGroup(mc.sync().stats()));
+    if (h.scratchpad())
+        rep.groups.push_back(
+            obs::snapshotGroup(h.scratchpad()->stats()));
 }
 
 void

@@ -13,6 +13,7 @@
 
 #include "common/file.hh"
 #include "common/logging.hh"
+#include "core/checkpoint.hh"
 
 namespace hetsim::core
 {
@@ -359,9 +360,21 @@ fsckStore(const std::string &dir, uint32_t trace_version, bool prune)
             continue;
         }
         // Live mid-run checkpoints (and their rotated previous):
-        // resumable state, deliberately left alone.
+        // resumable state, verified report-only and deliberately
+        // left alone — never renamed or pruned, even when corrupt
+        // (the owning run quarantines on load; gc must not race it).
         if (endsWith(name, ".hckp") || endsWith(name, ".prev")) {
             ++rep.checkpoints;
+            const Status v = verifyCheckpointFile(path,
+                                                  trace_version);
+            if (v.ok()) {
+                ++rep.okCheckpoints;
+            } else {
+                ++rep.corruptCheckpoints;
+                rep.notes.push_back("corrupt checkpoint (" +
+                                    v.message() + "): " + path +
+                                    " (left in place)");
+            }
             continue;
         }
         if (!endsWith(name, ResultStore::kEntrySuffix))

@@ -135,6 +135,12 @@ struct StoreFsckReport
                                  ///  killed before its rename).
     uint64_t checkpoints = 0;    ///< Live checkpoint files (.hckp /
                                  ///  .prev); never pruned.
+    uint64_t okCheckpoints = 0;  ///< Checkpoints passing header and
+                                 ///  checksum verification.
+    uint64_t corruptCheckpoints = 0; ///< Checkpoints failing it;
+                                 ///  reported only, never renamed or
+                                 ///  removed (the owning run
+                                 ///  quarantines on load; see notes).
     uint64_t pruned = 0;         ///< Files removed (prune mode only).
     std::vector<std::string> notes; ///< One line per problem file.
 };
@@ -142,11 +148,17 @@ struct StoreFsckReport
 /**
  * Offline store maintenance. Verifies every "*.hres" entry exactly as
  * get() would (magic, schema, trace version, sizes, key and payload
- * checksums), quarantining failures; counts pre-existing quarantined
- * files and orphaned O_EXCL temp files. With `prune` set (the `store
- * gc` mode), quarantined files and orphaned temps are deleted — live
- * entries and checkpoint files are never touched. Returns the report;
- * errors only when the directory itself cannot be read.
+ * checksums), quarantining failures; verifies every checkpoint file
+ * (.hckp and its rotated .prev) the same way but *report-only* — a
+ * checkpoint is live, possibly mid-write resumable state owned by a
+ * running or resumable sweep, so fsck never renames, quarantines, or
+ * deletes one (a corrupt primary still has its .prev fallback, and
+ * the owning run quarantines on load); counts pre-existing
+ * quarantined files and orphaned O_EXCL temp files. With `prune` set
+ * (the `store gc` mode), quarantined files and orphaned temps are
+ * deleted — live entries and checkpoint files are never touched.
+ * Returns the report; errors only when the directory itself cannot
+ * be read.
  */
 Result<StoreFsckReport>
 fsckStore(const std::string &dir,

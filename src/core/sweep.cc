@@ -7,6 +7,7 @@
 #include <time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstdlib>
 #include <cstring>
@@ -453,8 +454,8 @@ runCellIsolated(const SweepCell &cell, const SweepOptions &opts)
  * seeding it from the cell key keeps every run of the same sweep
  * sleeping the same schedule — no hidden wall-clock nondeterminism.
  */
-void
-sleepBackoff(double first_ms, uint32_t attempt, uint64_t seed)
+double
+backoffMs(double first_ms, uint32_t attempt, uint64_t seed)
 {
     double ms = first_ms;
     for (uint32_t i = 1; i < attempt; ++i)
@@ -469,6 +470,13 @@ sleepBackoff(double first_ms, uint32_t attempt, uint64_t seed)
     ms *= 0.5 + 0.5 * static_cast<double>(h >> 11) * 0x1.0p-53;
     if (ms > 5000.0)
         ms = 5000.0;
+    return ms > 0.0 ? ms : 0.0;
+}
+
+void
+sleepBackoff(double first_ms, uint32_t attempt, uint64_t seed)
+{
+    const double ms = backoffMs(first_ms, attempt, seed);
     if (ms <= 0.0)
         return;
     struct timespec ts;
@@ -544,6 +552,324 @@ executeCell(const SweepCell &cell, const SweepOptions &opts)
                  put.toString().c_str());
     }
     return res;
+}
+
+/**
+ * Parallel scheduler: up to `jobs` forked cells in flight at once,
+ * multiplexed over their result pipes from the calling thread —
+ * children are only ever forked from this loop, never from worker
+ * threads. Every cell runs exactly the computation the serial path
+ * runs and results land in plan order, so a jobs=N report is
+ * byte-identical to the jobs=1 report. A pending preemption stops
+ * new launches, forwards SIGTERM to *every* in-flight child (each
+ * drains to its own resumable checkpoint), and marks unlaunched
+ * cells preempted-without-running, matching the serial semantics.
+ */
+SweepReport
+runSweepParallel(const std::vector<SweepCell> &cells,
+                 const SweepOptions &opts, unsigned jobs)
+{
+    struct Task
+    {
+        enum class Phase
+        {
+            Pending, ///< Not launched (or relaunching after backoff).
+            Running, ///< Forked child in flight.
+            Backoff, ///< Transient failure; waiting out the delay.
+            Done,
+        };
+
+        Phase phase = Phase::Pending;
+        uint32_t attempt = 0; ///< Execution attempts started.
+        double readyAt = 0.0; ///< Backoff release (monotonic ms).
+        double startMs = 0.0; ///< First launch (for wallMs).
+        pid_t pid = -1;
+        int fd = -1;
+        std::string buf;
+        double deadline = 0.0; ///< Wall-clock kill time (0 = none).
+        bool preemptSent = false;
+        CellResult res;
+    };
+    using Phase = Task::Phase;
+
+    std::vector<Task> tasks(cells.size());
+    std::vector<std::string> keys;
+    keys.reserve(cells.size());
+    for (const SweepCell &cell : cells)
+        keys.push_back(cellStoreKey(cell, opts));
+
+    size_t done = 0;
+    size_t running = 0;
+
+    const auto preemptPending = [&opts] {
+        return opts.exp.preempt && *opts.exp.preempt;
+    };
+
+    // One execution attempt of cell i finished with result r: either
+    // retire the task or park it for a retry. Mirrors the serial
+    // executeCell retry/journal policy exactly.
+    const auto settle = [&](size_t i, CellResult r) {
+        Task &t = tasks[i];
+        const double now = monotonicMs();
+        r.retries = t.attempt - 1;
+        if (!r.preempted && r.transient &&
+            t.attempt - 1 < opts.maxRetries && !preemptPending()) {
+            t.res = std::move(r);
+            t.phase = Phase::Backoff;
+            t.readyAt = now + backoffMs(
+                opts.retryBackoffMs, t.attempt,
+                serializeFnv1a(keys[i].data(), keys[i].size()));
+            return;
+        }
+        r.wallMs = now - t.startMs;
+        if (opts.store != nullptr && !r.transient && !r.fromStore) {
+            const Status put =
+                opts.store->put(keys[i], encodeCellPayload(r));
+            if (!put.ok())
+                warn("sweep journal write failed: %s",
+                     put.toString().c_str());
+        }
+        if (opts.verbose)
+            inform("sweep [%zu/%zu] %s / %s: %s%s%s%s", i + 1,
+                   cells.size(), cellConfigName(cells[i]).c_str(),
+                   cellWorkloadName(cells[i]).c_str(),
+                   cellOutcomeName(r.outcome),
+                   r.fromStore ? " (replayed)" : "",
+                   r.status.ok() ? "" : " - ",
+                   r.status.ok() ? ""
+                                 : r.status.toString().c_str());
+        t.res = std::move(r);
+        t.phase = Phase::Done;
+        ++done;
+    };
+
+    // The child delivered (full payload / EOF) or overran its
+    // wall-clock deadline: reap it and settle the attempt.
+    const auto finishRunning = [&](size_t i, bool timed_out) {
+        Task &t = tasks[i];
+        ::close(t.fd);
+        t.fd = -1;
+        --running;
+        t.phase = Phase::Pending; // settle() decides Done/Backoff.
+        if (timed_out)
+            ::kill(t.pid, SIGKILL);
+        int wstatus = 0;
+        ::waitpid(t.pid, &wstatus, 0);
+        t.pid = -1;
+        if (timed_out) {
+            t.buf.clear();
+            CellResult r;
+            r.outcome = CellOutcome::TimedOut;
+            r.status = Status::error(
+                ErrorCode::Timeout,
+                "wall-clock watchdog fired after %.0f ms",
+                opts.wallLimitMs);
+            r.transient = true; // Host-load dependent: retryable.
+            settle(i, std::move(r));
+            return;
+        }
+        WireResult wire;
+        if (t.buf.size() >= sizeof(wire)) {
+            std::memcpy(&wire, t.buf.data(), sizeof(wire));
+            if (t.buf.size() >= sizeof(wire) + wire.msgLen) {
+                const std::string msg =
+                    t.buf.substr(sizeof(wire), wire.msgLen);
+                t.buf.clear();
+                settle(i, decodeWire(wire, msg));
+                return;
+            }
+        }
+        // Died before delivering a result: crash, contained.
+        t.buf.clear();
+        CellResult r;
+        r.outcome = CellOutcome::Failed;
+        r.status = Status::error(ErrorCode::Crashed,
+                                 "cell process %s",
+                                 describeChildDeath(wstatus).c_str());
+        r.transient = true;
+        settle(i, std::move(r));
+    };
+
+    while (done < tasks.size()) {
+        double now = monotonicMs();
+
+        // Preemption: stop launching, tell every in-flight child to
+        // drain to its checkpoint, retire everything not yet started.
+        if (preemptPending()) {
+            for (size_t i = 0; i < tasks.size(); ++i) {
+                Task &t = tasks[i];
+                if (t.phase == Phase::Pending) {
+                    if (t.attempt == 0)
+                        markPreempted(&t.res, "sweep preempted "
+                                              "before this cell ran");
+                    // else keep the last transient failure, as the
+                    // serial retry loop does when a preemption stops
+                    // it mid-backoff.
+                    t.res.retries =
+                        t.attempt > 0 ? t.attempt - 1 : 0;
+                    t.phase = Phase::Done;
+                    ++done;
+                } else if (t.phase == Phase::Backoff) {
+                    t.phase = Phase::Done;
+                    ++done;
+                } else if (t.phase == Phase::Running &&
+                           !t.preemptSent &&
+                           !opts.checkpointDir.empty()) {
+                    // Same forwarding rule as the serial path: only
+                    // with mid-run checkpoints on does a SIGTERM
+                    // preserve (rather than discard) progress.
+                    ::kill(t.pid, SIGTERM);
+                    t.preemptSent = true;
+                }
+            }
+        }
+
+        // Release elapsed backoffs back into the launch queue.
+        for (Task &t : tasks)
+            if (t.phase == Phase::Backoff && t.readyAt <= now)
+                t.phase = Phase::Pending;
+
+        // Launch pending cells, plan order first, up to the cap.
+        for (size_t i = 0;
+             i < tasks.size() && running < jobs && !preemptPending();
+             ++i) {
+            Task &t = tasks[i];
+            if (t.phase != Phase::Pending)
+                continue;
+            if (t.attempt == 0) {
+                t.startMs = now;
+                if (opts.store != nullptr && opts.resume) {
+                    const Result<std::string> hit =
+                        opts.store->get(keys[i]);
+                    CellResult replay;
+                    if (hit.ok() &&
+                        decodeCellPayload(hit.value(), &replay)) {
+                        replay.fromStore = true;
+                        ++t.attempt;
+                        settle(i, std::move(replay));
+                        continue;
+                    }
+                }
+            }
+            int fds[2];
+            pid_t pid = -1;
+            if (::pipe(fds) == 0)
+                pid = ::fork();
+            else
+                fds[0] = fds[1] = -1;
+            ++t.attempt;
+            if (pid < 0) {
+                if (fds[0] >= 0) {
+                    ::close(fds[0]);
+                    ::close(fds[1]);
+                }
+                warn("fork() failed (%s); running cell in-process",
+                     std::strerror(errno));
+                settle(i, runCellInProcess(cells[i], opts));
+                continue;
+            }
+            if (pid == 0) {
+                ::close(fds[0]);
+                childRunCell(fds[1], cells[i], opts);
+            }
+            ::close(fds[1]);
+            t.pid = pid;
+            t.fd = fds[0];
+            t.buf.clear();
+            t.preemptSent = false;
+            t.deadline = opts.wallLimitMs > 0.0
+                ? now + opts.wallLimitMs : 0.0;
+            t.phase = Phase::Running;
+            ++running;
+        }
+
+        if (done >= tasks.size())
+            break;
+
+        // Wait for the earliest of: child output, a wall-clock
+        // deadline, or a backoff release. A SIGTERM to the sweep
+        // interrupts the poll (EINTR), so preemption is noticed
+        // immediately.
+        now = monotonicMs();
+        double wake = 0.0; // 0 = wait for output only.
+        std::vector<struct pollfd> pfds;
+        std::vector<size_t> pfd_task;
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            const Task &t = tasks[i];
+            if (t.phase == Phase::Running) {
+                pfds.push_back({t.fd, POLLIN, 0});
+                pfd_task.push_back(i);
+                if (t.deadline > 0.0 &&
+                    (wake == 0.0 || t.deadline < wake))
+                    wake = t.deadline;
+            } else if (t.phase == Phase::Backoff &&
+                       (wake == 0.0 || t.readyAt < wake)) {
+                wake = t.readyAt;
+            }
+        }
+        int wait_ms = -1;
+        if (wake > 0.0)
+            wait_ms = std::max(0, static_cast<int>(wake - now)) + 1;
+        // With a preempt flag registered, bound the wait: a flag set
+        // without a signal delivery to this thread (e.g. from another
+        // thread, or a signal handled elsewhere in the process) must
+        // still be noticed promptly.
+        if (opts.exp.preempt && (wait_ms < 0 || wait_ms > 100))
+            wait_ms = 100;
+        int ready = 0;
+        if (!pfds.empty())
+            ready = ::poll(pfds.data(),
+                           static_cast<nfds_t>(pfds.size()),
+                           wait_ms);
+        else if (wait_ms > 0)
+            ready = ::poll(nullptr, 0, wait_ms);
+        if (ready < 0 && errno != EINTR)
+            warn("sweep: poll() failed: %s", std::strerror(errno));
+
+        now = monotonicMs();
+        for (size_t k = 0; k < pfds.size(); ++k) {
+            const size_t i = pfd_task[k];
+            Task &t = tasks[i];
+            if (t.phase != Phase::Running)
+                continue;
+            if (pfds[k].revents & (POLLIN | POLLHUP | POLLERR)) {
+                char chunk[4096];
+                const ssize_t r =
+                    ::read(t.fd, chunk, sizeof(chunk));
+                if (r > 0)
+                    t.buf.append(chunk, static_cast<size_t>(r));
+                const bool eof = r == 0 ||
+                    (r < 0 && errno != EINTR && errno != EAGAIN);
+                bool complete = false;
+                if (t.buf.size() >= sizeof(WireResult)) {
+                    WireResult wire;
+                    std::memcpy(&wire, t.buf.data(), sizeof(wire));
+                    complete =
+                        t.buf.size() >= sizeof(wire) + wire.msgLen;
+                }
+                if (complete || eof) {
+                    finishRunning(i, false);
+                    continue;
+                }
+            }
+            if (t.deadline > 0.0 && now >= t.deadline)
+                finishRunning(i, true);
+        }
+        // Deadlines fire even for children producing no output.
+        for (size_t i = 0; i < tasks.size(); ++i) {
+            Task &t = tasks[i];
+            if (t.phase == Phase::Running && t.deadline > 0.0 &&
+                now >= t.deadline)
+                finishRunning(i, true);
+        }
+    }
+
+    SweepReport report;
+    report.cells = cells;
+    report.results.reserve(cells.size());
+    for (Task &t : tasks)
+        report.results.push_back(std::move(t.res));
+    return report;
 }
 
 } // namespace
@@ -773,6 +1099,14 @@ runSweep(const std::vector<SweepCell> &cells,
     if (opts.resume && opts.store == nullptr)
         warn("sweep: resume requested without a result store; "
              "every cell will re-execute");
+    unsigned jobs = opts.jobs > 0 ? opts.jobs : 1;
+    if (jobs > 1 && !opts.isolate) {
+        warn("sweep: --jobs > 1 needs process isolation (inline "
+             "cells share one address space); running serially");
+        jobs = 1;
+    }
+    if (jobs > 1)
+        return runSweepParallel(cells, opts, jobs);
 
     SweepReport report;
     report.cells = cells;

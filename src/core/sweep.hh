@@ -136,6 +136,16 @@ struct SweepOptions
     bool isolate = true;
     /** inform() one line per cell as the sweep progresses. */
     bool verbose = false;
+    /** Concurrent isolated cells. The scheduler forks up to this
+     *  many children at once and multiplexes their result pipes from
+     *  the calling thread (children are never forked from worker
+     *  threads). Requires `isolate`; with inline cells the value is
+     *  ignored (serial, with a warning). Results always land in plan
+     *  order, so the report is byte-identical for any job count. A
+     *  preemption request (exp.preempt) is forwarded as SIGTERM to
+     *  *every* in-flight child when mid-run checkpoints are on, so
+     *  each drains to its own resumable checkpoint. */
+    unsigned jobs = 1;
 
     /** Durable journal/memo tier (optional, not owned). Terminal
      *  deterministic outcomes are written as cells finish. */

@@ -33,6 +33,14 @@ opClassName(OpClass c)
         return "Barrier";
       case OpClass::Nop:
         return "Nop";
+      case OpClass::LockAcquire:
+        return "LockAcquire";
+      case OpClass::LockRelease:
+        return "LockRelease";
+      case OpClass::SignalEvt:
+        return "SignalEvt";
+      case OpClass::WaitEvt:
+        return "WaitEvt";
     }
     return "?";
 }

@@ -33,6 +33,12 @@ enum class OpClass : uint8_t
     Return,  ///< Return (pops the RAS).
     Barrier, ///< Thread barrier marker (multicore synchronization).
     Nop,
+    // Synchronization records (trace format v3). Appended after Nop so
+    // the v1/v2 encodings of the classic classes stay stable on disk.
+    LockAcquire, ///< Acquire the spin lock at `addr` (blocks if held).
+    LockRelease, ///< Release the spin lock at `addr`.
+    SignalEvt,   ///< Producer/consumer: post the semaphore at `addr`.
+    WaitEvt,     ///< Producer/consumer: wait on the semaphore at `addr`.
 };
 
 const char *opClassName(OpClass c);
@@ -62,6 +68,16 @@ isBranchClass(OpClass c)
 {
     return c == OpClass::Branch || c == OpClass::Call ||
         c == OpClass::Return;
+}
+
+/** True for the explicit synchronization records (lock/event ops).
+ *  Barrier is handled by the multicore run loop and is deliberately
+ *  not included. */
+constexpr bool
+isSyncClass(OpClass c)
+{
+    return c == OpClass::LockAcquire || c == OpClass::LockRelease ||
+        c == OpClass::SignalEvt || c == OpClass::WaitEvt;
 }
 
 /** One dynamic micro-operation from a trace. */

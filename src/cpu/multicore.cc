@@ -32,6 +32,8 @@ Multicore::Multicore(const MulticoreParams &params,
                   params.coreSpecs.size() == params.mem.numCores,
                   "coreSpecs must be empty or one per core");
     hier_ = std::make_unique<mem::MemHierarchy>(params.mem);
+    sync_ = std::make_unique<SyncController>(params.mem.numCores,
+                                             hier_.get());
     for (uint32_t c = 0; c < params.mem.numCores; ++c) {
         CoreParams cp = params.coreSpecs.empty()
             ? params.core : params.coreSpecs[c].core;
@@ -42,6 +44,7 @@ Multicore::Multicore(const MulticoreParams &params,
             cp.wakeupIssue = false;
         cores_.push_back(std::make_unique<OooCore>(
             cp, c, hier_.get(), traces[c]));
+        cores_.back()->setSyncController(sync_.get());
     }
 }
 
@@ -124,9 +127,13 @@ Multicore::run()
                 ++at_barrier;
         }
         if (running > 0 && at_barrier == running) {
-            for (auto &core : cores_)
-                if (!core->finished() && core->waitingAtBarrier())
+            for (auto &core : cores_) {
+                if (!core->finished() && core->waitingAtBarrier()) {
+                    sync_->noteBarrierWait(now -
+                                           core->barrierParkedAt());
                     core->releaseBarrier();
+                }
+            }
             ++res.barrierReleases;
         }
         ++now;
@@ -251,6 +258,9 @@ Multicore::coreActivity(uint32_t c) const
     }
     activity[unitIdx(CpuUnit::L2)] +=
         l2s.value("accesses") + l2s.value("fills");
+    if (const mem::Scratchpad *sp = hier_->scratchpad())
+        activity[unitIdx(CpuUnit::Scratchpad)] +=
+            sp->coreAccesses(c);
     return activity;
 }
 
@@ -294,6 +304,7 @@ Multicore::saveState(Serializer &ser, uint64_t now,
     ser.putU64(res.skippedCycles);
     ser.endSection();
     hier_->saveState(ser);
+    sync_->saveState(ser);
     for (const auto &core : cores_)
         core->saveState(ser);
 }
@@ -311,6 +322,7 @@ Multicore::restoreState(Deserializer &des)
     resumeSkippedCycles_ = des.getU64();
     des.closeSection();
     hier_->restoreState(des);
+    sync_->restoreState(des);
     for (auto &core : cores_)
         core->restoreState(des);
     return des.ok();

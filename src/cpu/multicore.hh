@@ -17,6 +17,7 @@
 
 #include "common/serialize.hh"
 #include "cpu/ooo_core.hh"
+#include "cpu/sync.hh"
 #include "mem/hierarchy.hh"
 #include "power/accountant.hh"
 
@@ -105,6 +106,8 @@ class Multicore
 
     mem::MemHierarchy &hierarchy() { return *hier_; }
     OooCore &core(uint32_t i) { return *cores_[i]; }
+    SyncController &sync() { return *sync_; }
+    const SyncController &sync() const { return *sync_; }
 
     /** Record pipeline + cache events of every core into `buf`. */
     void attachTrace(obs::TraceBuffer *buf);
@@ -130,6 +133,7 @@ class Multicore
 
     MulticoreParams params_;
     std::unique_ptr<mem::MemHierarchy> hier_;
+    std::unique_ptr<SyncController> sync_;
     std::vector<std::unique_ptr<OooCore>> cores_;
     CheckpointHook hook_;
 

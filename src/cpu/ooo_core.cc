@@ -4,6 +4,7 @@
 
 #include "common/logging.hh"
 #include "common/serialize.hh"
+#include "cpu/sync.hh"
 
 namespace hetsim::cpu
 {
@@ -30,6 +31,8 @@ OooCore::CoreCounters::CoreCounters(StatGroup &sg)
       mispredictBlocks(sg.counter("mispredict_blocks")),
       barrierDrainStalls(sg.counter("barrier_drain_stalls")),
       barriers(sg.counter("barriers")),
+      syncDrainStalls(sg.counter("sync_drain_stalls")),
+      syncOps(sg.counter("sync_ops")),
       robFullStalls(sg.counter("rob_full_stalls")),
       iqFullStalls(sg.counter("iq_full_stalls")),
       lsqFullStalls(sg.counter("lsq_full_stalls")),
@@ -117,6 +120,15 @@ OooCore::tick(Cycle now)
     const bool h0 = haveStaged_;
     const bool b0 = atBarrier_;
 
+    // A sync-parked core resumes when its controller-decided wake
+    // cycle arrives; the rest of the tick then runs normally, so the
+    // wake cycle can dispatch ops already sitting in the fetch queue.
+    bool unparked = false;
+    if (atSync_ && sync_->tryUnpark(coreId_, now)) {
+        atSync_ = false;
+        unparked = true;
+    }
+
     commit(now);
     issue(now);
     dispatch(now);
@@ -127,7 +139,7 @@ OooCore::tick(Cycle now)
     // signal -- the runner only consults nextEventCycle() (which is
     // exact on its own) once a tick reports no motion, so a wrong
     // answer in either direction costs cycles, never correctness.
-    return committedOps_ != c0 || rob_.size() != r0 ||
+    return unparked || committedOps_ != c0 || rob_.size() != r0 ||
         iq_.size() != i0 || fetchQueue_.size() != f0 ||
         haveStaged_ != h0 || atBarrier_ != b0;
 }
@@ -135,12 +147,16 @@ OooCore::tick(Cycle now)
 OooCore::DispatchGate
 OooCore::dispatchGate() const
 {
-    if (atBarrier_ || fetchQueue_.empty())
+    if (atBarrier_ || atSync_ || fetchQueue_.empty())
         return DispatchGate::NoWork;
     const MicroOp &op = fetchQueue_.front().op;
     if (op.cls == OpClass::Barrier) {
         return rob_.empty() ? DispatchGate::Progress
                             : DispatchGate::BarrierDrain;
+    }
+    if (isSyncClass(op.cls)) {
+        return rob_.empty() ? DispatchGate::Progress
+                            : DispatchGate::SyncDrain;
     }
     if (rob_.size() >= params_.robSize)
         return DispatchGate::RobFull;
@@ -164,6 +180,14 @@ OooCore::nextEventCycle(Cycle from) const
 {
     if (finished() || atBarrier_)
         return mem::kNoEvent;
+
+    // Sync park: the controller knows the wake cycle, or kNoEvent
+    // while blocked on another core's release/signal (which wakes
+    // this core through that core's own ticking, like a barrier).
+    if (atSync_) {
+        const Cycle w = sync_->wakeCycle(coreId_);
+        return w == mem::kNoEvent ? mem::kNoEvent : std::max(from, w);
+    }
 
     Cycle best = mem::kNoEvent;
 
@@ -216,6 +240,9 @@ OooCore::creditStalledTicks(uint64_t n)
       case DispatchGate::BarrierDrain:
         ctrs_.barrierDrainStalls += n;
         break;
+      case DispatchGate::SyncDrain:
+        ctrs_.syncDrainStalls += n;
+        break;
       case DispatchGate::RobFull:
         ctrs_.robFullStalls += n;
         break;
@@ -242,7 +269,7 @@ OooCore::creditStalledTicks(uint64_t n)
 void
 OooCore::fetch(Cycle now)
 {
-    if (atBarrier_ || now < fetchStallUntil_)
+    if (atBarrier_ || atSync_ || now < fetchStallUntil_)
         return;
     if (fetchBlocked_) {
         if (fetchResumeAt_ == 0 || now < fetchResumeAt_)
@@ -316,7 +343,7 @@ OooCore::fetch(Cycle now)
 void
 OooCore::dispatch(Cycle now)
 {
-    if (atBarrier_)
+    if (atBarrier_ || atSync_)
         return;
     uint32_t dispatched = 0;
     while (dispatched < params_.issueWidth && !fetchQueue_.empty()) {
@@ -331,7 +358,27 @@ OooCore::dispatch(Cycle now)
             }
             fetchQueue_.pop_front();
             atBarrier_ = true;
+            barrierParkedAt_ = now;
             ++ctrs_.barriers;
+            break;
+        }
+
+        if (isSyncClass(op.cls)) {
+            // Like a barrier: drain the pipeline, then hand the op to
+            // the chip's sync controller and park until it wakes us.
+            if (!rob_.empty()) {
+                ++ctrs_.syncDrainStalls;
+                break;
+            }
+            hetsim_assert(sync_ != nullptr,
+                          "sync micro-op but no SyncController set");
+            const MicroOp sop = op;
+            fetchQueue_.pop_front();
+            atSync_ = true;
+            ++ctrs_.syncOps;
+            HETSIM_TRACE(traceBuf_, now, coreId_,
+                         obs::TraceEvent::Dispatch, sop.pc, 0);
+            sync_->execute(coreId_, sop, now);
             break;
         }
 
@@ -638,7 +685,7 @@ bool
 OooCore::finished() const
 {
     return traceDone_ && !haveStaged_ && fetchQueue_.empty() &&
-        rob_.empty() && !atBarrier_;
+        rob_.empty() && !atBarrier_ && !atSync_;
 }
 
 void
@@ -736,6 +783,8 @@ OooCore::saveState(Serializer &ser) const
     ser.putU64(traceConsumed_);
     ser.putU64(nextSeq_);
     ser.putBool(atBarrier_);
+    ser.putU64(barrierParkedAt_);
+    ser.putBool(atSync_);
     ser.putU64(committedOps_);
     for (uint64_t a : activity_)
         ser.putU64(a);
@@ -776,6 +825,8 @@ OooCore::restoreState(Deserializer &des)
     traceConsumed_ = des.getU64();
     nextSeq_ = des.getU64();
     atBarrier_ = des.getBool();
+    barrierParkedAt_ = des.getU64();
+    atSync_ = des.getBool();
     committedOps_ = des.getU64();
     for (uint64_t &a : activity_)
         a = des.getU64();

@@ -36,6 +36,8 @@
 namespace hetsim::cpu
 {
 
+class SyncController;
+
 /** Full configuration of one core. */
 struct CoreParams
 {
@@ -146,8 +148,19 @@ class OooCore
     /** Stalled at a barrier micro-op waiting for release. */
     bool waitingAtBarrier() const { return atBarrier_; }
 
+    /** Cycle this core parked at its current barrier (valid while
+     *  waitingAtBarrier(); the runner samples the wait time). */
+    mem::Cycle barrierParkedAt() const { return barrierParkedAt_; }
+
     /** Release a barrier (called by the multicore runner). */
     void releaseBarrier();
+
+    /** Parked on a sync micro-op awaiting the SyncController. */
+    bool parkedAtSync() const { return atSync_; }
+
+    /** Install the chip's sync controller. Must be set before the
+     *  trace delivers any lock/event micro-op. */
+    void setSyncController(SyncController *sync) { sync_ = sync; }
 
     uint64_t committedOps() const { return committedOps_; }
 
@@ -197,6 +210,7 @@ class OooCore
         Progress,
         NoWork,
         BarrierDrain,
+        SyncDrain,
         RobFull,
         IqFull,
         LsqFull,
@@ -250,6 +264,11 @@ class OooCore
     uint32_t freeFpRegs_;
     uint32_t lsqCount_ = 0;
     bool atBarrier_ = false;
+    mem::Cycle barrierParkedAt_ = 0;
+    /** Parked on a sync micro-op; the SyncController decides when the
+     *  core resumes (tick() polls tryUnpark). */
+    bool atSync_ = false;
+    SyncController *sync_ = nullptr;
 
     /** Wakeup-driven select state: the earliest cycle any entry in the
      *  select window (oldest issueReach IQ slots) can issue, or
@@ -282,6 +301,8 @@ class OooCore
         Counter &mispredictBlocks;
         Counter &barrierDrainStalls;
         Counter &barriers;
+        Counter &syncDrainStalls;
+        Counter &syncOps;
         Counter &robFullStalls;
         Counter &iqFullStalls;
         Counter &lsqFullStalls;

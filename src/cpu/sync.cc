@@ -1,0 +1,276 @@
+#include "cpu/sync.hh"
+
+#include "common/logging.hh"
+#include "common/serialize.hh"
+
+namespace hetsim::cpu
+{
+
+using mem::AccessType;
+using mem::Cycle;
+
+SyncController::SyncCounters::SyncCounters(StatGroup &sg)
+    : lockAcquires(sg.counter("lock_acquires")),
+      lockAcquiresBlocked(sg.counter("lock_acquires_blocked")),
+      lockReleases(sg.counter("lock_releases")),
+      signals(sg.counter("signals")),
+      waits(sg.counter("waits")),
+      waitsBlocked(sg.counter("waits_blocked"))
+{
+}
+
+SyncController::SyncController(uint32_t num_cores,
+                               mem::MemHierarchy *hier)
+    : hier_(hier), states_(num_cores), stats_("sync"), ctrs_(stats_),
+      lockWaitCycles_(stats_.distribution("lock_wait_cycles")),
+      eventWaitCycles_(stats_.distribution("event_wait_cycles")),
+      barrierWaitCycles_(stats_.distribution("barrier_wait_cycles"))
+{
+    hetsim_assert(hier_ != nullptr, "sync controller needs a hierarchy");
+}
+
+uint32_t
+SyncController::loadLat(uint32_t core, mem::Addr addr, Cycle now)
+{
+    return hier_->access(core, addr, AccessType::Load, now).latency;
+}
+
+uint32_t
+SyncController::storeLat(uint32_t core, mem::Addr addr, Cycle now)
+{
+    return hier_->access(core, addr, AccessType::Store, now).latency;
+}
+
+void
+SyncController::park(uint32_t core, Kind kind, Cycle now,
+                     Cycle wake_at)
+{
+    CoreState &s = states_[core];
+    hetsim_assert(!s.parked, "core %u parked twice", core);
+    s.parked = true;
+    s.kind = kind;
+    s.parkedAt = now;
+    s.wakeAt = wake_at;
+}
+
+void
+SyncController::execute(uint32_t core, const MicroOp &op, Cycle now)
+{
+    hetsim_assert(core < states_.size(), "bad core %u", core);
+    hetsim_assert(isSyncClass(op.cls), "not a sync op");
+
+    switch (op.cls) {
+      case OpClass::LockAcquire: {
+        ++ctrs_.lockAcquires;
+        Lock &l = locks_[op.addr];
+        if (l.holder == kNoHolder) {
+            // Free: test (load) then take it (RFO store).
+            const uint32_t t = loadLat(core, op.addr, now);
+            const uint32_t r = storeLat(core, op.addr, now);
+            l.holder = core;
+            park(core, Kind::Acquire, now, now + t + r);
+        } else {
+            // Held: the spin read caches a shared copy of the lock
+            // line — the copy the releaser's upgrade invalidates.
+            ++ctrs_.lockAcquiresBlocked;
+            loadLat(core, op.addr, now);
+            l.waiters.push_back(core);
+            park(core, Kind::Acquire, now, mem::kNoEvent);
+        }
+        break;
+      }
+
+      case OpClass::LockRelease: {
+        ++ctrs_.lockReleases;
+        Lock &l = locks_[op.addr];
+        hetsim_assert(l.holder == core,
+                      "core %u releasing a lock it does not hold",
+                      core);
+        // Upgrade store: the directory invalidates every spinner.
+        const uint32_t rel = storeLat(core, op.addr, now);
+        const Cycle rel_done = now + rel;
+        if (l.waiters.empty()) {
+            l.holder = kNoHolder;
+        } else {
+            // Hand off to the oldest waiter: its copy was just
+            // invalidated, so it re-reads (coherence miss against
+            // the releaser's dirty line) and upgrades to claim.
+            const uint32_t w = l.waiters.front();
+            l.waiters.pop_front();
+            l.holder = w;
+            const uint32_t t = loadLat(w, op.addr, now);
+            const uint32_t r = storeLat(w, op.addr, now);
+            CoreState &ws = states_[w];
+            hetsim_assert(ws.parked && ws.kind == Kind::Acquire,
+                          "lock waiter %u not parked on acquire", w);
+            ws.wakeAt = rel_done + t + r;
+        }
+        park(core, Kind::Release, now, rel_done);
+        break;
+      }
+
+      case OpClass::SignalEvt: {
+        ++ctrs_.signals;
+        Event &e = events_[op.addr];
+        const uint32_t sig = storeLat(core, op.addr, now);
+        if (e.waiters.empty()) {
+            ++e.count;
+        } else {
+            const uint32_t w = e.waiters.front();
+            e.waiters.pop_front();
+            const uint32_t t = loadLat(w, op.addr, now);
+            CoreState &ws = states_[w];
+            hetsim_assert(ws.parked && ws.kind == Kind::Wait,
+                          "event waiter %u not parked on wait", w);
+            ws.wakeAt = now + sig + t;
+        }
+        park(core, Kind::Signal, now, now + sig);
+        break;
+      }
+
+      case OpClass::WaitEvt: {
+        ++ctrs_.waits;
+        Event &e = events_[op.addr];
+        const uint32_t t = loadLat(core, op.addr, now);
+        if (e.count > 0) {
+            // Consume a pending signal: read, then decrement.
+            --e.count;
+            const uint32_t d = storeLat(core, op.addr, now);
+            park(core, Kind::Wait, now, now + t + d);
+        } else {
+            ++ctrs_.waitsBlocked;
+            e.waiters.push_back(core);
+            park(core, Kind::Wait, now, mem::kNoEvent);
+        }
+        break;
+      }
+
+      default:
+        hetsim_assert(false, "unhandled sync class");
+    }
+}
+
+bool
+SyncController::tryUnpark(uint32_t core, Cycle now)
+{
+    CoreState &s = states_[core];
+    hetsim_assert(s.parked, "tryUnpark on a core that is not parked");
+    if (s.wakeAt == mem::kNoEvent || s.wakeAt > now)
+        return false;
+    // Sample residency for the blocking kinds (the acquire/wait side;
+    // release/signal park only for their own access latency).
+    const uint64_t waited = now - s.parkedAt;
+    if (s.kind == Kind::Acquire)
+        lockWaitCycles_.sample(static_cast<double>(waited));
+    else if (s.kind == Kind::Wait)
+        eventWaitCycles_.sample(static_cast<double>(waited));
+    s.parked = false;
+    s.wakeAt = mem::kNoEvent;
+    s.kind = Kind::None;
+    return true;
+}
+
+mem::Cycle
+SyncController::wakeCycle(uint32_t core) const
+{
+    const CoreState &s = states_[core];
+    hetsim_assert(s.parked, "wakeCycle on a core that is not parked");
+    return s.wakeAt;
+}
+
+void
+SyncController::noteBarrierWait(uint64_t cycles)
+{
+    barrierWaitCycles_.sample(static_cast<double>(cycles));
+}
+
+bool
+SyncController::idle() const
+{
+    for (const auto &[addr, l] : locks_)
+        if (l.holder != kNoHolder || !l.waiters.empty())
+            return false;
+    for (const auto &[addr, e] : events_)
+        if (!e.waiters.empty())
+            return false;
+    return true;
+}
+
+void
+SyncController::saveState(Serializer &ser) const
+{
+    ser.beginSection("sync");
+    ser.putU32(static_cast<uint32_t>(states_.size()));
+    for (const CoreState &s : states_) {
+        ser.putBool(s.parked);
+        ser.putU64(s.wakeAt);
+        ser.putU64(s.parkedAt);
+        ser.putU8(static_cast<uint8_t>(s.kind));
+    }
+    ser.putU64(static_cast<uint64_t>(locks_.size()));
+    for (const auto &[addr, l] : locks_) {
+        ser.putU64(addr);
+        ser.putU32(l.holder);
+        ser.putU64(static_cast<uint64_t>(l.waiters.size()));
+        for (uint32_t w : l.waiters)
+            ser.putU32(w);
+    }
+    ser.putU64(static_cast<uint64_t>(events_.size()));
+    for (const auto &[addr, e] : events_) {
+        ser.putU64(addr);
+        ser.putU64(e.count);
+        ser.putU64(static_cast<uint64_t>(e.waiters.size()));
+        for (uint32_t w : e.waiters)
+            ser.putU32(w);
+    }
+    ser.endSection();
+    stats_.saveState(ser);
+}
+
+void
+SyncController::restoreState(Deserializer &des)
+{
+    des.openSection("sync");
+    if (des.getU32() != states_.size()) {
+        des.fail("sync core count mismatch");
+        return;
+    }
+    for (CoreState &s : states_) {
+        s.parked = des.getBool();
+        s.wakeAt = des.getU64();
+        s.parkedAt = des.getU64();
+        s.kind = static_cast<Kind>(des.getU8());
+    }
+    locks_.clear();
+    const uint64_t nlocks = des.getU64();
+    for (uint64_t i = 0; i < nlocks && des.ok(); ++i) {
+        const mem::Addr addr = des.getU64();
+        Lock &l = locks_[addr];
+        l.holder = des.getU32();
+        const uint64_t nw = des.getU64();
+        if (nw > states_.size()) {
+            des.fail("lock waiter overflow");
+            return;
+        }
+        for (uint64_t w = 0; w < nw; ++w)
+            l.waiters.push_back(des.getU32());
+    }
+    events_.clear();
+    const uint64_t nevents = des.getU64();
+    for (uint64_t i = 0; i < nevents && des.ok(); ++i) {
+        const mem::Addr addr = des.getU64();
+        Event &e = events_[addr];
+        e.count = des.getU64();
+        const uint64_t nw = des.getU64();
+        if (nw > states_.size()) {
+            des.fail("event waiter overflow");
+            return;
+        }
+        for (uint64_t w = 0; w < nw; ++w)
+            e.waiters.push_back(des.getU32());
+    }
+    des.closeSection();
+    stats_.restoreState(des);
+}
+
+} // namespace hetsim::cpu

@@ -1,0 +1,155 @@
+/**
+ * @file
+ * Chip-level synchronization controller.
+ *
+ * Models the timing of the explicit sync records the contention
+ * workloads emit (workload/shared_gen): spin-lock acquire/release and
+ * counting-semaphore signal/wait. A core reaching a sync micro-op
+ * drains its ROB (like a barrier), then calls execute() and *parks*;
+ * the controller decides when it wakes:
+ *
+ *  - an uncontended LockAcquire costs a real test (Load) plus RFO
+ *    (Store) on the lock line, performed through the shared
+ *    MemHierarchy so the coherence state and counters see the
+ *    traffic;
+ *  - a contended LockAcquire performs the spin read (caching a shared
+ *    copy of the lock line — the spinner the releaser's upgrade store
+ *    will invalidate) and parks with an unknown wake cycle;
+ *  - LockRelease performs the upgrade Store (invalidating every
+ *    spinner's copy via the directory) and hands the lock to the
+ *    oldest waiter, whose wake cycle is the release completion plus
+ *    the waiter's own re-read + RFO latencies — a realistic
+ *    invalidate/miss/upgrade handoff chain;
+ *  - SignalEvt/WaitEvt implement counting semaphores on an event
+ *    line with the same store/load coherence traffic.
+ *
+ * All decisions are pure functions of the (deterministic) order in
+ * which cores reach their sync ops, so runs are byte-identical under
+ * event-horizon skipping, --no-skip, and checkpoint restore; waiter
+ * queues are FIFO and the tables are std::map so serialization order
+ * is stable. A parked core exposes its wake cycle through
+ * wakeCycle() for the chip runner's event-horizon computation
+ * (mem::kNoEvent while blocked on another core). Deadlocks — absent
+ * from generated workloads by construction — degenerate to the cycle
+ * watchdog exactly as a barrier deadlock does.
+ *
+ * The controller also owns the sync observability stats: acquire /
+ * release / signal / wait counts, blocked counts, and the
+ * lock-, event- and barrier-wait cycle distributions surfaced in
+ * --report-json.
+ */
+
+#ifndef HETSIM_CPU_SYNC_HH
+#define HETSIM_CPU_SYNC_HH
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "common/stats.hh"
+#include "cpu/microop.hh"
+#include "mem/hierarchy.hh"
+
+namespace hetsim::cpu
+{
+
+/** Spin-lock + event-semaphore timing model shared by a chip. */
+class SyncController
+{
+  public:
+    SyncController(uint32_t num_cores, mem::MemHierarchy *hier);
+
+    /**
+     * Execute a sync micro-op for `core` at cycle `now`. The core
+     * must have a drained ROB and parks immediately after; the
+     * access-latency chain of the op decides the wake cycle.
+     */
+    void execute(uint32_t core, const MicroOp &op, mem::Cycle now);
+
+    /**
+     * Attempt to unpark `core` at cycle `now`. True once the core's
+     * wake cycle is known and due; samples the wait distribution for
+     * blocking op kinds.
+     */
+    bool tryUnpark(uint32_t core, mem::Cycle now);
+
+    /** Wake cycle of a parked core (mem::kNoEvent while blocked on
+     *  another core's release/signal). */
+    mem::Cycle wakeCycle(uint32_t core) const;
+
+    /** Record one core's barrier residency (sampled by the chip
+     *  runner when it releases a barrier). */
+    void noteBarrierWait(uint64_t cycles);
+
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
+    /** No lock held and no waiter queued anywhere (test hook). */
+    bool idle() const;
+
+  private:
+    static constexpr uint32_t kNoHolder = ~0u;
+
+    enum class Kind : uint8_t
+    {
+        None,
+        Acquire,
+        Release,
+        Signal,
+        Wait,
+    };
+
+    struct CoreState
+    {
+        bool parked = false;
+        mem::Cycle wakeAt = mem::kNoEvent;
+        mem::Cycle parkedAt = 0;
+        Kind kind = Kind::None;
+    };
+
+    struct Lock
+    {
+        uint32_t holder = kNoHolder;
+        std::deque<uint32_t> waiters;
+    };
+
+    struct Event
+    {
+        uint64_t count = 0;
+        std::deque<uint32_t> waiters;
+    };
+
+    void park(uint32_t core, Kind kind, mem::Cycle now,
+              mem::Cycle wake_at);
+    uint32_t loadLat(uint32_t core, mem::Addr addr, mem::Cycle now);
+    uint32_t storeLat(uint32_t core, mem::Addr addr, mem::Cycle now);
+
+    mem::MemHierarchy *hier_;
+    std::vector<CoreState> states_;
+    std::map<mem::Addr, Lock> locks_;
+    std::map<mem::Addr, Event> events_;
+
+    StatGroup stats_;
+    struct SyncCounters
+    {
+        explicit SyncCounters(StatGroup &sg);
+        Counter &lockAcquires;
+        Counter &lockAcquiresBlocked;
+        Counter &lockReleases;
+        Counter &signals;
+        Counter &waits;
+        Counter &waitsBlocked;
+    };
+    SyncCounters ctrs_;
+    Distribution &lockWaitCycles_;
+    Distribution &eventWaitCycles_;
+    Distribution &barrierWaitCycles_;
+};
+
+} // namespace hetsim::cpu
+
+#endif // HETSIM_CPU_SYNC_HH

@@ -28,8 +28,73 @@ MemHierarchy::HierCounters::HierCounters(StatGroup &sg)
       backInvalidations(sg.counter("back_invalidations")),
       upgradeInvalidations(sg.counter("upgrade_invalidations")),
       rfoInvalidations(sg.counter("rfo_invalidations")),
-      ownerDowngrades(sg.counter("owner_downgrades"))
+      ownerDowngrades(sg.counter("owner_downgrades")),
+      trueSharingMisses(sg.counter("true_sharing_misses")),
+      falseSharingMisses(sg.counter("false_sharing_misses"))
 {
+}
+
+namespace
+{
+
+Status
+validateLatencies(const LevelLatencies &lat, const char *which)
+{
+    struct Link
+    {
+        const char *outer;
+        uint32_t outerRt;
+        const char *inner;
+        uint32_t innerRt;
+    };
+    const Link links[] = {
+        {"dl1Rt", lat.dl1Rt, "dl1FastRt", lat.dl1FastRt},
+        {"l2Rt", lat.l2Rt, "dl1Rt", lat.dl1Rt},
+        {"l2Rt", lat.l2Rt, "il1Rt", lat.il1Rt},
+        {"l3Rt", lat.l3Rt, "l2Rt", lat.l2Rt},
+        {"dramRt", lat.dramRt, "l3Rt", lat.l3Rt},
+    };
+    for (const Link &l : links) {
+        if (l.innerRt == 0)
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "%s: %s round trip must be nonzero", which, l.inner);
+        if (l.outerRt < l.innerRt)
+            return Status::error(
+                ErrorCode::InvalidArgument,
+                "%s: %s (%u) is below %s (%u); cumulative round "
+                "trips must grow with depth",
+                which, l.outer, l.outerRt, l.inner, l.innerRt);
+    }
+    return Status();
+}
+
+} // namespace
+
+Status
+validateHierarchyParams(const HierarchyParams &params)
+{
+    if (params.numCores < 1 || params.numCores > 32)
+        return Status::error(ErrorCode::InvalidArgument,
+                             "unsupported core count %u",
+                             params.numCores);
+    Status s = validateLatencies(params.lat, "lat");
+    if (!s.ok())
+        return s;
+    for (size_t c = 0; c < params.perCoreLat.size(); ++c) {
+        const std::string which =
+            "perCoreLat[" + std::to_string(c) + "]";
+        s = validateLatencies(params.perCoreLat[c], which.c_str());
+        if (!s.ok())
+            return s;
+    }
+    if (params.spad.enabled &&
+        (params.spad.latency == 0 || params.spad.sizeKb == 0))
+        return Status::error(ErrorCode::InvalidArgument,
+                             "scratchpad needs nonzero latency and "
+                             "size (got latency %u, %u KB)",
+                             params.spad.latency, params.spad.sizeKb);
+    return Status();
 }
 
 MemHierarchy::MemHierarchy(const HierarchyParams &params)
@@ -39,9 +104,11 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
       stats_("hierarchy"),
       ctrs_(stats_)
 {
-    hetsim_assert(params_.numCores >= 1 && params_.numCores <= 32,
-                  "unsupported core count %u", params_.numCores);
+    const Status valid = validateHierarchyParams(params_);
+    hetsim_assert(valid.ok(), "%s", valid.toString().c_str());
     for (uint32_t c = 0; c < params_.numCores; ++c) {
+        invalsReceived_.push_back(&stats_.counter(
+            "core" + std::to_string(c) + "_invalidations_received"));
         CacheParams il1p{"il1." + std::to_string(c),
                          params_.il1SizeBytes, params_.il1Ways,
                          kLineBytes, false};
@@ -59,7 +126,33 @@ MemHierarchy::MemHierarchy(const HierarchyParams &params)
                     params_.l3SizePerCoreBytes * params_.numCores,
                     params_.l3Ways, kLineBytes, false};
     l3_ = std::make_unique<Cache>(l3p);
+    if (params_.spad.enabled)
+        spad_ = std::make_unique<Scratchpad>(params_.spad,
+                                             params_.numCores);
     streams_.resize(params_.numCores);
+}
+
+void
+MemHierarchy::noteInvalidatingStore(Addr line, uint32_t writer,
+                                    uint8_t word)
+{
+    lastInv_[line] = InvalInfo{writer, word};
+}
+
+void
+MemHierarchy::classifySharingMiss(uint32_t core, Addr line,
+                                  uint8_t word)
+{
+    auto it = lastInv_.find(line);
+    if (it == lastInv_.end() || it->second.writer == core)
+        return;
+    if (it->second.word == word)
+        ++ctrs_.trueSharingMisses;
+    else
+        ++ctrs_.falseSharingMisses;
+    // One classification per steal; the next invalidating store
+    // re-arms the detector.
+    lastInv_.erase(it);
 }
 
 void
@@ -138,6 +231,7 @@ MemHierarchy::ringNodeOfBank(Addr addr) const
 bool
 MemHierarchy::invalidateCore(uint32_t core, Addr addr)
 {
+    ++*invalsReceived_[core];
     const bool dl1_dirty = dl1_[core]->invalidate(addr);
     il1_[core]->invalidate(addr);
     const bool l2_dirty = l2_[core]->invalidate(addr);
@@ -252,6 +346,9 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
                          Cycle now)
 {
     hetsim_assert(core < params_.numCores, "core %u out of range", core);
+    // 8-byte word index within the line, for the sharing classifier
+    // (captured before line alignment discards the offset).
+    const uint8_t word = static_cast<uint8_t>((addr >> 3) & 7);
     addr = lineAlign(addr);
     const LevelLatencies &lat = latFor(core);
 
@@ -305,6 +402,13 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
 
     const bool is_store = type == AccessType::Store;
     const bool is_prefetch = type == AccessType::Prefetch;
+
+    // Scratchpad windows bypass the cache hierarchy entirely: fixed
+    // latency, no tags, no coherence, no prefetcher training.
+    if (spad_ && spad_->contains(core, addr))
+        return {spad_->access(core, is_store),
+                AccessSource::Scratchpad};
+
     Cache &dl1 = *dl1_[core];
     Cache &l2 = *l2_[core];
 
@@ -336,6 +440,8 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
                         ++ctrs_.upgradeInvalidations;
                     }
                 }
+                if (inval_lat > 0)
+                    noteInvalidatingStore(addr, core, word);
                 latency += inval_lat;
                 entry.sharers = coreBit(core);
                 entry.owner = static_cast<int>(core);
@@ -370,6 +476,8 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
                     ++ctrs_.upgradeInvalidations;
                 }
             }
+            if (inval_lat > 0)
+                noteInvalidatingStore(addr, core, word);
             latency += inval_lat;
             entry.sharers = coreBit(core);
             entry.owner = static_cast<int>(core);
@@ -377,6 +485,11 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
             l2.setState(addr, granted);
         }
     } else {
+        // Coherence-steal classification: a demand miss on a line an
+        // invalidating store took away is a sharing miss (true or
+        // false depending on the word).
+        if (!is_prefetch)
+            classifySharingMiss(core, addr, word);
         // Resolve at the shared L3 / directory.
         uint32_t extra = fetchIntoL3(core, addr, now, source);
         DirEntry &entry = directory_.at(addr);
@@ -397,6 +510,8 @@ MemHierarchy::accessImpl(uint32_t core, Addr addr, AccessType type,
                         source = AccessSource::RemoteCore;
                 }
             }
+            if (inval_lat > 0)
+                noteInvalidatingStore(addr, core, word);
             extra += inval_lat;
             entry.sharers = coreBit(core);
             entry.owner = static_cast<int>(core);
@@ -543,6 +658,17 @@ MemHierarchy::saveState(Serializer &ser) const
 
     ring_.saveState(ser);
     dram_.saveState(ser);
+    if (spad_)
+        spad_->saveState(ser);
+
+    ser.beginSection("sharing");
+    ser.putU64(lastInv_.size());
+    for (const auto &[line, info] : lastInv_) {
+        ser.putU64(line);
+        ser.putU32(info.writer);
+        ser.putU8(info.word);
+    }
+    ser.endSection();
 
     ser.beginSection("hier");
     ser.putU64(streamLruCounter_);
@@ -582,6 +708,20 @@ MemHierarchy::restoreState(Deserializer &des)
 
     ring_.restoreState(des);
     dram_.restoreState(des);
+    if (spad_)
+        spad_->restoreState(des);
+
+    des.openSection("sharing");
+    lastInv_.clear();
+    const uint64_t n_inv = des.getU64();
+    for (uint64_t i = 0; i < n_inv && des.ok(); ++i) {
+        const Addr line = des.getU64();
+        InvalInfo info;
+        info.writer = des.getU32();
+        info.word = des.getU8();
+        lastInv_.emplace(line, info);
+    }
+    des.closeSection();
 
     des.openSection("hier");
     streamLruCounter_ = des.getU64();

@@ -18,15 +18,18 @@
 #define HETSIM_MEM_HIERARCHY_HH
 
 #include <array>
+#include <map>
 #include <memory>
 #include <unordered_map>
 #include <vector>
 
 #include "common/stats.hh"
+#include "common/status.hh"
 #include "common/trace.hh"
 #include "mem/cache.hh"
 #include "mem/dram.hh"
 #include "mem/ring.hh"
+#include "mem/scratchpad.hh"
 #include "mem/types.hh"
 
 namespace hetsim::mem
@@ -66,7 +69,23 @@ struct HierarchyParams
      *  lines, run `prefetchDegree` lines ahead. 0 disables. */
     uint32_t prefetchDegree = 2;
     uint32_t prefetchTrain = 2;
+    /** Optional per-core software-managed scratchpad. */
+    ScratchpadParams spad;
 };
+
+/**
+ * Sanity-check a hierarchy configuration before building it.
+ *
+ * A deeper level must never respond faster than a shallower one —
+ * the cumulative round trips must satisfy il1 <= l2, dl1Fast <= dl1
+ * <= l2 <= l3 <= dram — and every latency must be nonzero. A config
+ * violating this silently mis-models (an "L3 hit" cheaper than a DL1
+ * hit inverts every locality conclusion), so construction refuses it:
+ * returns InvalidArgument naming the offending field, for `lat` and
+ * every `perCoreLat` entry, plus the scratchpad latency and core
+ * count.
+ */
+Status validateHierarchyParams(const HierarchyParams &params);
 
 /** Where an access was satisfied (for stats and energy). */
 enum class AccessSource
@@ -78,6 +97,7 @@ enum class AccessSource
     L3,
     RemoteCore,
     Dram,
+    Scratchpad,
 };
 
 /** Result of one memory access. */
@@ -125,6 +145,9 @@ class MemHierarchy
     const Cache &l3() const { return *l3_; }
     Dram &dram() { return dram_; }
     const Dram &dram() const { return dram_; }
+    /** The scratchpad, or nullptr when not configured. */
+    Scratchpad *scratchpad() { return spad_.get(); }
+    const Scratchpad *scratchpad() const { return spad_.get(); }
     RingNetwork &ring() { return ring_; }
     StatGroup &stats() { return stats_; }
     const StatGroup &stats() const { return stats_; }
@@ -198,6 +221,7 @@ class MemHierarchy
     std::vector<std::unique_ptr<Cache>> dl1_;
     std::vector<std::unique_ptr<Cache>> l2_;
     std::unique_ptr<Cache> l3_;
+    std::unique_ptr<Scratchpad> spad_;
     std::unordered_map<Addr, DirEntry> directory_;
     RingNetwork ring_;
     Dram dram_;
@@ -216,8 +240,33 @@ class MemHierarchy
         Counter &upgradeInvalidations;
         Counter &rfoInvalidations;
         Counter &ownerDowngrades;
+        Counter &trueSharingMisses;
+        Counter &falseSharingMisses;
     };
     HierCounters ctrs_;
+    /** Coherence invalidations received, per victim core. */
+    std::vector<Counter *> invalsReceived_;
+
+    /**
+     * False-sharing detector: for every line taken away by a store,
+     * remember which core wrote it and which 8-byte word the store
+     * touched. When a later demand miss by another core lands on a
+     * *different* word of that line, the miss was pure false sharing;
+     * the same word is true sharing. std::map keeps serialization
+     * deterministic.
+     */
+    struct InvalInfo
+    {
+        uint32_t writer = 0;
+        uint8_t word = 0;
+    };
+    std::map<Addr, InvalInfo> lastInv_;
+
+    /** Record the invalidating store for the detector. */
+    void noteInvalidatingStore(Addr line, uint32_t writer,
+                               uint8_t word);
+    /** Classify a demand miss against the detector. */
+    void classifySharingMiss(uint32_t core, Addr line, uint8_t word);
     obs::TraceBuffer *traceBuf_ = nullptr;
 
     /** One tracked stream of a per-core stride prefetcher. Multiple

@@ -1,0 +1,37 @@
+#include "mem/scratchpad.hh"
+
+#include "common/serialize.hh"
+
+namespace hetsim::mem
+{
+
+Scratchpad::Scratchpad(const ScratchpadParams &params,
+                       uint32_t num_cores)
+    : params_(params),
+      bytes_(static_cast<uint64_t>(params.sizeKb) * 1024),
+      stats_("scratchpad"),
+      reads_(stats_.counter("reads")),
+      writes_(stats_.counter("writes"))
+{
+    for (uint32_t c = 0; c < num_cores; ++c)
+        perCore_.push_back(&stats_.counter(
+            "core" + std::to_string(c) + "_accesses"));
+}
+
+void
+Scratchpad::saveState(Serializer &ser) const
+{
+    ser.beginSection("scratchpad");
+    stats_.saveState(ser);
+    ser.endSection();
+}
+
+void
+Scratchpad::restoreState(Deserializer &des)
+{
+    des.openSection("scratchpad");
+    stats_.restoreState(des);
+    des.closeSection();
+}
+
+} // namespace hetsim::mem

@@ -1,0 +1,97 @@
+/**
+ * @file
+ * Optional per-core software-managed scratchpad.
+ *
+ * A scratchpad is a directly addressed SRAM next to each core: no
+ * tags, no coherence, no misses. The workload generators place
+ * explicitly managed private data into a per-core address window;
+ * when the chip is configured with a scratchpad, accesses inside the
+ * window are served at a fixed latency and never enter the cache
+ * hierarchy (so they also produce no coherence or DRAM traffic).
+ * When the chip has no scratchpad (or the access falls outside the
+ * configured capacity) the same addresses fall through to the normal
+ * cached path — software targeting a scratchpad still runs correctly
+ * on a chip without one, it just pays cache latencies.
+ *
+ * The scratchpad is a TFET/CMOS-choosable unit in the DSE space
+ * (power::CpuUnit::Scratchpad): a CMOS array is fast, a TFET array is
+ * slower but leaks an order of magnitude less — the classic HetCore
+ * trade applied to a new structure.
+ */
+
+#ifndef HETSIM_MEM_SCRATCHPAD_HH
+#define HETSIM_MEM_SCRATCHPAD_HH
+
+#include <vector>
+
+#include "common/stats.hh"
+#include "mem/types.hh"
+
+namespace hetsim::mem
+{
+
+/**
+ * Per-core scratchpad address windows. Window `c` starts at
+ * kScratchpadBase + c * kScratchpadStride; the workload generators
+ * emit scratchpad candidates inside these windows, far away from the
+ * private, shared, and sync regions.
+ */
+constexpr Addr kScratchpadBase = 1ull << 47;
+constexpr Addr kScratchpadStride = 1ull << 24; // 16 MB per core.
+
+/** Scratchpad configuration (part of HierarchyParams). */
+struct ScratchpadParams
+{
+    bool enabled = false;
+    uint32_t sizeKb = 16;   ///< Capacity backing each core's window.
+    uint32_t latency = 2;   ///< Fixed access round trip (core cycles).
+};
+
+/** The per-chip scratchpad model (one array per core). */
+class Scratchpad
+{
+  public:
+    Scratchpad(const ScratchpadParams &params, uint32_t num_cores);
+
+    /** True if `addr` lies inside core `core`'s backed window. */
+    bool
+    contains(uint32_t core, Addr addr) const
+    {
+        const Addr base = kScratchpadBase + core * kScratchpadStride;
+        return addr >= base && addr < base + bytes_;
+    }
+
+    /** Serve one access; returns the fixed round-trip latency. */
+    uint32_t
+    access(uint32_t core, bool is_store)
+    {
+        ++*perCore_[core];
+        ++(is_store ? writes_ : reads_);
+        return params_.latency;
+    }
+
+    const ScratchpadParams &params() const { return params_; }
+    StatGroup &stats() { return stats_; }
+    const StatGroup &stats() const { return stats_; }
+
+    /** Accesses served for one core (for per-unit energy activity). */
+    uint64_t coreAccesses(uint32_t core) const
+    {
+        return perCore_[core]->value();
+    }
+
+    void saveState(Serializer &ser) const;
+    void restoreState(Deserializer &des);
+
+  private:
+    ScratchpadParams params_;
+    uint64_t bytes_;
+    StatGroup stats_;
+    Counter &reads_;
+    Counter &writes_;
+    std::vector<Counter *> perCore_; ///< Stable StatGroup references.
+};
+
+} // namespace hetsim::mem
+
+#endif // HETSIM_MEM_SCRATCHPAD_HH

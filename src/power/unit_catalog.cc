@@ -32,6 +32,9 @@ constexpr std::array<UnitPower, kNumCpuUnits> kCpuCatalog = {{
     {"l2", 60.0, 10.0},
     {"l3", 140.0, 19.0},
     {"noc", 20.0, 0.45},
+    // 16 KB direct-addressed SRAM: no tags, no ways, one bank read
+    // per access, so both numbers sit well under the 32 KB 8-way DL1.
+    {"scratchpad", 6.0, 1.5},
 }};
 
 // Per-compute-unit GPU characterization at 1 GHz / 0.73 V HP-CMOS.

@@ -50,6 +50,7 @@ enum class CpuUnit
     L2,         ///< Private L2.
     L3,         ///< Shared L3 slice.
     Noc,        ///< Ring interconnect interface.
+    Scratchpad, ///< Optional per-core software-managed scratchpad.
     NumUnits
 };
 

@@ -45,6 +45,43 @@ const std::vector<AppProfile> kApps = {
      0.08, 0.004, 0.48, 0.05, 1536, 0.60, 0.06, 24, 0.09, 4, 800000},
 };
 
+// Contention microbenchmarks: synthetic kernels whose memory traffic
+// and synchronization are designed to stress the shared-memory
+// subsystem rather than match a published application. All enable the
+// shared-address generator; serialFraction 0 keeps every thread in the
+// parallel sections where the contention happens.
+// SharingProfile fields: enabled, sharedFrac, sharedWriteFrac,
+// hotLines, falseSharing, locks, lockHoldOps, lockPeriodOps,
+// barrierPeriodOps, prodCons, spadFrac.
+const std::vector<AppProfile> kContentionApps = {
+    // Four spin locks guarding short critical sections; most memory
+    // traffic hits the protected hot lines.
+    {"lock_heavy", "contention", 0.30, 0.15, 0.08, 0.02, 0.03, 0.40,
+     0.05, 0.004, 0.50, 0.06, 512, 0.55, 0.0, 8, 0.0, 2, 400000,
+     {true, 0.45, 0.50, 8, false, 4, 24, 48, 0, false, 0.0}},
+    // Fine-grained bulk-synchronous kernel: a barrier every ~300 ops.
+    {"barrier_sync", "contention", 0.28, 0.12, 0.08, 0.10, 0.02,
+     0.45, 0.05, 0.003, 0.45, 0.05, 1024, 0.70, 0.0, 8, 0.0, 2,
+     400000, {true, 0.30, 0.40, 16, false, 0, 16, 64, 300, false,
+              0.0}},
+    // Producer/consumer pipeline: each phase chains the threads
+    // through signal/wait semaphores before the barrier.
+    {"prodcons", "contention", 0.30, 0.15, 0.08, 0.05, 0.02, 0.45,
+     0.05, 0.003, 0.50, 0.05, 512, 0.60, 0.0, 8, 0.0, 4, 400000,
+     {true, 0.35, 0.50, 16, false, 1, 16, 128, 0, true, 0.0}},
+    // Threads hammer disjoint words of the same few lines: every
+    // store invalidates the other cores for no shared data at all.
+    {"false_share", "contention", 0.28, 0.18, 0.08, 0.02, 0.03, 0.40,
+     0.05, 0.004, 0.50, 0.05, 256, 0.55, 0.0, 8, 0.0, 2, 400000,
+     {true, 0.50, 0.60, 4, true, 0, 16, 64, 0, false, 0.0}},
+    // Streaming kernel whose private traffic mostly fits a software-
+    // managed scratchpad — the workload that makes the DSE scratchpad
+    // axis worth buying.
+    {"spad_stream", "contention", 0.32, 0.16, 0.06, 0.10, 0.02, 0.45,
+     0.05, 0.002, 0.40, 0.04, 512, 0.85, 0.0, 8, 0.0, 2, 400000,
+     {true, 0.10, 0.40, 8, false, 0, 16, 64, 0, false, 0.60}},
+};
+
 } // namespace
 
 const std::vector<AppProfile> &
@@ -53,16 +90,25 @@ cpuApps()
     return kApps;
 }
 
+const std::vector<AppProfile> &
+contentionApps()
+{
+    return kContentionApps;
+}
+
 Result<const AppProfile *>
 findCpuApp(const std::string &name)
 {
     std::string known;
-    for (const AppProfile &p : kApps) {
-        if (name == p.name)
-            return &p;
-        if (!known.empty())
-            known += ", ";
-        known += p.name;
+    for (const std::vector<AppProfile> *list :
+         {&kApps, &kContentionApps}) {
+        for (const AppProfile &p : *list) {
+            if (name == p.name)
+                return &p;
+            if (!known.empty())
+                known += ", ";
+            known += p.name;
+        }
     }
     return Status::error(ErrorCode::NotFound,
                          "unknown CPU application '%s' (valid: %s)",

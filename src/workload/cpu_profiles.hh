@@ -27,6 +27,34 @@
 namespace hetsim::workload
 {
 
+/**
+ * Shared-memory contention and synchronization knobs (trace v3).
+ *
+ * When `enabled`, the workload is produced by the shared-address
+ * generator (workload/shared_gen) instead of the classic per-thread
+ * synthetic generator: memory ops target a common hot region with a
+ * configurable read/write mix, threads synchronize through explicit
+ * lock/barrier/signal records, and the interleaving is fixed by the
+ * seed so runs stay byte-reproducible.
+ */
+struct SharingProfile
+{
+    bool enabled = false;     ///< Use the shared-address generator.
+    double sharedFrac = 0.40; ///< P(memory op targets the hot region).
+    double sharedWriteFrac = 0.50; ///< Of shared accesses, store share.
+    uint32_t hotLines = 16;   ///< Contended 64-B lines in the region.
+    bool falseSharing = false; ///< Threads write distinct words of the
+                               ///< same lines (no data actually shared).
+    uint32_t locks = 0;        ///< Spin-lock variables (0 = lock-free).
+    uint32_t lockHoldOps = 16; ///< Ops inside each critical section.
+    uint32_t lockPeriodOps = 64; ///< Ops between acquires, per thread.
+    uint32_t barrierPeriodOps = 0; ///< Extra in-phase barriers every N
+                                   ///< ops (0 = phase barriers only).
+    bool prodCons = false;     ///< Per-phase signal/wait pipeline chain.
+    double spadFrac = 0.0;     ///< P(private access lands in the
+                               ///< per-core scratchpad window).
+};
+
 /** Tunable characteristics of one synthetic CPU application. */
 struct AppProfile
 {
@@ -66,14 +94,24 @@ struct AppProfile
 
     // Total dynamic work at reference scale (all threads combined).
     uint64_t totalOps;
+
+    // Shared-memory contention knobs; defaulted off so the paper's 14
+    // applications keep their classic generator byte for byte.
+    SharingProfile sharing;
 };
 
 /** All 14 applications, in the paper's order. */
 const std::vector<AppProfile> &cpuApps();
 
+/** Contention microbenchmarks (lock_heavy, barrier_sync, prodcons,
+ *  false_share, spad_stream) exercising the shared-memory subsystem.
+ *  Not part of the paper's suite; resolvable through findCpuApp. */
+const std::vector<AppProfile> &contentionApps();
+
 /**
  * Look up an application by untrusted name. On failure the NotFound
- * message lists every valid name.
+ * message lists every valid name. Searches the paper's suite first,
+ * then the contention microbenchmarks.
  */
 Result<const AppProfile *> findCpuApp(const std::string &name);
 

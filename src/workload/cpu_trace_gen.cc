@@ -4,6 +4,7 @@
 #include <memory>
 
 #include "common/logging.hh"
+#include "workload/shared_gen.hh"
 
 namespace hetsim::workload
 {
@@ -438,15 +439,20 @@ SyntheticCpuTrace::next(MicroOp &op)
     return false;
 }
 
-std::vector<std::unique_ptr<SyntheticCpuTrace>>
+std::vector<std::unique_ptr<cpu::TraceSource>>
 makeCpuWorkload(const AppProfile &profile, uint32_t num_threads,
                 uint64_t seed, double scale)
 {
-    std::vector<std::unique_ptr<SyntheticCpuTrace>> out;
+    std::vector<std::unique_ptr<cpu::TraceSource>> out;
     out.reserve(num_threads);
-    for (uint32_t t = 0; t < num_threads; ++t)
-        out.push_back(std::make_unique<SyntheticCpuTrace>(
-            profile, t, num_threads, seed, scale));
+    for (uint32_t t = 0; t < num_threads; ++t) {
+        if (profile.sharing.enabled)
+            out.push_back(std::make_unique<SharedCpuTrace>(
+                profile, t, num_threads, seed, scale));
+        else
+            out.push_back(std::make_unique<SyntheticCpuTrace>(
+                profile, t, num_threads, seed, scale));
+    }
     return out;
 }
 

@@ -133,8 +133,11 @@ class SyntheticCpuTrace : public cpu::TraceSource
 /**
  * Build the per-thread traces of one application run.
  * Ownership is returned to the caller; pass raw pointers to Multicore.
+ * Profiles with `sharing.enabled` come from the shared-address
+ * contention generator (workload/shared_gen); everything else uses
+ * the classic per-thread generator, byte for byte as before.
  */
-std::vector<std::unique_ptr<SyntheticCpuTrace>>
+std::vector<std::unique_ptr<cpu::TraceSource>>
 makeCpuWorkload(const AppProfile &profile, uint32_t num_threads,
                 uint64_t seed = 1, double scale = 1.0);
 

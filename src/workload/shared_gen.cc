@@ -1,0 +1,336 @@
+#include "workload/shared_gen.hh"
+
+#include <algorithm>
+
+#include "common/logging.hh"
+#include "mem/scratchpad.hh"
+
+namespace hetsim::workload
+{
+
+using cpu::MicroOp;
+using cpu::OpClass;
+
+namespace
+{
+
+/** Scratchpad-candidate region the generator streams over. Matches
+ *  the default hardware capacity so a default-sized scratchpad backs
+ *  the whole stream; a smaller array lets the tail fall through to
+ *  the cached path (by design). */
+constexpr uint64_t kSpadGenBytes = 16 * 1024;
+
+} // namespace
+
+SharedCpuTrace::SharedCpuTrace(const AppProfile &profile,
+                               uint32_t thread_id,
+                               uint32_t num_threads, uint64_t seed,
+                               double scale)
+    : profile_(profile),
+      sh_(profile.sharing),
+      threadId_(thread_id),
+      numThreads_(num_threads),
+      rng_(seed * 0x9e3779b97f4a7c15ULL +
+           thread_id * 0x632be59bd9b4e019ULL + 1)
+{
+    hetsim_assert(sh_.enabled,
+                  "SharedCpuTrace needs profile.sharing.enabled");
+    hetsim_assert(num_threads >= 1 && thread_id < num_threads,
+                  "bad thread %u of %u", thread_id, num_threads);
+    hetsim_assert(profile.phases >= 1, "profile needs >= 1 phase");
+
+    const double total = static_cast<double>(profile.totalOps) * scale;
+    opsPerPhase_ = std::max<uint64_t>(
+        32, static_cast<uint64_t>(
+                total / (static_cast<double>(num_threads) *
+                         profile.phases)));
+    // A periodic barrier inside a critical section would park a lock
+    // holder, so the two knobs are mutually exclusive; the barrier
+    // wins (see WORKLOADS.md).
+    locksEff_ = sh_.barrierPeriodOps > 0 ? 0 : sh_.locks;
+
+    codeBase_ = 0x400000 + (static_cast<uint64_t>(thread_id) << 24);
+    codeBytes_ = std::max<uint64_t>(profile.codeKb, 1) * 1024;
+    pc_ = codeBase_;
+
+    privBase_ = (static_cast<uint64_t>(thread_id) + 2) << 32;
+    privBytes_ = std::max<uint64_t>(
+        4 * 1024,
+        static_cast<uint64_t>(profile.footprintKb) * 1024 /
+            num_threads);
+    spadBase_ = mem::kScratchpadBase +
+        thread_id * mem::kScratchpadStride;
+
+    for (int i = 0; i < 4; ++i) {
+        intHist_[i] = static_cast<int16_t>(i + 1);
+        fpHist_[i] = static_cast<int16_t>(cpu::kNumIntRegs + i + 1);
+    }
+}
+
+uint64_t
+SharedCpuTrace::totalBarriers() const
+{
+    uint64_t per_phase = 1; // the end-of-phase barrier
+    if (sh_.barrierPeriodOps > 0)
+        per_phase += (opsPerPhase_ - 1) / sh_.barrierPeriodOps;
+    return per_phase * profile_.phases;
+}
+
+void
+SharedCpuTrace::advancePc()
+{
+    pc_ += 4;
+    if (pc_ >= codeBase_ + codeBytes_)
+        pc_ = codeBase_;
+}
+
+void
+SharedCpuTrace::emitSync(MicroOp &op, OpClass cls, uint64_t addr)
+{
+    op = MicroOp{};
+    op.cls = cls;
+    op.addr = addr;
+    op.pc = pc_;
+    advancePc();
+}
+
+int16_t
+SharedCpuTrace::pickIntSrc()
+{
+    return intHist_[rng_.range(intHist_.size())];
+}
+
+int16_t
+SharedCpuTrace::pickFpSrc()
+{
+    return fpHist_[rng_.range(fpHist_.size())];
+}
+
+int16_t
+SharedCpuTrace::allocIntDst()
+{
+    const int16_t dst = nextIntDst_;
+    nextIntDst_ = static_cast<int16_t>(
+        1 + (nextIntDst_ % (cpu::kNumIntRegs - 1)));
+    intHist_[rng_.range(intHist_.size())] = dst;
+    return dst;
+}
+
+int16_t
+SharedCpuTrace::allocFpDst()
+{
+    const int16_t dst = nextFpDst_;
+    const int16_t lo = cpu::kNumIntRegs + 1;
+    nextFpDst_ = static_cast<int16_t>(
+        lo + ((nextFpDst_ - lo + 1) % (cpu::kNumFpRegs - 1)));
+    fpHist_[rng_.range(fpHist_.size())] = dst;
+    return dst;
+}
+
+uint64_t
+SharedCpuTrace::genAddress(bool want_store, bool &out_store)
+{
+    out_store = want_store;
+    // Inside a critical section the protected data *is* the hot line
+    // the lock guards; outside, sharedFrac of memory ops contend.
+    const bool shared = inCrit_ || rng_.chance(sh_.sharedFrac);
+    if (shared) {
+        const uint32_t lines = std::max(sh_.hotLines, 1u);
+        const uint64_t line = inCrit_
+            ? curLock_ % lines
+            : rng_.range(lines);
+        // False sharing pins each thread to its own word of the line;
+        // true sharing lets every thread touch every word.
+        const uint64_t word = sh_.falseSharing
+            ? threadId_ % 8
+            : rng_.range(8);
+        out_store = rng_.chance(sh_.sharedWriteFrac);
+        return kSharedHotBase + line * 64 + word * 8;
+    }
+    if (sh_.spadFrac > 0.0 && rng_.chance(sh_.spadFrac)) {
+        // Software-managed data: stream over the scratchpad window.
+        const uint64_t a = spadBase_ + spadPos_;
+        spadPos_ = (spadPos_ + 8) % kSpadGenBytes;
+        return a;
+    }
+    if (rng_.chance(profile_.spatialLocality)) {
+        const uint64_t a = privBase_ + privPos_;
+        privPos_ = (privPos_ + 8) % privBytes_;
+        return a;
+    }
+    return privBase_ + rng_.range(privBytes_ / 8) * 8;
+}
+
+void
+SharedCpuTrace::genBranch(MicroOp &op)
+{
+    op.cls = OpClass::Branch;
+    op.src1 = pickIntSrc();
+    op.pc = pc_;
+    bool taken;
+    if (rng_.chance(profile_.branchRandomFrac)) {
+        taken = rng_.chance(0.5);
+    } else {
+        // Loop-shaped: taken except every 8th iteration.
+        taken = (++branchIter_ % 8) != 0;
+    }
+    op.taken = taken;
+    const uint64_t back = 16 * 4;
+    const uint64_t fallthrough = pc_ + 4;
+    op.target = taken
+        ? (pc_ >= codeBase_ + back ? pc_ - back : codeBase_)
+        : fallthrough;
+    pc_ = op.target;
+    if (pc_ >= codeBase_ + codeBytes_)
+        pc_ = codeBase_;
+}
+
+void
+SharedCpuTrace::genWorkOp(MicroOp &op)
+{
+    op = MicroOp{};
+    const AppProfile &p = profile_;
+    const double u = rng_.uniform();
+    const double mem_frac = p.loadFraction + p.storeFraction;
+
+    if (u < mem_frac) {
+        const bool want_store = u >= p.loadFraction;
+        bool is_store;
+        op.addr = genAddress(want_store, is_store);
+        op.accessSize = 8;
+        op.pc = pc_;
+        if (is_store) {
+            op.cls = OpClass::Store;
+            op.src1 = pickIntSrc();
+            op.src2 = pickIntSrc();
+        } else {
+            op.cls = OpClass::Load;
+            op.src1 = pickIntSrc();
+            op.dst = allocIntDst();
+        }
+        advancePc();
+        return;
+    }
+    if (u < mem_frac + p.branchFraction) {
+        genBranch(op);
+        return;
+    }
+    if (u < mem_frac + p.branchFraction + p.fpFraction) {
+        const double v = rng_.uniform();
+        if (v < p.fpDivShare)
+            op.cls = OpClass::FpDiv;
+        else if (v < p.fpDivShare + p.fpMulShare)
+            op.cls = OpClass::FpMult;
+        else
+            op.cls = OpClass::FpAdd;
+        op.src1 = pickFpSrc();
+        op.src2 = pickFpSrc();
+        op.dst = allocFpDst();
+        op.pc = pc_;
+        advancePc();
+        return;
+    }
+    const double v = rng_.uniform();
+    if (v < p.intDivShare)
+        op.cls = OpClass::IntDiv;
+    else if (v < p.intDivShare + p.intMulShare)
+        op.cls = OpClass::IntMult;
+    else
+        op.cls = OpClass::IntAlu;
+    op.src1 = pickIntSrc();
+    op.src2 = pickIntSrc();
+    op.dst = allocIntDst();
+    op.pc = pc_;
+    advancePc();
+}
+
+bool
+SharedCpuTrace::next(MicroOp &op)
+{
+    for (;;) {
+        switch (state_) {
+          case State::PhaseStart:
+            workLeft_ = opsPerPhase_;
+            sinceBarrier_ = 0;
+            sinceLock_ = 0;
+            state_ = State::Work;
+            if (sh_.prodCons && threadId_ > 0) {
+                // Wait for the previous thread's end-of-phase signal
+                // (thread 0 is the pipeline head and never waits).
+                emitSync(op, OpClass::WaitEvt,
+                         eventVarAddr(threadId_));
+                return true;
+            }
+            continue;
+
+          case State::Work:
+            if (workLeft_ == 0) {
+                if (inCrit_) {
+                    // Unreachable by construction (critLeft_ <=
+                    // workLeft_), kept as a safety net: never carry a
+                    // lock into a blocking op.
+                    state_ = State::CritExit;
+                    continue;
+                }
+                state_ = State::PhaseEnd;
+                continue;
+            }
+            if (sh_.barrierPeriodOps > 0 &&
+                sinceBarrier_ >= sh_.barrierPeriodOps) {
+                // Exact op-count positions, identical on every thread,
+                // so all threads emit the same barrier count.
+                sinceBarrier_ = 0;
+                emitSync(op, OpClass::Barrier, 0);
+                return true;
+            }
+            if (!inCrit_ && locksEff_ > 0 &&
+                sinceLock_ >= sh_.lockPeriodOps) {
+                sinceLock_ = 0;
+                curLock_ = rng_.range(locksEff_);
+                inCrit_ = true;
+                critLeft_ = std::min<uint64_t>(sh_.lockHoldOps,
+                                               workLeft_);
+                emitSync(op, OpClass::LockAcquire,
+                         lockVarAddr(curLock_));
+                return true;
+            }
+            genWorkOp(op);
+            --workLeft_;
+            ++sinceBarrier_;
+            if (inCrit_) {
+                if (--critLeft_ == 0)
+                    state_ = State::CritExit;
+            } else {
+                ++sinceLock_;
+            }
+            return true;
+
+          case State::CritExit:
+            inCrit_ = false;
+            state_ = State::Work;
+            emitSync(op, OpClass::LockRelease, lockVarAddr(curLock_));
+            return true;
+
+          case State::PhaseEnd:
+            state_ = State::PhaseBarrier;
+            if (sh_.prodCons) {
+                emitSync(op, OpClass::SignalEvt,
+                         eventVarAddr((threadId_ + 1) % numThreads_));
+                return true;
+            }
+            continue;
+
+          case State::PhaseBarrier:
+            ++phase_;
+            state_ = phase_ >= profile_.phases ? State::Finished
+                                               : State::PhaseStart;
+            emitSync(op, OpClass::Barrier, 0);
+            return true;
+
+          case State::Finished:
+            return false;
+        }
+    }
+}
+
+} // namespace hetsim::workload

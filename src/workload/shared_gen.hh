@@ -1,0 +1,149 @@
+/**
+ * @file
+ * Shared-address contention workload generator (trace format v3).
+ *
+ * Produces one thread's micro-op stream for a workload whose threads
+ * genuinely communicate: memory ops target a common hot region with a
+ * configurable read/write mix and true- or false-sharing line layout,
+ * and the threads synchronize through explicit records — spin-lock
+ * acquire/release around critical sections, barriers (per phase and
+ * optionally every N ops), and producer/consumer signal/wait chains.
+ * Everything is a pure function of (profile, thread id, thread count,
+ * seed, scale), so runs are byte-reproducible and a trace can be
+ * regenerated from its identity for checkpoint restore.
+ *
+ * Address map (disjoint regions, all far apart):
+ *   code:        0x400000 + tid << 24          (ifetch stream)
+ *   private:     (tid + 2) << 32               (per-thread data)
+ *   shared hot:  kSharedHotBase                (the contended lines)
+ *   locks:       kLockVarBase  + lock  * 64    (one line per lock)
+ *   events:      kEventVarBase + event * 64    (one line per event)
+ *   scratchpad:  mem::kScratchpadBase + tid * mem::kScratchpadStride
+ *
+ * Deadlock freedom by construction: critical sections never contain a
+ * blocking op (the generator ends them before any barrier, wait, or
+ * phase end), waits only happen at phase start against the previous
+ * thread's end-of-phase signal, and every thread emits the same
+ * number of barriers per phase. When `barrierPeriodOps` is set, locks
+ * are disabled for the profile — a periodic barrier inside a critical
+ * section could otherwise park a lock holder.
+ */
+
+#ifndef HETSIM_WORKLOAD_SHARED_GEN_HH
+#define HETSIM_WORKLOAD_SHARED_GEN_HH
+
+#include <array>
+#include <cstdint>
+
+#include "common/rng.hh"
+#include "cpu/microop.hh"
+#include "workload/cpu_profiles.hh"
+
+namespace hetsim::workload
+{
+
+/** Base of the contended shared-data region. */
+constexpr uint64_t kSharedHotBase = 1ull << 45;
+/** Base of the lock-variable region (lock l lives at + l * 64). */
+constexpr uint64_t kLockVarBase = 1ull << 46;
+/** Base of the event-semaphore region (event e at + e * 64). */
+constexpr uint64_t kEventVarBase = (1ull << 46) + (1ull << 20);
+
+/** Address of lock variable `l`. */
+constexpr uint64_t
+lockVarAddr(uint64_t l)
+{
+    return kLockVarBase + l * 64;
+}
+
+/** Address of event semaphore `e`. */
+constexpr uint64_t
+eventVarAddr(uint64_t e)
+{
+    return kEventVarBase + e * 64;
+}
+
+/** One thread's contention-workload instruction stream. */
+class SharedCpuTrace : public cpu::TraceSource
+{
+  public:
+    /**
+     * @param profile     Application characteristics; profile.sharing
+     *                    must be enabled.
+     * @param thread_id   This thread (== the core it runs on).
+     * @param num_threads Threads sharing the (fixed) total work.
+     * @param seed        Base seed; per-thread streams are forked.
+     * @param scale       Work multiplier (tests use small scales).
+     */
+    SharedCpuTrace(const AppProfile &profile, uint32_t thread_id,
+                   uint32_t num_threads, uint64_t seed = 1,
+                   double scale = 1.0);
+
+    bool next(cpu::MicroOp &op) override;
+
+    /** Barrier micro-ops this thread will emit (identical for every
+     *  thread — the multicore barrier protocol requires it). */
+    uint64_t totalBarriers() const;
+
+  private:
+    enum class State : uint8_t
+    {
+        PhaseStart,
+        Work,
+        CritExit,
+        PhaseEnd,
+        PhaseBarrier,
+        Finished,
+    };
+
+    void emitSync(cpu::MicroOp &op, cpu::OpClass cls, uint64_t addr);
+    void genWorkOp(cpu::MicroOp &op);
+    void genBranch(cpu::MicroOp &op);
+    uint64_t genAddress(bool is_store, bool &out_store);
+    int16_t pickIntSrc();
+    int16_t pickFpSrc();
+    int16_t allocIntDst();
+    int16_t allocFpDst();
+    void advancePc();
+
+    const AppProfile &profile_;
+    const SharingProfile &sh_;
+    uint32_t threadId_;
+    uint32_t numThreads_;
+    hetsim::Rng rng_;
+
+    uint64_t opsPerPhase_;
+    uint32_t locksEff_;      ///< sh_.locks, or 0 if period barriers on.
+    uint32_t phase_ = 0;
+    State state_ = State::PhaseStart;
+
+    uint64_t workLeft_ = 0;
+    uint64_t sinceBarrier_ = 0;
+    uint64_t sinceLock_ = 0;
+    uint64_t critLeft_ = 0;
+    bool inCrit_ = false;
+    uint64_t curLock_ = 0;
+
+    // Code stream.
+    uint64_t codeBase_;
+    uint64_t codeBytes_;
+    uint64_t pc_;
+    uint32_t branchIter_ = 0;
+
+    // Data regions.
+    uint64_t privBase_;
+    uint64_t privBytes_;
+    uint64_t privPos_ = 0;
+    uint64_t spadBase_;
+    uint64_t spadPos_ = 0;
+
+    // Register dependence history.
+    std::array<int16_t, 4> intHist_;
+    std::array<int16_t, 4> fpHist_;
+    int16_t nextIntDst_ = 1;
+    int16_t nextFpDst_ = cpu::kNumIntRegs + 1;
+};
+
+} // namespace hetsim::workload
+
+#endif // HETSIM_WORKLOAD_SHARED_GEN_HH

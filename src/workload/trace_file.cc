@@ -18,7 +18,7 @@ struct TraceHeader
     uint64_t count;
 };
 
-/** Current (version 2) on-disk record, with the access size. */
+/** Current (version 3, layout shared with v2) on-disk record. */
 struct TraceRecord
 {
     uint8_t cls;
@@ -178,7 +178,8 @@ FileTrace::open(const std::string &path)
         return Status::error(ErrorCode::BadMagic,
                              "'%s' is not a HetSim trace (bad magic)",
                              path.c_str());
-    if (header.version != 1 && header.version != kTraceVersion)
+    if (header.version != 1 && header.version != 2 &&
+        header.version != kTraceVersion)
         return Status::error(ErrorCode::UnsupportedVersion,
                              "trace '%s' has unsupported version %u",
                              path.c_str(), header.version);
@@ -264,7 +265,12 @@ FileTrace::next(cpu::MicroOp &op)
         cls = r.cls;
         op = unpack(r);
     }
-    if (cls > static_cast<uint8_t>(cpu::OpClass::Nop)) {
+    // v1/v2 predate the synchronization classes; a cls beyond Nop in
+    // those versions is corruption, not a sync record.
+    const uint8_t max_cls = version_ >= 3
+        ? static_cast<uint8_t>(cpu::OpClass::WaitEvt)
+        : static_cast<uint8_t>(cpu::OpClass::Nop);
+    if (cls > max_cls) {
         status_ = Status::error(
             ErrorCode::CorruptRecord,
             "trace '%s' record %llu has invalid op class %u",

@@ -8,17 +8,21 @@
  * HetSim. The format is a fixed-size little-endian record stream:
  *
  *   header: magic "HSTR" (4 B), version u32, record count u64
- *   v2 record: cls u8, taken u8, size u8, pad u8,
- *              src1 i16, src2 i16, dst i16, pad u16,
- *              pc u64, addr u64, target u64   (36 bytes)
+ *   v3/v2 record: cls u8, taken u8, size u8, pad u8,
+ *                 src1 i16, src2 i16, dst i16, pad u16,
+ *                 pc u64, addr u64, target u64   (36 bytes)
  *   v1 record: cls u8, taken u8, src1 i16, src2 i16, dst i16,
  *              pc u64, addr u64, target u64   (32 bytes)
  *
  * Version 2 adds the memory access size in bytes, which the core's
  * store-to-load forwarding logic needs for byte-accurate aliasing.
- * Version-1 traces stay replayable: their loads and stores come back
- * with the legacy 8-byte access size, reproducing the exact behaviour
- * they had when recorded.
+ * Version 3 keeps the v2 record layout but admits the explicit
+ * synchronization op classes (LockAcquire/LockRelease/SignalEvt/
+ * WaitEvt, carrying the sync variable's address in `addr`); a v2 or
+ * v1 reader would see them as corrupt records, so the version bump
+ * fences old tools. Version-1 traces stay replayable: their loads and
+ * stores come back with the legacy 8-byte access size, reproducing
+ * the exact behaviour they had when recorded.
  *
  * Replay through FileTrace is bit-identical to the original source,
  * so a recorded run reproduces the exact same simulation.
@@ -47,7 +51,7 @@ namespace hetsim::workload
 
 /** Magic bytes and current format version. */
 constexpr uint32_t kTraceMagic = 0x52545348; // "HSTR" LE
-constexpr uint32_t kTraceVersion = 2;
+constexpr uint32_t kTraceVersion = 3;
 
 /** On-disk sizes, exposed so fault-injection tests can aim at the
  *  header/record boundaries. */
@@ -71,7 +75,7 @@ class FileTrace : public cpu::TraceSource
     /**
      * Open and fully validate `path`: header magic/version, and that
      * the file size matches the header's record count exactly.
-     * Accepts the current version 2 and legacy version 1 traces.
+     * Accepts the current version 3 and legacy version 1/2 traces.
      */
     static Result<std::unique_ptr<FileTrace>>
     open(const std::string &path);
@@ -92,7 +96,7 @@ class FileTrace : public cpu::TraceSource
     /** Total records in the file. */
     uint64_t size() const { return count_; }
 
-    /** On-disk format version (1 or 2). */
+    /** On-disk format version (1, 2, or 3). */
     uint32_t version() const { return version_; }
 
     /** Rewind to the first record (also clears an error status). */

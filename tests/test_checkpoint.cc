@@ -313,6 +313,8 @@ TEST_F(CheckpointTest, FsckCountsEveryFileClassAndGcPrunes)
     EXPECT_EQ(fsck->quarantined, 1u);
     EXPECT_EQ(fsck->orphanTemps, 1u);
     EXPECT_EQ(fsck->checkpoints, 2u); // .hckp + .prev
+    EXPECT_EQ(fsck->okCheckpoints, 2u);
+    EXPECT_EQ(fsck->corruptCheckpoints, 0u);
     EXPECT_EQ(fsck->pruned, 0u);
     EXPECT_FALSE(fileExists(doomed));
     EXPECT_TRUE(fileExists(doomed + ".quarantined"));
@@ -344,6 +346,58 @@ TEST_F(CheckpointTest, FsckCountsEveryFileClassAndGcPrunes)
     // Store reads still verify after the sweep-up.
     EXPECT_EQ(store.get("good-1").value(), "payload-1");
     EXPECT_EQ(store.get("good-2").value(), "payload-2");
+}
+
+TEST_F(CheckpointTest, FsckVerifiesCheckpointsReportOnly)
+{
+    // A healthy checkpoint and a bit-flipped one (with a healthy
+    // rotation). fsck verifies every checkpoint's header and
+    // checksums but never renames or removes one: the corrupt
+    // primary is reported and left in place — its .prev fallback
+    // still restores the run, and the owning run quarantines on
+    // load, so a maintenance pass must not race it.
+    const std::string good = dir_ + "/cell-aaaa" + kCheckpointSuffix;
+    ASSERT_TRUE(saveCheckpoint(good, "run-a", 5, "state-a").ok());
+
+    const std::string bad = dir_ + "/cell-bbbb" + kCheckpointSuffix;
+    ASSERT_TRUE(saveCheckpoint(bad, "run-b", 5, "s1").ok());
+    ASSERT_TRUE(saveCheckpoint(bad, "run-b", 9, "s2").ok());
+    const uint64_t size = workload::fileSize(bad).valueOr(0);
+    ASSERT_GT(size, 1u);
+    ASSERT_TRUE(workload::flipBitInFile(bad, size - 1, 3).ok());
+
+    // Direct verification is report-only and key-blind.
+    EXPECT_TRUE(verifyCheckpointFile(good).ok());
+    const Status v = verifyCheckpointFile(bad);
+    EXPECT_EQ(v.code(), ErrorCode::InvalidArgument);
+    EXPECT_TRUE(fileExists(bad)); // Not quarantined by verify.
+
+    Result<StoreFsckReport> fsck = fsckStore(dir_);
+    ASSERT_TRUE(fsck.ok()) << fsck.status().toString();
+    EXPECT_EQ(fsck->checkpoints, 3u); // good + bad + bad.prev
+    EXPECT_EQ(fsck->okCheckpoints, 2u);
+    EXPECT_EQ(fsck->corruptCheckpoints, 1u);
+    EXPECT_EQ(fsck->pruned, 0u);
+    EXPECT_TRUE(fileExists(good));
+    EXPECT_TRUE(fileExists(bad));
+    EXPECT_TRUE(fileExists(bad + kCheckpointPrevSuffix));
+    EXPECT_FALSE(fileExists(bad + ".quarantined"));
+
+    // gc prunes nothing either: live checkpoints are never touched,
+    // corrupt or not.
+    Result<StoreFsckReport> gc =
+        fsckStore(dir_, workload::kTraceVersion, true);
+    ASSERT_TRUE(gc.ok());
+    EXPECT_EQ(gc->corruptCheckpoints, 1u);
+    EXPECT_EQ(gc->pruned, 0u);
+    EXPECT_TRUE(fileExists(bad));
+    EXPECT_TRUE(fileExists(bad + kCheckpointPrevSuffix));
+
+    // The owning run still restores through the .prev fallback.
+    Result<LoadedCheckpoint> got = loadCheckpoint(bad, "run-b");
+    ASSERT_TRUE(got.ok()) << got.status().toString();
+    EXPECT_EQ(got->payload, "s1");
+    EXPECT_EQ(got->cycle, 5u);
 }
 
 namespace

@@ -281,6 +281,7 @@ TEST(Enumeration, AxesCanBeDisabled)
     space.includeAsymDl1 = false;
     space.includeDualSpeed = false;
     space.includeHalfClock = false;
+    space.includeScratchpad = false;
     const auto designs = enumerateCpuDesigns(space);
     EXPECT_EQ(designs.size(), 32u); // 2 ALU x 2 FPU x 2^3 arrays.
     for (const auto &d : designs) {
@@ -289,6 +290,7 @@ TEST(Enumeration, AxesCanBeDisabled)
         EXPECT_FALSE(d.asymDl1);
         EXPECT_FALSE(d.dualSpeedAlu);
         EXPECT_FALSE(d.halfClock);
+        EXPECT_FALSE(d.scratchpad);
     }
 }
 

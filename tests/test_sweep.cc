@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/result_store.hh"
@@ -555,5 +556,104 @@ TEST(SweepStore, KilledSweepResumesByteIdentically)
                                             ? plan.size()
                                             : journaled);
     EXPECT_EQ(store.value().counters().quarantined, 0u);
+    removeDir(dir);
+}
+
+namespace
+{
+
+volatile sig_atomic_t g_sweep_preempt = 0;
+
+void
+sweepPreemptHandler(int)
+{
+    g_sweep_preempt = 1;
+}
+
+} // namespace
+
+/**
+ * Satellite: --jobs N. The parallel scheduler keeps results in plan
+ * order and each cell computes the same deterministic result in its
+ * own forked child, so a jobs=4 report is byte-identical to the
+ * serial jobs=1 report — including the poisoned cell, which fails
+ * identically in both.
+ */
+TEST(SweepJobs, ParallelReportIsByteIdenticalToSerial)
+{
+    std::vector<SweepCell> plan = smallPlan();
+    plan.push_back(cpuAppCell(CpuConfig::BaseTfet, "lu", 0.05));
+    plan.push_back(cpuAppCell(CpuConfig::BaseHetEnh, "radix", 0.05));
+
+    const SweepOptions serial;
+    const std::string reference =
+        sweepReportToJson(runSweep(plan, serial));
+
+    SweepOptions parallel = serial;
+    parallel.jobs = 4;
+    const SweepReport report = runSweep(plan, parallel);
+    ASSERT_EQ(report.results.size(), plan.size());
+    EXPECT_EQ(sweepReportToJson(report), reference);
+}
+
+/**
+ * Satellite: a preemption request reaching a parallel sweep is
+ * forwarded as SIGTERM to *every* in-flight forked cell, and each
+ * drains to its own mid-run checkpoint and reports preempted instead
+ * of dying. The forked cells inherit the SIGTERM handler installed
+ * here, exactly as they inherit the CLI's handler in production.
+ */
+TEST(SweepJobs, PreemptionForwardsSigtermToAllInflightCells)
+{
+    const std::string dir = makeStoreDir("jobsterm");
+    auto store = core::ResultStore::open(dir);
+    ASSERT_TRUE(store.ok());
+
+    // Long cells, all in flight at once when the preemption lands.
+    const std::vector<SweepCell> plan = {
+        cpuAppCell(CpuConfig::BaseCmos, "fft", 50.0),
+        cpuAppCell(CpuConfig::BaseCmos, "lu", 50.0),
+        cpuAppCell(CpuConfig::BaseCmos, "radix", 50.0),
+        cpuAppCell(CpuConfig::BaseCmos, "cholesky", 50.0),
+    };
+
+    SweepOptions opts;
+    opts.jobs = 3;
+    opts.store = &store.value();
+    opts.checkpointDir = dir;
+    opts.exp.checkpointEveryCycles = 20000;
+    g_sweep_preempt = 0;
+    opts.exp.preempt = &g_sweep_preempt;
+    using SigHandler = void (*)(int);
+    const SigHandler prev = ::signal(SIGTERM, sweepPreemptHandler);
+
+    std::thread preempter([] {
+        ::usleep(300 * 1000);
+        g_sweep_preempt = 1;
+    });
+    const SweepReport report = runSweep(plan, opts);
+    preempter.join();
+    ::signal(SIGTERM, prev);
+
+    ASSERT_EQ(report.results.size(), plan.size());
+    EXPECT_TRUE(report.preempted());
+    size_t checkpointed = 0;
+    for (const CellResult &res : report.results) {
+        EXPECT_TRUE(res.preempted);
+        EXPECT_EQ(res.status.code(), ErrorCode::Preempted);
+        if (res.status.message().find("mid-run checkpoint") !=
+            std::string::npos) {
+            ++checkpointed;
+            // The drain happened mid-run: progress was made and
+            // preserved, not discarded by the SIGTERM.
+            EXPECT_GT(res.cycles, 0u);
+        }
+    }
+    // jobs=3 had three cells in flight concurrently; every one must
+    // have received the forwarded SIGTERM and drained (the fourth
+    // never started and is marked preempted-without-running).
+    EXPECT_GE(checkpointed, 2u);
+    // Preempted outcomes never reach the durable journal.
+    EXPECT_EQ(countEntries(dir), 0u);
     removeDir(dir);
 }
